@@ -1,0 +1,77 @@
+"""E4 — prediction-model quality and the feature-class ablation.
+
+§2.1 requires the predicted partitioning to be "as close as possible to
+the best task partitioning in terms of performance"; §4 motivates using
+*both* static and runtime feature classes.  This bench reports, per
+machine: exact-label LOPO accuracy, performance relative to the oracle,
+model-family comparison (MLP / tree / forest / kNN / majority) and the
+static-only vs runtime-only vs combined ablation.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablate_feature_classes,
+    compare_models,
+    render_model_comparison,
+)
+from repro.machines import MC1, MC2
+
+_SCORES = []
+
+
+@pytest.mark.parametrize("machine", [MC1, MC2], ids=lambda m: m.name)
+def test_model_comparison(benchmark, machine, dbs):
+    db = dbs[machine.name]
+
+    def run():
+        return compare_models(
+            machine, db, kinds=("mlp", "tree", "forest", "knn", "majority")
+        )
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    _SCORES.extend(scores)
+    by_kind = {s.model_kind: s for s in scores}
+
+    # Learned models must beat the majority-class baseline on delivered
+    # performance (the paper's model must carry real signal).
+    for kind in ("mlp", "forest"):
+        assert (
+            by_kind[kind].oracle_efficiency
+            >= by_kind["majority"].oracle_efficiency - 1e-9
+        )
+    assert by_kind["mlp"].oracle_efficiency > 0.75
+
+    if len(_SCORES) == 10:
+        print(
+            "\n\n"
+            + render_model_comparison(
+                _SCORES, "Model families under leave-one-program-out (E4)"
+            )
+        )
+
+
+@pytest.mark.parametrize("machine", [MC2], ids=lambda m: m.name)
+def test_feature_class_ablation(benchmark, machine, dbs):
+    db = dbs[machine.name]
+
+    def run():
+        return ablate_feature_classes(machine, db, model_kind="mlp")
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_kind = {s.model_kind.split("[")[1].rstrip("]"): s for s in scores}
+
+    # The paper's point: runtime (size-dependent) features are essential.
+    # Static-only models cannot distinguish problem sizes, so combined
+    # must not lose to static-only.
+    assert (
+        by_kind["combined"].oracle_efficiency
+        >= by_kind["static-only"].oracle_efficiency - 0.02
+    )
+
+    print(
+        "\n\n"
+        + render_model_comparison(
+            scores, "Feature-class ablation, mc2 (static vs runtime vs combined)"
+        )
+    )

@@ -1,0 +1,36 @@
+"""E3 — the problem-size-sensitivity table.
+
+§4: "the optimal task partitioning does depend on the program, the
+target architecture, as well as the problem size."  The oracle
+partitioning per (program, size, machine), extracted from the training
+sweeps, must change along the size ladder for most programs.
+"""
+
+from repro.experiments import analyze_size_sensitivity, render_size_sensitivity
+
+
+def test_size_sensitivity(benchmark, dbs):
+    def analyze():
+        return analyze_size_sensitivity(dbs["mc1"]) + analyze_size_sensitivity(dbs["mc2"])
+
+    trajectories = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    assert len(trajectories) == 46  # 23 programs x 2 machines
+
+    changing = [t for t in trajectories if t.changes_with_size]
+    assert len(changing) >= len(trajectories) // 2, (
+        "most programs must change their optimal partitioning with size"
+    )
+
+    # The machine matters too: some program must have different optima on
+    # mc1 vs mc2 at the same size.
+    by_prog = {}
+    for t in trajectories:
+        by_prog.setdefault(t.program, {})[t.machine] = t.oracle_labels
+    differs = sum(
+        1
+        for labels in by_prog.values()
+        if len(labels) == 2 and labels["mc1"] != labels["mc2"]
+    )
+    assert differs >= 8
+
+    print("\n\n" + render_size_sensitivity(trajectories))

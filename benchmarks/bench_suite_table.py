@@ -1,0 +1,19 @@
+"""E2 — the evaluation-setup table of §3.
+
+23 programs from vendor samples / SHOC / Rodinia / PolyBench, two
+3-device target platforms, and the 66-point 10%-step partition space.
+"""
+
+from repro.experiments import render_suite_table, suite_rows
+from repro.partitioning import partition_space
+
+
+def test_suite_table(benchmark):
+    rows = benchmark.pedantic(suite_rows, rounds=1, iterations=1)
+    assert len(rows) == 23
+
+    suites = {r[1] for r in rows}
+    assert suites == {"vendor", "shoc", "rodinia", "polybench"}
+    assert len(partition_space(3, 10)) == 66
+
+    print("\n\n" + render_suite_table())

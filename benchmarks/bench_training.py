@@ -1,0 +1,82 @@
+"""E6 — training-phase mechanics and runtime overheads.
+
+Measures the concrete costs of the paper's pipeline stages: the
+exhaustive per-(program, size) partitioning sweep that produces one
+training record, the oracle search, model training, and — critically
+for the deployment story — the per-launch prediction overhead, which
+must be negligible next to kernel execution.
+"""
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import PartitioningModel, TrainingConfig, build_record
+from repro.core.features import combined_features
+from repro.core.trainer import sweep_partitionings
+from repro.machines import MC2
+from repro.partitioning import partition_space
+from repro.runtime import Runner, oracle_search
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(MC2)
+
+
+def test_partitioning_sweep_per_record(benchmark, runner):
+    """One training pattern: 66 measured partitionings."""
+    bench = get_benchmark("kmeans")
+    instance = bench.make_instance(bench.problem_sizes()[2], seed=0)
+    space = partition_space(3, 10)
+
+    timings = benchmark(
+        lambda: sweep_partitionings(runner, bench, instance, space)
+    )
+    assert len(timings) == 66
+
+
+def test_training_record_build(benchmark, runner):
+    bench = get_benchmark("stencil2d")
+    instance = bench.make_instance(bench.problem_sizes()[1], seed=0)
+    space = partition_space(3, 10)
+    config = TrainingConfig(repetitions=1)
+
+    record = benchmark.pedantic(
+        lambda: build_record(runner, bench, instance, space, config),
+        rounds=2,
+        iterations=1,
+    )
+    assert record.best_time == min(record.timings.values())
+
+
+def test_oracle_search_cost(benchmark, runner):
+    bench = get_benchmark("mat_mul")
+    instance = bench.make_instance(256, seed=0)
+    request = bench.request(instance)
+
+    best, t = benchmark(lambda: oracle_search(lambda p: runner.time_of(request, p)))
+    assert t > 0
+
+
+def test_model_fit_cost(benchmark, dbs):
+    db = dbs["mc2"]
+    model = benchmark.pedantic(
+        lambda: PartitioningModel("mlp").fit(db), rounds=1, iterations=1
+    )
+    assert model.accuracy_on(db) > 0.5
+
+
+def test_prediction_overhead(benchmark, dbs):
+    """Feature assembly + model inference for one launch (deploy path)."""
+    db = dbs["mc2"]
+    model = PartitioningModel("mlp").fit(db)
+    bench = get_benchmark("srad")
+    instance = bench.make_instance(bench.problem_sizes()[2], seed=0)
+    compiled = bench.compiled(instance)
+
+    def deploy_path():
+        feats = combined_features(compiled, instance)
+        return model.predict_features(feats)
+
+    p = benchmark(deploy_path)
+    assert sum(p.shares) == 100

@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+The full training campaign (23 programs x size ladders x 66
+partitionings x 2 machines) is generated once per session and cached on
+disk, so repeated `pytest benchmarks/ --benchmark-only` runs skip the
+sweep and only re-measure the analyses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.benchsuite import all_benchmarks
+from repro.core import TrainingConfig, TrainingDatabase, generate_training_data
+from repro.machines import MC1, MC2
+
+CACHE_DIR = Path(__file__).parent / "_cache"
+
+#: One record per (program, size): the full paper campaign.
+FULL_CONFIG = TrainingConfig(repetitions=1, seed=0)
+
+
+def _config_digest(config: TrainingConfig, machine_name: str) -> str:
+    # Include the device specs so recalibrating a machine invalidates
+    # its cached sweeps.
+    from repro.machines import machine_by_name
+
+    specs = repr(machine_by_name(machine_name).device_specs)
+    text = f"{machine_name}|{config}|{len(all_benchmarks())}|{specs}|v3"
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def load_or_generate(machine, config: TrainingConfig = FULL_CONFIG) -> TrainingDatabase:
+    """Disk-cached training database for one machine."""
+    CACHE_DIR.mkdir(exist_ok=True)
+    path = CACHE_DIR / f"db_{machine.name}_{_config_digest(config, machine.name)}.json"
+    if path.exists():
+        return TrainingDatabase.load(path)
+    db = generate_training_data(machine, all_benchmarks(), config)
+    db.save(path)
+    return db
+
+
+@pytest.fixture(scope="session")
+def db_mc1() -> TrainingDatabase:
+    return load_or_generate(MC1)
+
+
+@pytest.fixture(scope="session")
+def db_mc2() -> TrainingDatabase:
+    return load_or_generate(MC2)
+
+
+@pytest.fixture(scope="session")
+def dbs(db_mc1, db_mc2) -> dict[str, TrainingDatabase]:
+    return {"mc1": db_mc1, "mc2": db_mc2}

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figure 1 end to end (full suite, both machines).
+
+Runs the complete training campaign (23 programs x size ladders x 66
+partitionings) on mc1 and mc2, evaluates the MLP predictor under the
+leave-one-program-out protocol, and prints the per-program speedup bars
+over the CPU-only and GPU-only defaults plus the summary statistics the
+paper annotates.
+
+Takes a few minutes; pass --quick for a truncated run.
+"""
+
+import sys
+
+from repro import MC1, MC2, TrainingConfig
+from repro.benchsuite import all_benchmarks
+from repro.core import generate_training_data
+from repro.experiments import render_figure1, run_figure1
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    config = TrainingConfig(repetitions=1, max_sizes=3 if quick else None)
+    results = []
+    for machine in (MC1, MC2):
+        print(f"training campaign on {machine.name} ...", flush=True)
+        db = generate_training_data(machine, all_benchmarks(), config)
+        results.append(run_figure1(machine, db=db, model_kind="mlp"))
+    print()
+    print(render_figure1(results))
+
+
+if __name__ == "__main__":
+    main()

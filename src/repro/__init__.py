@@ -1,0 +1,72 @@
+"""repro — reproduction of *Automatic Problem Size Sensitive Task
+Partitioning on Heterogeneous Parallel Systems* (Grasso, Kofler,
+Cosenza, Fahringer; PPoPP 2013).
+
+The package rebuilds the paper's full stack on a simulated OpenCL
+substrate:
+
+* :mod:`repro.inspire` — INSPIRE-like kernel IR with static feature
+  extraction, an OpenCL C printer and a reference interpreter;
+* :mod:`repro.compiler` — single-device → multi-device translation
+  (ND-range splitting, buffer distributions, offset code generation);
+* :mod:`repro.ocl` / :mod:`repro.machines` — simulated devices with
+  calibrated analytic cost models; the paper's mc1 and mc2 platforms;
+* :mod:`repro.runtime` — the multi-device scheduler, default
+  strategies and measurement harness;
+* :mod:`repro.ml` — from-scratch NumPy classifiers (MLP and friends);
+* :mod:`repro.benchsuite` — the 23-program evaluation suite;
+* :mod:`repro.core` — the contribution: feature assembly, training
+  database, partitioning predictor, end-to-end pipeline, evaluation;
+* :mod:`repro.experiments` — regenerates every table/figure.
+
+Quickstart::
+
+    from repro import train_system, get_benchmark, MC2
+    system = train_system(MC2, model_kind="mlp")
+    bench = get_benchmark("mat_mul")
+    instance = bench.make_instance(512)
+    partitioning = system.predict(bench, instance)
+"""
+
+from .benchsuite import all_benchmarks, get_benchmark
+from .core import (
+    PartitioningModel,
+    PartitioningPredictor,
+    TrainedSystem,
+    TrainingConfig,
+    TrainingDatabase,
+    evaluate_lopo,
+    generate_training_data,
+    train_system,
+)
+from .machines import ALL_MACHINES, MC1, MC2, machine_by_name
+from .partitioning import Partitioning, partition_space, split_items
+from .runtime import Runner, cpu_only, even_split, gpu_only, oracle_search
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "all_benchmarks",
+    "get_benchmark",
+    "PartitioningModel",
+    "PartitioningPredictor",
+    "TrainedSystem",
+    "TrainingConfig",
+    "TrainingDatabase",
+    "evaluate_lopo",
+    "generate_training_data",
+    "train_system",
+    "ALL_MACHINES",
+    "MC1",
+    "MC2",
+    "machine_by_name",
+    "Partitioning",
+    "partition_space",
+    "split_items",
+    "Runner",
+    "cpu_only",
+    "gpu_only",
+    "even_split",
+    "oracle_search",
+    "__version__",
+]

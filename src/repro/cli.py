@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    list                      — the 23-program suite
+    machines                  — the simulated platforms
+    kernel  <program>         — emitted single- and multi-device OpenCL C
+    run     <program>         — sweep the strategies for one launch
+    train   <machine>         — training campaign → JSON database
+    report  <db.json> [...]   — full experiment report from databases
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .benchsuite import all_benchmarks, get_benchmark
+from .core import TrainingConfig, TrainingDatabase, generate_training_data
+from .machines import ALL_MACHINES, machine_by_name
+from .partitioning import Partitioning
+from .runtime import Runner, cpu_only, even_split, gpu_only, oracle_search
+from .util.tables import format_table
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        (b.name, b.suite.value, len(b.problem_sizes()), b.description)
+        for b in all_benchmarks()
+    ]
+    print(format_table(["program", "suite", "#sizes", "description"], rows))
+    return 0
+
+
+def _cmd_machines(_args: argparse.Namespace) -> int:
+    for m in ALL_MACHINES:
+        print(f"{m.name}: {m.description}")
+        for spec in m.device_specs:
+            kind = spec.kind.value.upper()
+            print(
+                f"  [{kind}] {spec.name}: peak {spec.peak_gflops:.0f} GFLOP/s, "
+                f"{spec.mem_bandwidth_gbs:.0f} GB/s"
+                + (
+                    f", PCIe {spec.pcie_bandwidth_gbs:.1f} GB/s"
+                    if spec.pcie_bandwidth_gbs
+                    else ", host-resident"
+                )
+            )
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    bench = get_benchmark(args.program)
+    compiled = bench.compiled()
+    print("// ---- single-device ----")
+    print(compiled.program.source)
+    print("\n// ---- multi-device ----")
+    print(compiled.program.md_source)
+    print("\n" + compiled.program.host_plan)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    bench = get_benchmark(args.program)
+    platform = machine_by_name(args.machine)
+    size = args.size if args.size is not None else bench.problem_sizes()[-1]
+    instance = bench.make_instance(size, seed=args.seed)
+    request = bench.request(instance)
+    runner = Runner(platform)
+    strategies = [
+        ("cpu-only", cpu_only(platform)),
+        ("gpu-only", gpu_only(platform)),
+        ("even", even_split(platform)),
+    ]
+    if args.partitioning:
+        strategies.append(("custom", Partitioning.from_label(args.partitioning)))
+    rows = []
+    for label, p in strategies:
+        rows.append((label, p.label, runner.time_of(request, p) * 1e3))
+    best, t_best = oracle_search(lambda p: runner.time_of(request, p))
+    rows.append(("oracle", best.label, t_best * 1e3))
+    print(
+        format_table(
+            ["strategy", "partitioning", "time (ms)"],
+            rows,
+            title=f"{bench.name} @ size {size} on {platform.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    platform = machine_by_name(args.machine)
+    config = TrainingConfig(
+        repetitions=args.repetitions,
+        noise_sigma=args.noise,
+        seed=args.seed,
+        max_sizes=args.max_sizes,
+    )
+    db = generate_training_data(
+        platform,
+        all_benchmarks(),
+        config,
+        progress=print if args.verbose else None,
+    )
+    out = Path(args.output or f"training_{platform.name}.json")
+    db.save(out)
+    print(f"wrote {len(db)} records to {out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import full_report
+
+    merged = TrainingDatabase()
+    for path in args.databases:
+        for record in TrainingDatabase.load(path):
+            merged.add(record)
+    print(full_report(merged, model_kind=args.model))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Problem-size-sensitive task partitioning (PPoPP'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite").set_defaults(fn=_cmd_list)
+    sub.add_parser("machines", help="describe the simulated platforms").set_defaults(
+        fn=_cmd_machines
+    )
+
+    p_kernel = sub.add_parser("kernel", help="print emitted OpenCL C for a program")
+    p_kernel.add_argument("program")
+    p_kernel.set_defaults(fn=_cmd_kernel)
+
+    p_run = sub.add_parser("run", help="time one launch under several strategies")
+    p_run.add_argument("program")
+    p_run.add_argument("--machine", default="mc2", choices=[m.name for m in ALL_MACHINES])
+    p_run.add_argument("--size", type=int, default=None)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--partitioning", default=None, help='extra candidate, e.g. "40/30/30"'
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_train = sub.add_parser("train", help="run the training campaign on a machine")
+    p_train.add_argument("machine", choices=[m.name for m in ALL_MACHINES])
+    p_train.add_argument("--output", default=None)
+    p_train.add_argument("--repetitions", type=int, default=1)
+    p_train.add_argument("--noise", type=float, default=0.0)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--max-sizes", type=int, default=None)
+    p_train.add_argument("--verbose", action="store_true")
+    p_train.set_defaults(fn=_cmd_train)
+
+    p_report = sub.add_parser("report", help="full experiment report from databases")
+    p_report.add_argument("databases", nargs="+")
+    p_report.add_argument("--model", default="mlp")
+    p_report.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

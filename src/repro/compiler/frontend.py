@@ -1,0 +1,80 @@
+"""Compiler frontend: validate → normalize → analyze → emit.
+
+`compile_kernel` is the single entry point the rest of the system uses;
+it corresponds to the paper's "code analyzer + backend" stages and
+produces everything the runtime and the feature extractor need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..inspire import ast as ir
+from ..inspire.analysis import KernelAnalysis, analyze_kernel
+from ..inspire.validate import validate_kernel
+from .backend import MultiDeviceProgram, emit_multi_device
+from .passes import run_default_passes
+from .splitter import BufferDistribution, KernelDistribution, derive_distributions
+
+__all__ = ["CompiledKernel", "compile_kernel"]
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """A fully processed kernel ready for multi-device execution.
+
+    Attributes:
+        kernel: the normalized IR.
+        analysis: static analysis (features, access patterns).
+        distribution: per-buffer data distributions.
+        program: emitted single- and multi-device OpenCL C.
+    """
+
+    kernel: ir.Kernel
+    analysis: KernelAnalysis
+    distribution: KernelDistribution
+    program: MultiDeviceProgram
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    def static_features(self) -> dict[str, float]:
+        """Static program features (stored in the training database)."""
+        return self.analysis.static_features()
+
+
+def compile_kernel(
+    kernel: ir.Kernel,
+    distribution_overrides: Mapping[str, BufferDistribution] | None = None,
+    optimize: bool = True,
+) -> CompiledKernel:
+    """Run the full frontend pipeline on a kernel.
+
+    ``distribution_overrides`` lets a benchmark declare distributions the
+    automatic analysis cannot prove (Insieme's annotation escape hatch);
+    every override must name a real buffer parameter.
+    """
+    validate_kernel(kernel)
+    if optimize:
+        kernel = run_default_passes(kernel)
+        validate_kernel(kernel)
+    analysis = analyze_kernel(kernel)
+    derived = derive_distributions(analysis)
+    buffers = dict(derived.buffers)
+    if distribution_overrides:
+        param_names = {p.name for p in kernel.buffer_params}
+        for name, dist in distribution_overrides.items():
+            if name not in param_names:
+                raise KeyError(
+                    f"distribution override for unknown buffer {name!r} "
+                    f"(kernel {kernel.name})"
+                )
+            buffers[name] = dist
+    # Buffers never accessed in the body (e.g. scratch) default to FULL.
+    for p in kernel.buffer_params:
+        buffers.setdefault(p.name, BufferDistribution.full())
+    distribution = KernelDistribution(buffers)
+    program = emit_multi_device(kernel, distribution)
+    return CompiledKernel(kernel, analysis, distribution, program)

@@ -1,0 +1,171 @@
+"""IR optimization passes run by the compiler frontend.
+
+The paper's pipeline analyses INSPIRE before feature extraction; these
+passes normalize kernels the same way so that equivalent formulations
+yield equal features (e.g. ``x * 1.0`` never inflates the float-op
+count).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..inspire import ast as ir
+from ..inspire.types import BOOL, ScalarType, is_floating
+from ..inspire.visitors import rewrite_kernel, walk
+
+__all__ = ["constant_fold", "simplify_algebra", "run_default_passes", "dead_store_elimination"]
+
+
+def _const_value(e: ir.Expr) -> float | int | bool | None:
+    return e.value if isinstance(e, ir.Const) else None
+
+
+def _make_const(value: float | int | bool, ty: ir.Expr) -> ir.Const:
+    target = ty.type
+    if isinstance(target, ScalarType):
+        if target is BOOL:
+            return ir.Const(bool(value), target)
+        if target.floating:
+            return ir.Const(float(value), target)
+        return ir.Const(int(value), target)
+    return ir.Const(value, target)
+
+
+def constant_fold(kernel: ir.Kernel) -> ir.Kernel:
+    """Fold arithmetic/comparisons over literal operands."""
+
+    def fold(e: ir.Expr) -> ir.Expr | None:
+        if isinstance(e, ir.BinOp):
+            a = _const_value(e.lhs)
+            b = _const_value(e.rhs)
+            if a is None or b is None:
+                return None
+            try:
+                if e.op == "+":
+                    return _make_const(a + b, e)
+                if e.op == "-":
+                    return _make_const(a - b, e)
+                if e.op == "*":
+                    return _make_const(a * b, e)
+                if e.op == "/":
+                    if b == 0:
+                        return None
+                    if is_floating(e.type):
+                        return _make_const(a / b, e)
+                    return _make_const(int(math.trunc(a / b)), e)
+                if e.op in ("<", "<=", ">", ">=", "==", "!="):
+                    table = {
+                        "<": a < b,
+                        "<=": a <= b,
+                        ">": a > b,
+                        ">=": a >= b,
+                        "==": a == b,
+                        "!=": a != b,
+                    }
+                    return ir.Const(bool(table[e.op]), BOOL)
+            except (TypeError, OverflowError):
+                return None
+        if isinstance(e, ir.UnOp) and e.op == "-":
+            v = _const_value(e.operand)
+            if v is not None:
+                return _make_const(-v, e)
+        if isinstance(e, ir.Select):
+            c = _const_value(e.cond)
+            if c is not None:
+                return e.if_true if c else e.if_false
+        return None
+
+    return rewrite_kernel(kernel, fold)
+
+
+def simplify_algebra(kernel: ir.Kernel) -> ir.Kernel:
+    """Strength-reduce trivial identities: ``x*1``, ``x+0``, ``x-0``, ``x*0``."""
+
+    def simp(e: ir.Expr) -> ir.Expr | None:
+        if not isinstance(e, ir.BinOp):
+            return None
+        a, b = e.lhs, e.rhs
+        av, bv = _const_value(a), _const_value(b)
+        if e.op == "+":
+            if av == 0:
+                return b if b.type == e.type else ir.Cast(b, e.type)
+            if bv == 0:
+                return a if a.type == e.type else ir.Cast(a, e.type)
+        if e.op == "-" and bv == 0:
+            return a if a.type == e.type else ir.Cast(a, e.type)
+        if e.op == "*":
+            if av == 1:
+                return b if b.type == e.type else ir.Cast(b, e.type)
+            if bv == 1:
+                return a if a.type == e.type else ir.Cast(a, e.type)
+            if av == 0 or bv == 0:
+                return _make_const(0, e)
+        if e.op == "/" and bv == 1:
+            return a if a.type == e.type else ir.Cast(a, e.type)
+        return None
+
+    return rewrite_kernel(kernel, simp)
+
+
+def dead_store_elimination(kernel: ir.Kernel) -> ir.Kernel:
+    """Remove declared-but-never-read locals (straight-line only).
+
+    Conservative: a local is dead only if no expression anywhere in the
+    kernel reads it and its defining expression has no side effects
+    (expressions in this IR never have side effects).
+    """
+    used: set[str] = set()
+    assigned: dict[str, int] = {}
+    for node in walk(kernel.body):
+        if isinstance(node, ir.Assign):
+            assigned[node.var.name] = assigned.get(node.var.name, 0) + 1
+            for sub in walk(node.value):
+                if isinstance(sub, ir.Var):
+                    used.add(sub.name)
+        else:
+            targets = ()
+            if isinstance(node, (ir.Store, ir.AtomicUpdate)):
+                targets = (node.index, node.value)
+            elif isinstance(node, ir.If):
+                targets = (node.cond,)
+            elif isinstance(node, ir.For):
+                targets = (node.start, node.end, node.step)
+            elif isinstance(node, ir.While):
+                targets = (node.cond,)
+            elif isinstance(node, ir.Select):
+                targets = (node.cond, node.if_true, node.if_false)
+            for t in targets:
+                for sub in walk(t):
+                    if isinstance(sub, ir.Var):
+                        used.add(sub.name)
+    dead = {name for name in assigned if name not in used}
+    if not dead:
+        return kernel
+
+    def prune(block: ir.Block) -> ir.Block:
+        out: list[ir.Stmt] = []
+        for s in block.stmts:
+            if isinstance(s, ir.Assign) and s.var.name in dead:
+                continue
+            if isinstance(s, ir.If):
+                s = ir.If(s.cond, prune(s.then_body), prune(s.else_body))
+            elif isinstance(s, ir.For):
+                s = ir.For(s.var, s.start, s.end, s.step, prune(s.body))
+            elif isinstance(s, ir.While):
+                s = ir.While(s.cond, prune(s.body), expected_trips=s.expected_trips)
+            elif isinstance(s, ir.Block):
+                s = prune(s)
+            out.append(s)
+        return ir.Block(tuple(out))
+
+    return ir.Kernel(kernel.name, kernel.params, prune(kernel.body), kernel.dim)
+
+
+def run_default_passes(kernel: ir.Kernel) -> ir.Kernel:
+    """The frontend's standard normalization pipeline."""
+    kernel = constant_fold(kernel)
+    kernel = simplify_algebra(kernel)
+    kernel = constant_fold(kernel)
+    kernel = dead_store_elimination(kernel)
+    return kernel

@@ -1,0 +1,168 @@
+"""The training database.
+
+The paper's training phase stores, for every (program, problem size)
+pair: the static features, the runtime features and the measured
+execution time of *every* candidate partitioning.  This module provides
+that store with JSON persistence and matrix extraction for the ML layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..partitioning import Partitioning
+from .features import FEATURE_SCHEMA_VERSION, feature_vector
+
+__all__ = ["TrainingRecord", "TrainingDatabase"]
+
+
+@dataclass(frozen=True)
+class TrainingRecord:
+    """All measurements for one (machine, program, problem size) triple.
+
+    Attributes:
+        machine: platform name (``mc1``/``mc2``).
+        program: benchmark name.
+        size: problem-size parameter.
+        features: combined static + runtime feature dict.
+        timings: partitioning label → measured seconds (the full sweep).
+        best_label: label of the fastest partitioning (the oracle).
+    """
+
+    machine: str
+    program: str
+    size: int
+    features: dict[str, float]
+    timings: dict[str, float]
+    best_label: str
+
+    def __post_init__(self) -> None:
+        if self.best_label not in self.timings:
+            raise ValueError(f"best label {self.best_label!r} not among timings")
+
+    @property
+    def best_time(self) -> float:
+        return self.timings[self.best_label]
+
+    @property
+    def best_partitioning(self) -> Partitioning:
+        return Partitioning.from_label(self.best_label)
+
+    def time_of(self, partitioning: Partitioning) -> float:
+        """Measured time of one partitioning from the sweep."""
+        return self.timings[partitioning.label]
+
+    @classmethod
+    def from_timings(
+        cls,
+        machine: str,
+        program: str,
+        size: int,
+        features: dict[str, float],
+        timings: dict[str, float],
+    ) -> "TrainingRecord":
+        """Build a record, deriving the oracle label from the sweep."""
+        if not timings:
+            raise ValueError("empty timing sweep")
+        best = min(timings, key=lambda k: timings[k])
+        return cls(machine, program, size, dict(features), dict(timings), best)
+
+
+class TrainingDatabase:
+    """A collection of training records with matrix extraction."""
+
+    def __init__(self, records: Iterable[TrainingRecord] = ()):
+        self.records: list[TrainingRecord] = list(records)
+
+    def add(self, record: TrainingRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TrainingRecord]:
+        return iter(self.records)
+
+    # -- queries ---------------------------------------------------------
+
+    def machines(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(r.machine for r in self.records))
+
+    def programs(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(r.program for r in self.records))
+
+    def for_machine(self, machine: str) -> "TrainingDatabase":
+        return TrainingDatabase(r for r in self.records if r.machine == machine)
+
+    def excluding_program(self, program: str) -> "TrainingDatabase":
+        """Leave-one-program-out training view."""
+        return TrainingDatabase(r for r in self.records if r.program != program)
+
+    def for_program(self, program: str) -> "TrainingDatabase":
+        return TrainingDatabase(r for r in self.records if r.program == program)
+
+    def feature_names(self) -> tuple[str, ...]:
+        """Canonical feature order (validated to be uniform)."""
+        if not self.records:
+            raise ValueError("empty database")
+        names = tuple(sorted(self.records[0].features))
+        for r in self.records:
+            if tuple(sorted(r.features)) != names:
+                raise ValueError(
+                    f"inconsistent feature keys in record {r.program}@{r.size}"
+                )
+        return names
+
+    def matrices(
+        self, names: tuple[str, ...] | None = None
+    ) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """(X, y_labels, groups): features, oracle labels, program names.
+
+        ``y_labels`` are partitioning *labels* (strings) — the encoder in
+        the predictor maps them to class indices.
+        """
+        if not self.records:
+            raise ValueError("empty database")
+        if names is None:
+            names = self.feature_names()
+        X = np.stack([feature_vector(r.features, names) for r in self.records])
+        y = np.array([r.best_label for r in self.records])
+        groups = [r.program for r in self.records]
+        return X, y, groups
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the database as versioned JSON."""
+        doc = {
+            "schema_version": FEATURE_SCHEMA_VERSION,
+            "records": [asdict(r) for r in self.records],
+        }
+        Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrainingDatabase":
+        """Load a database saved by :meth:`save`."""
+        doc = json.loads(Path(path).read_text())
+        version = doc.get("schema_version")
+        if version != FEATURE_SCHEMA_VERSION:
+            raise ValueError(
+                f"database schema {version} != supported {FEATURE_SCHEMA_VERSION}"
+            )
+        records = [
+            TrainingRecord(
+                machine=r["machine"],
+                program=r["program"],
+                size=int(r["size"]),
+                features={k: float(v) for k, v in r["features"].items()},
+                timings={k: float(v) for k, v in r["timings"].items()},
+                best_label=r["best_label"],
+            )
+            for r in doc["records"]
+        ]
+        return cls(records)

@@ -1,0 +1,340 @@
+"""The task-partitioning prediction model (§2.1 of the paper).
+
+Wraps a from-scratch classifier behind the partitioning vocabulary:
+training consumes a :class:`TrainingDatabase`, deployment consumes the
+combined feature vector of a *new* program + problem size and returns
+the predicted :class:`Partitioning`.
+
+Two model shapes are provided:
+
+* **classifier** (the paper's formulation) — predict the oracle label
+  directly; limited to labels observed during training;
+* **scorer** (extension) — predict the *relative cost* of every
+  candidate partitioning and take the argmin, which generalizes to
+  partitionings never optimal for any training program.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..benchsuite.base import Benchmark, ProblemInstance
+from ..ml.base import Classifier, MajorityClassifier
+from ..ml.forest import RandomForestClassifier
+from ..ml.knn import KNeighborsClassifier
+from ..ml.neural import MLPClassifier, MLPRegressor
+from ..ml.scaling import StandardScaler
+from ..ml.tree import DecisionTreeClassifier
+from ..partitioning import Partitioning
+from .database import TrainingDatabase
+from .features import combined_features, feature_vector
+
+__all__ = [
+    "make_classifier",
+    "save_model",
+    "load_model",
+    "MODEL_KINDS",
+    "PartitioningModel",
+    "PartitioningScorerModel",
+    "make_partitioning_model",
+    "PartitioningPredictor",
+]
+
+#: Classifier families (``mlp`` is the paper-lineage default) plus the
+#: scorer extensions.
+MODEL_KINDS = ("mlp", "tree", "forest", "knn", "majority", "knn-scorer", "mlp-scorer")
+
+
+def make_classifier(kind: str, seed: int = 0) -> Classifier:
+    """Instantiate one of the supported model families."""
+    if kind == "mlp":
+        return MLPClassifier(hidden_layers=(48, 24), epochs=500, seed=seed)
+    if kind == "tree":
+        return DecisionTreeClassifier(max_depth=12, min_samples_leaf=1, seed=seed)
+    if kind == "forest":
+        return RandomForestClassifier(n_estimators=40, max_depth=14, seed=seed)
+    if kind == "knn":
+        return KNeighborsClassifier(k=5, weights="distance")
+    if kind == "majority":
+        return MajorityClassifier()
+    raise ValueError(f"unknown model kind {kind!r}; choose from {MODEL_KINDS}")
+
+
+class PartitioningModel:
+    """Scaler + classifier over partitioning labels.
+
+    Labels are the partition-space label strings (``"70/20/10"``), so a
+    model can only ever predict partitionings it has seen as oracle
+    labels — matching the paper's classification formulation.
+    """
+
+    def __init__(self, kind: str = "mlp", seed: int = 0):
+        self.kind = kind
+        self.seed = seed
+        self.scaler = StandardScaler()
+        self.classifier = make_classifier(kind, seed)
+        self.feature_names_: tuple[str, ...] | None = None
+        self._fitted = False
+
+    def fit(self, db: TrainingDatabase) -> "PartitioningModel":
+        """Train on a database (typically one machine's records)."""
+        names = db.feature_names()
+        X, y, _groups = db.matrices(names)
+        Xs = self.scaler.fit_transform(X)
+        self.classifier.fit(Xs, y)
+        self.feature_names_ = names
+        self._fitted = True
+        return self
+
+    def predict_features(self, features: Mapping[str, float]) -> Partitioning:
+        """Predict the partitioning for one combined feature dict."""
+        if not self._fitted or self.feature_names_ is None:
+            raise RuntimeError("model is not fitted")
+        x = feature_vector(features, self.feature_names_)[None, :]
+        label = self.classifier.predict(self.scaler.transform(x))[0]
+        return Partitioning.from_label(str(label))
+
+    def predict_many(self, db: TrainingDatabase) -> list[Partitioning]:
+        """Predict for every record of a database (evaluation helper)."""
+        if not self._fitted or self.feature_names_ is None:
+            raise RuntimeError("model is not fitted")
+        X, _y, _groups = db.matrices(self.feature_names_)
+        labels = self.classifier.predict(self.scaler.transform(X))
+        return [Partitioning.from_label(str(l)) for l in labels]
+
+    def accuracy_on(self, db: TrainingDatabase) -> float:
+        """Exact-label accuracy against the oracle labels."""
+        predictions = self.predict_many(db)
+        hits = sum(
+            1 for p, r in zip(predictions, db.records) if p.label == r.best_label
+        )
+        return hits / len(db.records)
+
+
+class PartitioningScorerModel:
+    """Argmin-over-candidates model (the unseen-label extension).
+
+    ``knn-scorer``: the k nearest training records (in feature space)
+    vote with their full measured sweeps — each candidate partitioning
+    is scored by the mean of the neighbours' *relative* times (each
+    normalized by that record's oracle time), and the argmin wins.
+
+    ``mlp-scorer``: a regression network maps (features, shares) to the
+    log relative time of the candidate; prediction scans all 66 points.
+    """
+
+    def __init__(self, kind: str = "knn-scorer", seed: int = 0, k: int = 5):
+        if kind not in ("knn-scorer", "mlp-scorer"):
+            raise ValueError(f"unknown scorer kind {kind!r}")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.kind = kind
+        self.seed = seed
+        self.k = k
+        self.scaler = StandardScaler()
+        self.feature_names_: tuple[str, ...] | None = None
+        self._labels: tuple[str, ...] = ()
+        self._X: np.ndarray | None = None
+        self._rel_times: np.ndarray | None = None
+        self._regressor: MLPRegressor | None = None
+        self._fitted = False
+
+    def _candidate_shares(self) -> np.ndarray:
+        return np.array(
+            [Partitioning.from_label(l).shares for l in self._labels], dtype=np.float64
+        ) / 100.0
+
+    def fit(self, db: TrainingDatabase) -> "PartitioningScorerModel":
+        names = db.feature_names()
+        X, _y, _groups = db.matrices(names)
+        Xs = self.scaler.fit_transform(X)
+        labels = tuple(sorted(db.records[0].timings))
+        rel = np.empty((len(db.records), len(labels)))
+        for i, r in enumerate(db.records):
+            if tuple(sorted(r.timings)) != labels:
+                raise ValueError("inconsistent partitioning sweeps across records")
+            best = r.best_time
+            rel[i] = [r.timings[l] / best for l in labels]
+        self.feature_names_ = names
+        self._labels = labels
+        self._X = Xs
+        self._rel_times = rel
+        if self.kind == "mlp-scorer":
+            shares = self._candidate_shares()
+            n, d = Xs.shape
+            m = len(labels)
+            rows = np.empty((n * m, d + shares.shape[1]))
+            targets = np.empty(n * m)
+            for i in range(n):
+                rows[i * m : (i + 1) * m, :d] = Xs[i]
+                rows[i * m : (i + 1) * m, d:] = shares
+                targets[i * m : (i + 1) * m] = np.log(rel[i])
+            self._regressor = MLPRegressor(
+                hidden_layers=(48, 24), epochs=60, seed=self.seed
+            ).fit(rows, targets)
+        self._fitted = True
+        return self
+
+    def _scores_for(self, x_scaled: np.ndarray) -> np.ndarray:
+        """Relative-cost score per candidate label for one launch."""
+        assert self._X is not None and self._rel_times is not None
+        if self.kind == "knn-scorer":
+            d2 = ((self._X - x_scaled) ** 2).sum(axis=1)
+            k = min(self.k, len(d2))
+            nn = np.argpartition(d2, k - 1)[:k]
+            # Geometric mean over neighbours: robust to outlier sweeps.
+            return np.exp(np.log(self._rel_times[nn]).mean(axis=0))
+        assert self._regressor is not None
+        shares = self._candidate_shares()
+        rows = np.hstack([np.tile(x_scaled, (len(shares), 1)), shares])
+        return self._regressor.predict(rows)
+
+    def predict_features(self, features: Mapping[str, float]) -> Partitioning:
+        if not self._fitted or self.feature_names_ is None:
+            raise RuntimeError("model is not fitted")
+        x = self.scaler.transform(
+            feature_vector(features, self.feature_names_)[None, :]
+        )[0]
+        scores = self._scores_for(x)
+        return Partitioning.from_label(self._labels[int(np.argmin(scores))])
+
+    def predict_many(self, db: TrainingDatabase) -> list[Partitioning]:
+        if not self._fitted or self.feature_names_ is None:
+            raise RuntimeError("model is not fitted")
+        X, _y, _groups = db.matrices(self.feature_names_)
+        Xs = self.scaler.transform(X)
+        out = []
+        for row in Xs:
+            scores = self._scores_for(row)
+            out.append(Partitioning.from_label(self._labels[int(np.argmin(scores))]))
+        return out
+
+    def accuracy_on(self, db: TrainingDatabase) -> float:
+        predictions = self.predict_many(db)
+        hits = sum(
+            1 for p, r in zip(predictions, db.records) if p.label == r.best_label
+        )
+        return hits / len(db.records)
+
+
+def make_partitioning_model(kind: str, seed: int = 0):
+    """Factory over both model shapes (classifiers and scorers)."""
+    if kind in ("knn-scorer", "mlp-scorer"):
+        return PartitioningScorerModel(kind, seed=seed)
+    return PartitioningModel(kind, seed=seed)
+
+
+class PartitioningPredictor:
+    """Deployment-phase façade: program + problem size → partitioning.
+
+    This is what the paper's runtime system consults before every
+    launch: static features come from the compiled kernel, runtime
+    features from the concrete launch, and the offline-trained model
+    maps them to the partitioning the scheduler should use.
+    """
+
+    def __init__(self, model: PartitioningModel, machine_name: str):
+        self.model = model
+        self.machine_name = machine_name
+
+    def features_for(
+        self, bench: Benchmark, instance: ProblemInstance
+    ) -> dict[str, float]:
+        """Assemble the combined feature vector for a launch."""
+        return combined_features(bench.compiled(instance), instance)
+
+    def predict(self, bench: Benchmark, instance: ProblemInstance) -> Partitioning:
+        """The partitioning to use for this launch."""
+        return self.model.predict_features(self.features_for(bench, instance))
+
+
+# ---------------------------------------------------------------------------
+# Model persistence
+# ---------------------------------------------------------------------------
+#
+# The paper's deployment story requires an *offline-generated* model the
+# runtime can load later; these helpers serialize the trained classifier
+# models to JSON (no pickle, versioned) for exactly that workflow.
+
+_MODEL_SCHEMA_VERSION = 1
+
+
+def save_model(model: "PartitioningModel", path) -> None:
+    """Serialize a trained classifier model to JSON.
+
+    Supported kinds: ``mlp`` (weights), ``knn`` (training set),
+    ``majority`` (label).  Tree ensembles are cheap to refit from a
+    saved :class:`TrainingDatabase` and are intentionally not supported.
+    """
+    import json
+    from pathlib import Path
+
+    if not model._fitted or model.feature_names_ is None:
+        raise RuntimeError("cannot save an unfitted model")
+    clf = model.classifier
+    doc: dict = {
+        "schema_version": _MODEL_SCHEMA_VERSION,
+        "kind": model.kind,
+        "seed": model.seed,
+        "feature_names": list(model.feature_names_),
+        "scaler": {
+            "mean": model.scaler.mean_.tolist(),
+            "scale": model.scaler.scale_.tolist(),
+        },
+    }
+    if isinstance(clf, MLPClassifier):
+        doc["classifier"] = {
+            "classes": [str(c) for c in clf.classes_],
+            "hidden_layers": list(clf.hidden_layers),
+            "activation": clf.activation,
+            "weights": [w.tolist() for w in clf._weights],
+            "biases": [b.tolist() for b in clf._biases],
+        }
+    elif isinstance(clf, KNeighborsClassifier):
+        doc["classifier"] = {
+            "k": clf.k,
+            "weights": clf.weights,
+            "X": clf._X.tolist(),
+            "y": [str(v) for v in clf._y],
+        }
+    elif isinstance(clf, MajorityClassifier):
+        doc["classifier"] = {"label": str(clf._label)}
+    else:
+        raise NotImplementedError(
+            f"persistence is not supported for model kind {model.kind!r}"
+        )
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_model(path) -> "PartitioningModel":
+    """Load a model written by :func:`save_model`."""
+    import json
+    from pathlib import Path
+
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("schema_version")
+    if version != _MODEL_SCHEMA_VERSION:
+        raise ValueError(f"model schema {version} != supported {_MODEL_SCHEMA_VERSION}")
+    model = PartitioningModel(doc["kind"], seed=doc["seed"])
+    model.feature_names_ = tuple(doc["feature_names"])
+    model.scaler.mean_ = np.asarray(doc["scaler"]["mean"], dtype=np.float64)
+    model.scaler.scale_ = np.asarray(doc["scaler"]["scale"], dtype=np.float64)
+    state = doc["classifier"]
+    clf = model.classifier
+    if isinstance(clf, MLPClassifier):
+        clf.classes_ = np.asarray(state["classes"])
+        clf._weights = [np.asarray(w, dtype=np.float64) for w in state["weights"]]
+        clf._biases = [np.asarray(b, dtype=np.float64) for b in state["biases"]]
+    elif isinstance(clf, KNeighborsClassifier):
+        clf._X = np.asarray(state["X"], dtype=np.float64)
+        clf._y = np.asarray(state["y"])
+        clf.classes_ = np.unique(clf._y)
+    elif isinstance(clf, MajorityClassifier):
+        clf._label = state["label"]
+        clf._fitted = True
+    else:  # pragma: no cover - guarded by save_model
+        raise NotImplementedError(doc["kind"])
+    model._fitted = True
+    return model

@@ -1,0 +1,116 @@
+"""The training phase: exhaustive measurement → training database.
+
+Mirrors §2 of the paper: every training program is compiled, its
+features extracted, and the generated multi-device program executed with
+various problem sizes under *all* candidate task partitionings; the
+measurements land in the database from which the model is trained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..benchsuite.base import Benchmark, ProblemInstance
+from ..ocl.platform import Platform
+from ..partitioning import Partitioning, partition_space
+from ..runtime.measurement import Runner
+from .database import TrainingDatabase, TrainingRecord
+from .features import combined_features
+
+__all__ = ["TrainingConfig", "sweep_partitionings", "build_record", "generate_training_data"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Knobs of a training campaign.
+
+    Attributes:
+        step_percent: partition-space discretization (paper: 10%).
+        repetitions: measurements per partitioning (median taken).
+        noise_sigma: lognormal measurement noise (0 = deterministic).
+        seed: base seed for inputs and noise streams.
+        max_sizes: cap on ladder sizes per benchmark (None = all).
+        functional_check: execute + verify the first partitioning of
+            each sweep functionally (catches semantic regressions during
+            long campaigns at modest cost).
+    """
+
+    step_percent: int = 10
+    repetitions: int = 3
+    noise_sigma: float = 0.0
+    seed: int = 0
+    max_sizes: int | None = None
+    functional_check: bool = False
+
+
+def sweep_partitionings(
+    runner: Runner,
+    bench: Benchmark,
+    instance: ProblemInstance,
+    space: Sequence[Partitioning],
+    repetitions: int = 1,
+) -> dict[str, float]:
+    """Measure every partitioning; returns label → median seconds."""
+    request = bench.request(instance)
+    out: dict[str, float] = {}
+    for p in space:
+        out[p.label] = runner.time_of(request, p, repetitions=repetitions)
+    return out
+
+
+def build_record(
+    runner: Runner,
+    bench: Benchmark,
+    instance: ProblemInstance,
+    space: Sequence[Partitioning],
+    config: TrainingConfig,
+) -> TrainingRecord:
+    """One training pattern: features + full partitioning sweep."""
+    compiled = bench.compiled(instance)
+    features = combined_features(compiled, instance)
+    if config.functional_check:
+        check = instance.fresh_copy()
+        expected = bench.reference(check)
+        runner.run(bench.request(check), space[0], functional=True)
+        bench.verify(check, atol=1e-2, rtol=1e-2, expected=expected)
+    timings = sweep_partitionings(
+        runner, bench, instance, space, repetitions=config.repetitions
+    )
+    return TrainingRecord.from_timings(
+        machine=runner.platform.name,
+        program=bench.name,
+        size=instance.size,
+        features=features,
+        timings=timings,
+    )
+
+
+def generate_training_data(
+    platform: Platform,
+    benchmarks: Iterable[Benchmark],
+    config: TrainingConfig = TrainingConfig(),
+    progress: Callable[[str], None] | None = None,
+) -> TrainingDatabase:
+    """Run the full training campaign for one machine.
+
+    For each benchmark and each problem size on its ladder, measures all
+    partitionings of the configured space and stores one record.
+    """
+    runner = Runner(platform, noise_sigma=config.noise_sigma, seed=config.seed)
+    space = partition_space(platform.num_devices, config.step_percent)
+    db = TrainingDatabase()
+    for bench in benchmarks:
+        sizes = bench.problem_sizes()
+        if config.max_sizes is not None:
+            sizes = sizes[: config.max_sizes]
+        for size in sizes:
+            instance = bench.make_instance(size, seed=config.seed)
+            record = build_record(runner, bench, instance, space, config)
+            db.add(record)
+            if progress is not None:
+                progress(
+                    f"[{platform.name}] {bench.name}@{size}: "
+                    f"best={record.best_label} ({record.best_time * 1e3:.3f} ms)"
+                )
+    return db

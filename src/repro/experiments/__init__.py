@@ -1,0 +1,30 @@
+"""Experiment harnesses that regenerate the paper's tables and figures."""
+
+from .figure1 import Figure1Result, render_figure1, run_figure1
+from .model_accuracy import (
+    ModelScore,
+    ablate_feature_classes,
+    compare_models,
+    render_model_comparison,
+)
+from .size_sensitivity import (
+    SizeSensitivity,
+    analyze_size_sensitivity,
+    render_size_sensitivity,
+)
+from .suite_table import render_suite_table, suite_rows
+
+__all__ = [
+    "Figure1Result",
+    "render_figure1",
+    "run_figure1",
+    "ModelScore",
+    "ablate_feature_classes",
+    "compare_models",
+    "render_model_comparison",
+    "SizeSensitivity",
+    "analyze_size_sensitivity",
+    "render_size_sensitivity",
+    "render_suite_table",
+    "suite_rows",
+]

@@ -1,0 +1,131 @@
+"""Experiment E1: regenerate the paper's Figure 1.
+
+Figure 1 of the paper plots, for every program and both machines, the
+speedup of the ML-guided task partitioning over the CPU-only and
+GPU-only default strategies (the clipped peak bars are annotated 13.5×
+and 19.8× on mc1, 5.7× and 4.9× on mc2).  This module reproduces the
+same four series plus the §3 observation that the better default flips
+between machines (E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.database import TrainingDatabase
+from ..core.evaluation import MachineEvaluation, evaluate_lopo
+from ..core.trainer import TrainingConfig, generate_training_data
+from ..benchsuite.registry import all_benchmarks
+from ..ocl.platform import Platform
+from ..runtime.strategies import cpu_only, gpu_only
+from ..util.tables import format_series, format_table
+
+__all__ = ["Figure1Result", "run_figure1", "render_figure1"]
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Everything Figure 1 shows, for one machine."""
+
+    evaluation: MachineEvaluation
+    #: programs where the CPU-only default beats the GPU-only default
+    cpu_default_wins: int
+    #: programs where the GPU-only default beats the CPU-only default
+    gpu_default_wins: int
+
+    @property
+    def machine(self) -> str:
+        return self.evaluation.machine
+
+
+def run_figure1(
+    platform: Platform,
+    db: TrainingDatabase | None = None,
+    model_kind: str = "mlp",
+    config: TrainingConfig = TrainingConfig(),
+) -> Figure1Result:
+    """Produce Figure 1 data for one machine.
+
+    Pass a pre-generated training database to skip the (slow) sweep.
+    """
+    if db is None:
+        db = generate_training_data(platform, all_benchmarks(), config)
+    evaluation = evaluate_lopo(platform, db, model_kind=model_kind)
+    cl = cpu_only(platform).label
+    gl = gpu_only(platform).label
+    cpu_wins = 0
+    gpu_wins = 0
+    machine_db = db.for_machine(platform.name)
+    for program in machine_db.programs():
+        recs = machine_db.for_program(program).records
+        # Compare the defaults over the whole ladder (geometric mean).
+        ratio = 1.0
+        for r in recs:
+            ratio *= r.timings[gl] / r.timings[cl]
+        if ratio >= 1.0:
+            cpu_wins += 1
+        else:
+            gpu_wins += 1
+    return Figure1Result(evaluation, cpu_wins, gpu_wins)
+
+
+def render_figure1(results: list[Figure1Result]) -> str:
+    """Render the per-program bars and the summary rows as text."""
+    blocks: list[str] = []
+    for res in results:
+        ev = res.evaluation
+        rows = [
+            (
+                p.program,
+                p.speedup_vs_cpu,
+                p.speedup_vs_gpu,
+                p.oracle_efficiency,
+                p.sizes[0].oracle.label,
+                p.sizes[-1].oracle.label,
+            )
+            for p in ev.programs
+        ]
+        blocks.append(
+            format_table(
+                [
+                    "program",
+                    "speedup_vs_cpu",
+                    "speedup_vs_gpu",
+                    "oracle_eff",
+                    "best@min_size",
+                    "best@max_size",
+                ],
+                rows,
+                title=(
+                    f"Figure 1 [{ev.machine}] — ML-guided partitioning vs "
+                    f"single-device defaults (model: {ev.model_kind})"
+                ),
+            )
+        )
+        blocks.append(
+            format_series(
+                f"{ev.machine} speedup-vs-CPU",
+                [p.program for p in ev.programs],
+                [p.speedup_vs_cpu for p in ev.programs],
+            )
+        )
+        blocks.append(
+            format_series(
+                f"{ev.machine} speedup-vs-GPU",
+                [p.program for p in ev.programs],
+                [p.speedup_vs_gpu for p in ev.programs],
+            )
+        )
+        blocks.append(
+            f"{ev.machine}: geomean vs CPU = {ev.geomean_speedup_vs_cpu:.2f}x, "
+            f"vs GPU = {ev.geomean_speedup_vs_gpu:.2f}x; "
+            f"peak vs CPU = {ev.max_speedup_vs_cpu:.1f}x, "
+            f"peak vs GPU = {ev.max_speedup_vs_gpu:.1f}x; "
+            f"beats both defaults on {ev.wins_vs_both_defaults}/"
+            f"{len(ev.programs)} programs"
+        )
+        blocks.append(
+            f"{ev.machine}: default-strategy winner: CPU-only on "
+            f"{res.cpu_default_wins}, GPU-only on {res.gpu_default_wins} programs"
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,126 @@
+"""Experiment E4: prediction-model quality and ablations.
+
+Section 2.1 asks the predicted partitioning to be "as close as possible
+to the best task partitioning in terms of performance".  We report, per
+machine and per model family, the leave-one-program-out exact-label
+accuracy and — more meaningfully — the performance delivered relative
+to the oracle, plus the feature-class ablation (static-only vs
+runtime-only vs combined) that motivates the paper's two feature
+classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.database import TrainingDatabase, TrainingRecord
+from ..core.evaluation import evaluate_lopo
+from ..ocl.platform import Platform
+from ..util.tables import format_table
+
+__all__ = [
+    "ModelScore",
+    "compare_models",
+    "ablate_feature_classes",
+    "render_model_comparison",
+]
+
+
+@dataclass(frozen=True)
+class ModelScore:
+    """LOPO quality of one model family on one machine."""
+
+    machine: str
+    model_kind: str
+    accuracy: float
+    oracle_efficiency: float
+    geomean_speedup_vs_cpu: float
+    geomean_speedup_vs_gpu: float
+
+
+def compare_models(
+    platform: Platform,
+    db: TrainingDatabase,
+    kinds: tuple[str, ...] = ("mlp", "tree", "forest", "knn", "majority"),
+    seed: int = 0,
+) -> list[ModelScore]:
+    """Evaluate every model family under the LOPO protocol."""
+    scores = []
+    for kind in kinds:
+        ev = evaluate_lopo(platform, db, model_kind=kind, seed=seed)
+        scores.append(
+            ModelScore(
+                machine=platform.name,
+                model_kind=kind,
+                accuracy=ev.mean_accuracy,
+                oracle_efficiency=ev.geomean_oracle_efficiency,
+                geomean_speedup_vs_cpu=ev.geomean_speedup_vs_cpu,
+                geomean_speedup_vs_gpu=ev.geomean_speedup_vs_gpu,
+            )
+        )
+    return scores
+
+
+def _filtered_db(db: TrainingDatabase, prefix: str) -> TrainingDatabase:
+    """Project every record's features onto one feature class."""
+    out = TrainingDatabase()
+    for r in db.records:
+        kept = {k: v for k, v in r.features.items() if k.startswith(prefix)}
+        out.add(
+            TrainingRecord(
+                machine=r.machine,
+                program=r.program,
+                size=r.size,
+                features=kept,
+                timings=r.timings,
+                best_label=r.best_label,
+            )
+        )
+    return out
+
+
+def ablate_feature_classes(
+    platform: Platform,
+    db: TrainingDatabase,
+    model_kind: str = "mlp",
+    seed: int = 0,
+) -> list[ModelScore]:
+    """Static-only vs runtime-only vs combined features (paper's §4)."""
+    variants = [
+        ("combined", db),
+        ("static-only", _filtered_db(db, "st_")),
+        ("runtime-only", _filtered_db(db, "rt_")),
+    ]
+    out = []
+    for label, variant_db in variants:
+        ev = evaluate_lopo(platform, variant_db, model_kind=model_kind, seed=seed)
+        out.append(
+            ModelScore(
+                machine=platform.name,
+                model_kind=f"{model_kind}[{label}]",
+                accuracy=ev.mean_accuracy,
+                oracle_efficiency=ev.geomean_oracle_efficiency,
+                geomean_speedup_vs_cpu=ev.geomean_speedup_vs_cpu,
+                geomean_speedup_vs_gpu=ev.geomean_speedup_vs_gpu,
+            )
+        )
+    return out
+
+
+def render_model_comparison(scores: list[ModelScore], title: str) -> str:
+    rows = [
+        (
+            s.machine,
+            s.model_kind,
+            s.accuracy,
+            s.oracle_efficiency,
+            s.geomean_speedup_vs_cpu,
+            s.geomean_speedup_vs_gpu,
+        )
+        for s in scores
+    ]
+    return format_table(
+        ["machine", "model", "exact-acc", "oracle-eff", "vs CPU", "vs GPU"],
+        rows,
+        title=title,
+    )

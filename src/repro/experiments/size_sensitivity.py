@@ -1,0 +1,77 @@
+"""Experiment E3: the problem-size-sensitivity claim.
+
+Section 4 of the paper: *"the optimal task partitioning does depend on
+the program, the target architecture, as well as the problem size."*
+This experiment tabulates the oracle partitioning per (program, size,
+machine) and quantifies how often it changes along the size ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.database import TrainingDatabase
+from ..util.tables import format_table
+
+__all__ = ["SizeSensitivity", "analyze_size_sensitivity", "render_size_sensitivity"]
+
+
+@dataclass(frozen=True)
+class SizeSensitivity:
+    """Oracle-partitioning trajectory of one program on one machine."""
+
+    machine: str
+    program: str
+    sizes: tuple[int, ...]
+    oracle_labels: tuple[str, ...]
+
+    @property
+    def distinct_optima(self) -> int:
+        return len(set(self.oracle_labels))
+
+    @property
+    def changes_with_size(self) -> bool:
+        return self.distinct_optima > 1
+
+
+def analyze_size_sensitivity(db: TrainingDatabase) -> list[SizeSensitivity]:
+    """One trajectory per (machine, program)."""
+    out: list[SizeSensitivity] = []
+    for machine in db.machines():
+        mdb = db.for_machine(machine)
+        for program in mdb.programs():
+            recs = sorted(mdb.for_program(program).records, key=lambda r: r.size)
+            out.append(
+                SizeSensitivity(
+                    machine=machine,
+                    program=program,
+                    sizes=tuple(r.size for r in recs),
+                    oracle_labels=tuple(r.best_label for r in recs),
+                )
+            )
+    return out
+
+
+def render_size_sensitivity(trajectories: list[SizeSensitivity]) -> str:
+    """Table of oracle partitionings along the size ladder."""
+    rows = []
+    for t in trajectories:
+        rows.append(
+            (
+                t.machine,
+                t.program,
+                t.distinct_optima,
+                " -> ".join(t.oracle_labels),
+            )
+        )
+    table = format_table(
+        ["machine", "program", "#optima", "oracle partitioning by size (CPU/GPU0/GPU1)"],
+        rows,
+        title="Size sensitivity of the optimal task partitioning (E3)",
+    )
+    changing = sum(1 for t in trajectories if t.changes_with_size)
+    return (
+        table
+        + f"\n\n{changing}/{len(trajectories)} (machine, program) pairs change "
+        "their optimal partitioning with the problem size"
+    )

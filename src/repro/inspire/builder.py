@@ -1,0 +1,492 @@
+"""A small embedded DSL for writing IR kernels.
+
+This is the "frontend" of our source-to-source pipeline: where the paper
+parses OpenCL C into INSPIRE, we build the equivalent IR directly through
+a typed builder API.  Expressions are wrapped in :class:`E`, which
+overloads Python operators and performs the OpenCL usual-arithmetic
+promotions, so kernels read close to their OpenCL C originals::
+
+    b = KernelBuilder("saxpy", dim=1)
+    x = b.buffer("x", FLOAT, Intent.IN)
+    y = b.buffer("y", FLOAT, Intent.INOUT)
+    a = b.scalar("a", FLOAT)
+    n = b.scalar("n", INT)
+    gid = b.global_id(0)
+    with b.if_(gid < n):
+        b.store(y, gid, a * b.load(x, gid) + b.load(y, gid))
+    kernel = b.finish()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Union
+
+from . import ast as ir
+from .types import (
+    BOOL,
+    FLOAT,
+    INT,
+    BufferType,
+    ScalarType,
+    Type,
+    VectorType,
+    is_floating,
+    is_integer,
+    promote,
+)
+
+__all__ = ["E", "KernelBuilder", "Intent", "const", "as_expr"]
+
+Intent = ir.ParamIntent
+
+Operand = Union["E", int, float, bool]
+
+
+def _const_for(value: int | float | bool, like: Type | None = None) -> ir.Const:
+    """Wrap a Python literal in a typed Const node."""
+    if isinstance(value, bool):
+        return ir.Const(value, BOOL)
+    if isinstance(value, int):
+        if like is not None and is_floating(like):
+            return ir.Const(float(value), like if isinstance(like, ScalarType) else FLOAT)
+        return ir.Const(value, INT)
+    if isinstance(value, float):
+        if like is not None and isinstance(like, ScalarType) and like.floating:
+            return ir.Const(value, like)
+        return ir.Const(value, FLOAT)
+    raise TypeError(f"cannot make an IR constant from {value!r}")
+
+
+def const(value: int | float | bool, ty: Type | None = None) -> "E":
+    """Build a typed constant expression."""
+    if ty is not None:
+        return E(ir.Const(value, ty))
+    return E(_const_for(value))
+
+
+def as_expr(x: Operand, like: Type | None = None) -> ir.Expr:
+    """Coerce a Python value or wrapper into a bare Expr node."""
+    if isinstance(x, E):
+        return x.node
+    return _const_for(x, like)
+
+
+class E:
+    """An expression wrapper with operator overloading and type inference."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ir.Expr):
+        self.node = node
+
+    @property
+    def type(self) -> Type:
+        return self.node.type
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _bin(self, op: str, other: Operand, reflected: bool = False) -> "E":
+        lhs = self.node
+        rhs = as_expr(other, like=self.type)
+        if reflected:
+            lhs, rhs = rhs, lhs
+        ty = promote(lhs.type, rhs.type)
+        if op in ir.COMPARISON_OPS:
+            ty = BOOL
+        if op in ir.BITWISE_OPS and not (is_integer(lhs.type) and is_integer(rhs.type)):
+            raise TypeError(f"bitwise {op} requires integer operands")
+        return E(ir.BinOp(op, lhs, rhs, ty))
+
+    def __add__(self, o: Operand) -> "E":
+        return self._bin("+", o)
+
+    def __radd__(self, o: Operand) -> "E":
+        return self._bin("+", o, reflected=True)
+
+    def __sub__(self, o: Operand) -> "E":
+        return self._bin("-", o)
+
+    def __rsub__(self, o: Operand) -> "E":
+        return self._bin("-", o, reflected=True)
+
+    def __mul__(self, o: Operand) -> "E":
+        return self._bin("*", o)
+
+    def __rmul__(self, o: Operand) -> "E":
+        return self._bin("*", o, reflected=True)
+
+    def __truediv__(self, o: Operand) -> "E":
+        return self._bin("/", o)
+
+    def __rtruediv__(self, o: Operand) -> "E":
+        return self._bin("/", o, reflected=True)
+
+    def __mod__(self, o: Operand) -> "E":
+        return self._bin("%", o)
+
+    def __rmod__(self, o: Operand) -> "E":
+        return self._bin("%", o, reflected=True)
+
+    def __neg__(self) -> "E":
+        return E(ir.UnOp("-", self.node, self.node.type))
+
+    # -- comparisons --------------------------------------------------------
+
+    def __lt__(self, o: Operand) -> "E":
+        return self._bin("<", o)
+
+    def __le__(self, o: Operand) -> "E":
+        return self._bin("<=", o)
+
+    def __gt__(self, o: Operand) -> "E":
+        return self._bin(">", o)
+
+    def __ge__(self, o: Operand) -> "E":
+        return self._bin(">=", o)
+
+    def eq(self, o: Operand) -> "E":
+        """Equality comparison (named method; ``==`` is kept for identity)."""
+        return self._bin("==", o)
+
+    def ne(self, o: Operand) -> "E":
+        return self._bin("!=", o)
+
+    # -- logic / bitwise ----------------------------------------------------
+
+    def and_(self, o: Operand) -> "E":
+        lhs, rhs = self.node, as_expr(o)
+        return E(ir.BinOp("&&", lhs, rhs, BOOL))
+
+    def or_(self, o: Operand) -> "E":
+        lhs, rhs = self.node, as_expr(o)
+        return E(ir.BinOp("||", lhs, rhs, BOOL))
+
+    def not_(self) -> "E":
+        return E(ir.UnOp("!", self.node, BOOL))
+
+    def __and__(self, o: Operand) -> "E":
+        return self._bin("&", o)
+
+    def __or__(self, o: Operand) -> "E":
+        return self._bin("|", o)
+
+    def __xor__(self, o: Operand) -> "E":
+        return self._bin("^", o)
+
+    def __lshift__(self, o: Operand) -> "E":
+        return self._bin("<<", o)
+
+    def __rshift__(self, o: Operand) -> "E":
+        return self._bin(">>", o)
+
+    # -- misc ---------------------------------------------------------------
+
+    def cast(self, ty: Type) -> "E":
+        """Explicit conversion to another type."""
+        return E(ir.Cast(self.node, ty))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"E({self.node!r})"
+
+
+def _call(func: str, *args: Operand, result: Type | None = None) -> E:
+    """Build a builtin function call with promoted result type."""
+    arity = ir.BUILTIN_FUNCTIONS.get(func)
+    if arity is None:
+        raise ValueError(f"unknown builtin {func!r}")
+    if arity != len(args):
+        raise TypeError(f"{func} expects {arity} args, got {len(args)}")
+    nodes = tuple(as_expr(a) for a in args)
+    if result is None:
+        if func in ir.TRANSCENDENTAL_FUNCTIONS or func in {"fabs", "fmin", "fmax", "floor", "ceil", "mad", "mix", "clamp"}:
+            result = FLOAT
+            for n in nodes:
+                result = promote(result, n.type)
+        else:
+            result = nodes[0].type
+            for n in nodes[1:]:
+                result = promote(result, n.type)
+    return E(ir.Call(func, nodes, result))
+
+
+class KernelBuilder:
+    """Incrementally builds a :class:`~repro.inspire.ast.Kernel`.
+
+    Statements are appended to the innermost open block; ``if_``, ``for_``
+    and ``while_`` are context managers that open nested blocks.
+    """
+
+    def __init__(self, name: str, dim: int = 1):
+        if dim not in (1, 2):
+            raise ValueError("only 1D and 2D ND-ranges are supported")
+        self.name = name
+        self.dim = dim
+        self._params: list[ir.KernelParam] = []
+        self._block_stack: list[list[ir.Stmt]] = [[]]
+        self._declared: set[str] = set()
+        self._tmp_counter = 0
+        self._finished = False
+
+    # -- signature ----------------------------------------------------------
+
+    def buffer(
+        self,
+        name: str,
+        element: ScalarType | VectorType,
+        intent: Intent = Intent.IN,
+    ) -> E:
+        """Declare a global-memory buffer parameter; returns its Var."""
+        self._check_param_name(name)
+        p = ir.KernelParam(name, BufferType(element), intent)
+        self._params.append(p)
+        return E(p.var())
+
+    def scalar(self, name: str, ty: ScalarType = INT) -> E:
+        """Declare a by-value scalar parameter; returns its Var."""
+        self._check_param_name(name)
+        p = ir.KernelParam(name, ty, Intent.VALUE)
+        self._params.append(p)
+        return E(p.var())
+
+    def _check_param_name(self, name: str) -> None:
+        if self._finished:
+            raise RuntimeError("builder already finished")
+        if any(p.name == name for p in self._params):
+            raise ValueError(f"duplicate parameter {name!r}")
+
+    # -- work-item intrinsics -------------------------------------------------
+
+    def global_id(self, dim: int = 0) -> E:
+        """``get_global_id(dim)``."""
+        self._check_dim(dim)
+        return E(ir.WorkItemQuery(ir.WorkItemFn.GLOBAL_ID, dim))
+
+    def global_size(self, dim: int = 0) -> E:
+        """``get_global_size(dim)``."""
+        self._check_dim(dim)
+        return E(ir.WorkItemQuery(ir.WorkItemFn.GLOBAL_SIZE, dim))
+
+    def local_id(self, dim: int = 0) -> E:
+        self._check_dim(dim)
+        return E(ir.WorkItemQuery(ir.WorkItemFn.LOCAL_ID, dim))
+
+    def local_size(self, dim: int = 0) -> E:
+        self._check_dim(dim)
+        return E(ir.WorkItemQuery(ir.WorkItemFn.LOCAL_SIZE, dim))
+
+    def group_id(self, dim: int = 0) -> E:
+        self._check_dim(dim)
+        return E(ir.WorkItemQuery(ir.WorkItemFn.GROUP_ID, dim))
+
+    def _check_dim(self, dim: int) -> None:
+        if not 0 <= dim < self.dim:
+            raise ValueError(f"dim {dim} out of range for a {self.dim}D kernel")
+
+    # -- expressions ----------------------------------------------------------
+
+    def load(self, buf: E, index: Operand) -> E:
+        """Read ``buf[index]`` from global memory."""
+        node = buf.node
+        if not isinstance(node, ir.Var) or not isinstance(node.type, BufferType):
+            raise TypeError("load target must be a buffer parameter")
+        return E(ir.Load(node, as_expr(index), node.type.element))
+
+    def select(self, cond: E, if_true: Operand, if_false: Operand) -> E:
+        """The ternary ``cond ? if_true : if_false``."""
+        t = as_expr(if_true)
+        f = as_expr(if_false, like=t.type)
+        ty = promote(t.type, f.type)
+        return E(ir.Select(cond.node, t, f, ty))
+
+    # Builtin math, exposed as methods so kernels read like OpenCL C.
+    def sqrt(self, x: Operand) -> E:
+        return _call("sqrt", x)
+
+    def rsqrt(self, x: Operand) -> E:
+        return _call("rsqrt", x)
+
+    def exp(self, x: Operand) -> E:
+        return _call("exp", x)
+
+    def log(self, x: Operand) -> E:
+        return _call("log", x)
+
+    def log2(self, x: Operand) -> E:
+        return _call("log2", x)
+
+    def sin(self, x: Operand) -> E:
+        return _call("sin", x)
+
+    def cos(self, x: Operand) -> E:
+        return _call("cos", x)
+
+    def tan(self, x: Operand) -> E:
+        return _call("tan", x)
+
+    def atan(self, x: Operand) -> E:
+        return _call("atan", x)
+
+    def atan2(self, y: Operand, x: Operand) -> E:
+        return _call("atan2", y, x)
+
+    def pow(self, x: Operand, y: Operand) -> E:
+        return _call("pow", x, y)
+
+    def erf(self, x: Operand) -> E:
+        return _call("erf", x)
+
+    def fabs(self, x: Operand) -> E:
+        return _call("fabs", x)
+
+    def floor(self, x: Operand) -> E:
+        return _call("floor", x)
+
+    def ceil(self, x: Operand) -> E:
+        return _call("ceil", x)
+
+    def fmin(self, x: Operand, y: Operand) -> E:
+        return _call("fmin", x, y)
+
+    def fmax(self, x: Operand, y: Operand) -> E:
+        return _call("fmax", x, y)
+
+    def min(self, x: Operand, y: Operand) -> E:
+        return _call("min", x, y)
+
+    def max(self, x: Operand, y: Operand) -> E:
+        return _call("max", x, y)
+
+    def clamp(self, x: Operand, lo: Operand, hi: Operand) -> E:
+        return _call("clamp", x, lo, hi)
+
+    def mad(self, a: Operand, b: Operand, c: Operand) -> E:
+        """Fused multiply-add ``a*b + c``."""
+        return _call("mad", a, b, c)
+
+    # -- statements -----------------------------------------------------------
+
+    def _emit(self, stmt: ir.Stmt) -> None:
+        if self._finished:
+            raise RuntimeError("builder already finished")
+        self._block_stack[-1].append(stmt)
+
+    def let(self, name: str, value: Operand, ty: ScalarType | None = None) -> E:
+        """Declare-and-assign a local scalar variable; returns its Var."""
+        v = as_expr(value)
+        var_ty = ty if ty is not None else v.type
+        declares = name not in self._declared
+        var = ir.Var(name, var_ty)
+        self._emit(ir.Assign(var, v if ty is None else ir.Cast(v, var_ty), declares=declares))
+        self._declared.add(name)
+        return E(var)
+
+    def assign(self, var: E, value: Operand) -> None:
+        """Re-assign an existing local variable."""
+        node = var.node
+        if not isinstance(node, ir.Var):
+            raise TypeError("assign target must be a Var")
+        if node.name not in self._declared:
+            raise ValueError(f"variable {node.name!r} not declared; use let()")
+        self._emit(ir.Assign(node, as_expr(value, like=node.type)))
+
+    def fresh(self, prefix: str = "t") -> str:
+        """A fresh local-variable name."""
+        self._tmp_counter += 1
+        return f"{prefix}{self._tmp_counter}"
+
+    def store(self, buf: E, index: Operand, value: Operand) -> None:
+        """Write ``buf[index] = value`` to global memory."""
+        node = buf.node
+        if not isinstance(node, ir.Var) or not isinstance(node.type, BufferType):
+            raise TypeError("store target must be a buffer parameter")
+        self._emit(
+            ir.Store(node, as_expr(index), as_expr(value, like=node.type.element))
+        )
+
+    def atomic_add(self, buf: E, index: Operand, value: Operand) -> None:
+        """Atomic ``buf[index] += value``."""
+        node = buf.node
+        if not isinstance(node, ir.Var) or not isinstance(node.type, BufferType):
+            raise TypeError("atomic target must be a buffer parameter")
+        self._emit(
+            ir.AtomicUpdate(node, as_expr(index), as_expr(value, like=node.type.element), op="add")
+        )
+
+    def barrier(self) -> None:
+        """Insert a work-group barrier."""
+        self._emit(ir.Barrier())
+
+    @contextlib.contextmanager
+    def if_(self, cond: E) -> Iterator[None]:
+        """Open an ``if (cond) { ... }`` block."""
+        self._block_stack.append([])
+        try:
+            yield
+        finally:
+            body = ir.Block(tuple(self._block_stack.pop()))
+            self._emit(ir.If(cond.node, body))
+
+    @contextlib.contextmanager
+    def if_else(self, cond: E) -> Iterator[tuple["_Arm", "_Arm"]]:
+        """Open an if/else; yields ``(then_arm, else_arm)`` context managers."""
+        then_stmts: list[ir.Stmt] = []
+        else_stmts: list[ir.Stmt] = []
+        yield _Arm(self, then_stmts), _Arm(self, else_stmts)
+        self._emit(ir.If(cond.node, ir.Block(tuple(then_stmts)), ir.Block(tuple(else_stmts))))
+
+    @contextlib.contextmanager
+    def for_(
+        self,
+        name: str,
+        start: Operand,
+        end: Operand,
+        step: Operand = 1,
+    ) -> Iterator[E]:
+        """Open a counted loop; yields the induction variable."""
+        var = ir.Var(name, INT)
+        self._declared.add(name)
+        self._block_stack.append([])
+        try:
+            yield E(var)
+        finally:
+            body = ir.Block(tuple(self._block_stack.pop()))
+            self._emit(ir.For(var, as_expr(start), as_expr(end), as_expr(step), body))
+
+    @contextlib.contextmanager
+    def while_(self, cond: E, expected_trips: int = 8) -> Iterator[None]:
+        """Open a condition-controlled loop with a nominal trip count."""
+        self._block_stack.append([])
+        try:
+            yield
+        finally:
+            body = ir.Block(tuple(self._block_stack.pop()))
+            self._emit(ir.While(cond.node, body, expected_trips=expected_trips))
+
+    # -- finish ---------------------------------------------------------------
+
+    def finish(self) -> ir.Kernel:
+        """Seal the builder and return the completed Kernel."""
+        if len(self._block_stack) != 1:
+            raise RuntimeError("unbalanced blocks: a context manager is still open")
+        self._finished = True
+        return ir.Kernel(
+            name=self.name,
+            params=tuple(self._params),
+            body=ir.Block(tuple(self._block_stack[0])),
+            dim=self.dim,
+        )
+
+
+class _Arm:
+    """One arm of an if/else under construction."""
+
+    def __init__(self, builder: KernelBuilder, sink: list[ir.Stmt]):
+        self._builder = builder
+        self._sink = sink
+
+    def __enter__(self) -> None:
+        self._builder._block_stack.append([])
+
+    def __exit__(self, *exc: object) -> None:
+        self._sink.extend(self._builder._block_stack.pop())

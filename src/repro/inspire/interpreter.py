@@ -1,0 +1,318 @@
+"""Reference interpreter: executes a kernel one work-item at a time.
+
+This is the semantic ground truth for the IR.  It is deliberately simple
+and slow (pure Python, one work-item per call); the test suite uses it to
+validate that every benchmark's vectorized NumPy device implementation
+computes the same function as its IR kernel.  The simulated devices never
+call into the interpreter on hot paths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from . import ast as ir
+from .types import BOOL, ScalarType, is_floating
+
+__all__ = ["InterpreterError", "run_kernel", "run_work_item"]
+
+#: Safety valve for data-dependent loops.
+MAX_WHILE_ITERATIONS = 1_000_000
+
+
+class InterpreterError(Exception):
+    """Raised on out-of-bounds accesses or malformed kernels."""
+
+
+_BUILTINS = {
+    "sqrt": lambda x: math.sqrt(x) if x >= 0 else float("nan"),
+    "rsqrt": lambda x: 1.0 / math.sqrt(x) if x > 0 else float("inf"),
+    "exp": math.exp,
+    "log": lambda x: math.log(x) if x > 0 else float("-inf") if x == 0 else float("nan"),
+    "log2": lambda x: math.log2(x) if x > 0 else float("-inf") if x == 0 else float("nan"),
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "atan": math.atan,
+    "atan2": math.atan2,
+    "pow": lambda x, y: math.pow(x, y),
+    "erf": math.erf,
+    "fabs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "fmin": min,
+    "fmax": max,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "clamp": lambda x, lo, hi: min(max(x, lo), hi),
+    "mad": lambda a, b, c: a * b + c,
+    "mix": lambda a, b, t: a + (b - a) * t,
+}
+
+
+class _WorkItemState:
+    """Evaluation environment for a single work item."""
+
+    __slots__ = ("gid", "gsize", "lid", "lsize", "group", "locals", "buffers")
+
+    def __init__(
+        self,
+        gid: tuple[int, ...],
+        gsize: tuple[int, ...],
+        local_size: tuple[int, ...],
+        buffers: Mapping[str, np.ndarray],
+        scalars: Mapping[str, float | int],
+    ):
+        self.gid = gid
+        self.gsize = gsize
+        self.lsize = local_size
+        self.lid = tuple(g % l for g, l in zip(gid, local_size))
+        self.group = tuple(g // l for g, l in zip(gid, local_size))
+        self.locals: dict[str, float | int | bool] = dict(scalars)
+        self.buffers = buffers
+
+
+def _coerce(value: float | int | bool, ty: ir.Expr | ScalarType) -> float | int | bool:
+    target = ty if isinstance(ty, ScalarType) else ty.type  # type: ignore[union-attr]
+    if isinstance(target, ScalarType):
+        if target is BOOL:
+            return bool(value)
+        if target.floating:
+            if target.name == "float":
+                return float(np.float32(value))
+            return float(value)
+        return int(value)
+    return value
+
+
+def _eval(expr: ir.Expr, st: _WorkItemState) -> float | int | bool:
+    if isinstance(expr, ir.Const):
+        return _coerce(expr.value, expr)
+    if isinstance(expr, ir.Var):
+        if expr.name not in st.locals:
+            raise InterpreterError(f"undefined variable {expr.name!r}")
+        return st.locals[expr.name]
+    if isinstance(expr, ir.WorkItemQuery):
+        table = {
+            ir.WorkItemFn.GLOBAL_ID: st.gid,
+            ir.WorkItemFn.GLOBAL_SIZE: st.gsize,
+            ir.WorkItemFn.LOCAL_ID: st.lid,
+            ir.WorkItemFn.LOCAL_SIZE: st.lsize,
+            ir.WorkItemFn.GROUP_ID: st.group,
+            ir.WorkItemFn.NUM_GROUPS: tuple(
+                g // l for g, l in zip(st.gsize, st.lsize)
+            ),
+        }
+        return int(table[expr.fn][expr.dim])
+    if isinstance(expr, ir.Load):
+        arr = st.buffers.get(expr.buffer.name)
+        if arr is None:
+            raise InterpreterError(f"unbound buffer {expr.buffer.name!r}")
+        idx = int(_eval(expr.index, st))
+        if not 0 <= idx < arr.size:
+            raise InterpreterError(
+                f"load out of bounds: {expr.buffer.name}[{idx}] (size {arr.size})"
+            )
+        return arr.flat[idx].item()
+    if isinstance(expr, ir.Cast):
+        return _coerce(_eval(expr.expr, st), expr)
+    if isinstance(expr, ir.UnOp):
+        v = _eval(expr.operand, st)
+        if expr.op == "-":
+            return _coerce(-v, expr)  # type: ignore[operator]
+        if expr.op == "!":
+            return not v
+        raise InterpreterError(f"unknown unary op {expr.op!r}")
+    if isinstance(expr, ir.Select):
+        return _coerce(
+            _eval(expr.if_true, st) if _eval(expr.cond, st) else _eval(expr.if_false, st),
+            expr,
+        )
+    if isinstance(expr, ir.Call):
+        fn = _BUILTINS.get(expr.func)
+        if fn is None:
+            raise InterpreterError(f"unknown builtin {expr.func!r}")
+        args = [_eval(a, st) for a in expr.args]
+        try:
+            result = fn(*args)
+        except (ValueError, OverflowError):
+            result = float("nan")
+        return _coerce(result, expr)
+    if isinstance(expr, ir.BinOp):
+        a = _eval(expr.lhs, st)
+        b = _eval(expr.rhs, st)
+        op = expr.op
+        if op == "&&":
+            return bool(a) and bool(b)
+        if op == "||":
+            return bool(a) or bool(b)
+        if op in ir.COMPARISON_OPS:
+            return {
+                "<": a < b,
+                "<=": a <= b,
+                ">": a > b,
+                ">=": a >= b,
+                "==": a == b,
+                "!=": a != b,
+            }[op]
+        if op in ir.BITWISE_OPS:
+            ai, bi = int(a), int(b)
+            return _coerce(
+                {
+                    "&": ai & bi,
+                    "|": ai | bi,
+                    "^": ai ^ bi,
+                    "<<": ai << bi,
+                    ">>": ai >> bi,
+                }[op],
+                expr,
+            )
+        floating = is_floating(expr.type)
+        if op == "+":
+            r: float | int = a + b  # type: ignore[operator]
+        elif op == "-":
+            r = a - b  # type: ignore[operator]
+        elif op == "*":
+            r = a * b  # type: ignore[operator]
+        elif op == "/":
+            if floating:
+                r = float(a) / float(b) if b != 0 else math.copysign(float("inf"), float(a)) if a else float("nan")  # type: ignore[arg-type]
+            else:
+                if b == 0:
+                    raise InterpreterError("integer division by zero")
+                # C semantics: truncation toward zero.
+                r = int(math.trunc(float(a) / float(b)))  # type: ignore[arg-type]
+        elif op == "%":
+            if b == 0:
+                raise InterpreterError("integer modulo by zero")
+            r = int(math.fmod(float(a), float(b))) if not floating else math.fmod(float(a), float(b))  # type: ignore[arg-type]
+        else:
+            raise InterpreterError(f"unknown operator {op!r}")
+        return _coerce(r, expr)
+    raise InterpreterError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _exec_block(block: ir.Block, st: _WorkItemState) -> None:
+    for stmt in block.stmts:
+        _exec_stmt(stmt, st)
+
+
+def _exec_stmt(stmt: ir.Stmt, st: _WorkItemState) -> None:
+    if isinstance(stmt, ir.Assign):
+        st.locals[stmt.var.name] = _coerce(_eval(stmt.value, st), stmt.var.type)  # type: ignore[arg-type]
+    elif isinstance(stmt, ir.Store):
+        arr = st.buffers.get(stmt.buffer.name)
+        if arr is None:
+            raise InterpreterError(f"unbound buffer {stmt.buffer.name!r}")
+        idx = int(_eval(stmt.index, st))
+        if not 0 <= idx < arr.size:
+            raise InterpreterError(
+                f"store out of bounds: {stmt.buffer.name}[{idx}] (size {arr.size})"
+            )
+        arr.flat[idx] = _eval(stmt.value, st)
+    elif isinstance(stmt, ir.AtomicUpdate):
+        arr = st.buffers.get(stmt.buffer.name)
+        if arr is None:
+            raise InterpreterError(f"unbound buffer {stmt.buffer.name!r}")
+        idx = int(_eval(stmt.index, st))
+        if not 0 <= idx < arr.size:
+            raise InterpreterError(f"atomic out of bounds: {stmt.buffer.name}[{idx}]")
+        val = _eval(stmt.value, st)
+        cur = arr.flat[idx]
+        if stmt.op == "add":
+            arr.flat[idx] = cur + val
+        elif stmt.op == "min":
+            arr.flat[idx] = min(cur, val)
+        else:
+            arr.flat[idx] = max(cur, val)
+    elif isinstance(stmt, ir.Block):
+        _exec_block(stmt, st)
+    elif isinstance(stmt, ir.If):
+        if _eval(stmt.cond, st):
+            _exec_block(stmt.then_body, st)
+        else:
+            _exec_block(stmt.else_body, st)
+    elif isinstance(stmt, ir.For):
+        i = int(_eval(stmt.start, st))
+        end = int(_eval(stmt.end, st))
+        step = int(_eval(stmt.step, st))
+        if step == 0:
+            raise InterpreterError("for-loop step is zero")
+        while (i < end) if step > 0 else (i > end):
+            st.locals[stmt.var.name] = i
+            _exec_block(stmt.body, st)
+            i += step
+    elif isinstance(stmt, ir.While):
+        n = 0
+        while _eval(stmt.cond, st):
+            _exec_block(stmt.body, st)
+            n += 1
+            if n > MAX_WHILE_ITERATIONS:
+                raise InterpreterError("while-loop exceeded iteration budget")
+    elif isinstance(stmt, ir.Barrier):
+        pass  # The sequential interpreter is trivially barrier-synchronized.
+    else:
+        raise InterpreterError(f"unknown statement {type(stmt).__name__}")
+
+
+def run_work_item(
+    kernel: ir.Kernel,
+    gid: tuple[int, ...],
+    global_size: tuple[int, ...],
+    buffers: Mapping[str, np.ndarray],
+    scalars: Mapping[str, float | int],
+    local_size: tuple[int, ...] | None = None,
+) -> None:
+    """Execute the kernel body for a single work item (mutates buffers)."""
+    if local_size is None:
+        local_size = tuple(1 for _ in range(kernel.dim))
+    st = _WorkItemState(gid, global_size, local_size, buffers, scalars)
+    _exec_block(kernel.body, st)
+
+
+def run_kernel(
+    kernel: ir.Kernel,
+    global_size: tuple[int, ...],
+    buffers: Mapping[str, np.ndarray],
+    scalars: Mapping[str, float | int],
+    offset: tuple[int, ...] | None = None,
+    local_size: tuple[int, ...] | None = None,
+) -> None:
+    """Execute the kernel over an entire (possibly offset) ND-range.
+
+    ``global_size`` is the extent of the range actually executed and
+    ``offset`` its origin in the full index space — mirroring OpenCL's
+    ``clEnqueueNDRangeKernel`` offset argument, which is how the
+    multi-device runtime assigns sub-ranges to devices.
+    """
+    if len(global_size) != kernel.dim:
+        raise InterpreterError(
+            f"kernel {kernel.name} is {kernel.dim}D, got range {global_size}"
+        )
+    if offset is None:
+        offset = tuple(0 for _ in range(kernel.dim))
+    for p in kernel.params:
+        if p.is_buffer and p.name not in buffers:
+            raise InterpreterError(f"missing buffer argument {p.name!r}")
+        if not p.is_buffer and p.name not in scalars:
+            raise InterpreterError(f"missing scalar argument {p.name!r}")
+    if kernel.dim == 1:
+        for i in range(global_size[0]):
+            run_work_item(
+                kernel, (offset[0] + i,), global_size, buffers, scalars, local_size
+            )
+    else:
+        for j in range(global_size[1]):
+            for i in range(global_size[0]):
+                run_work_item(
+                    kernel,
+                    (offset[0] + i, offset[1] + j),
+                    global_size,
+                    buffers,
+                    scalars,
+                    local_size,
+                )

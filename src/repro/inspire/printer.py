@@ -1,0 +1,139 @@
+"""OpenCL C pretty-printer: the textual backend of the compiler.
+
+The paper's backend emits a multi-device OpenCL program from INSPIRE.
+This printer produces the per-device kernel source; the multi-device
+variant (with global-id offsetting) is produced by
+:mod:`repro.compiler.backend`, which rewrites the IR before printing.
+"""
+
+from __future__ import annotations
+
+from . import ast as ir
+from .types import BOOL, BufferType, ScalarType, Type
+
+__all__ = ["print_kernel", "print_expr"]
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+
+def _type_name(ty: Type) -> str:
+    return ty.cl_name
+
+
+def print_expr(expr: ir.Expr, parent_prec: int = 0) -> str:
+    """Render one expression as OpenCL C."""
+    if isinstance(expr, ir.Const):
+        if expr.type is BOOL:
+            return "true" if expr.value else "false"
+        if isinstance(expr.type, ScalarType) and expr.type.floating:
+            v = float(expr.value)
+            text = repr(v)
+            if expr.type.name == "float":
+                return f"{text}f"
+            return text
+        return str(int(expr.value))
+    if isinstance(expr, ir.Var):
+        return expr.name
+    if isinstance(expr, ir.WorkItemQuery):
+        return f"{expr.fn.value}({expr.dim})"
+    if isinstance(expr, ir.Load):
+        return f"{expr.buffer.name}[{print_expr(expr.index)}]"
+    if isinstance(expr, ir.Call):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, ir.Cast):
+        inner = print_expr(expr.expr, 11)
+        return f"({_type_name(expr.type)})({inner})"
+    if isinstance(expr, ir.UnOp):
+        inner = print_expr(expr.operand, 11)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, ir.Select):
+        c = print_expr(expr.cond, 1)
+        t = print_expr(expr.if_true, 1)
+        f = print_expr(expr.if_false, 1)
+        text = f"{c} ? {t} : {f}"
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(expr, ir.BinOp):
+        prec = _PRECEDENCE[expr.op]
+        lhs = print_expr(expr.lhs, prec)
+        rhs = print_expr(expr.rhs, prec + 1)
+        text = f"{lhs} {expr.op} {rhs}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+def _print_stmt(stmt: ir.Stmt, indent: int, lines: list[str]) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, ir.Assign):
+        prefix = f"{_type_name(stmt.var.type)} " if stmt.declares else ""
+        lines.append(f"{pad}{prefix}{stmt.var.name} = {print_expr(stmt.value)};")
+    elif isinstance(stmt, ir.Store):
+        lines.append(
+            f"{pad}{stmt.buffer.name}[{print_expr(stmt.index)}] = {print_expr(stmt.value)};"
+        )
+    elif isinstance(stmt, ir.AtomicUpdate):
+        fn = {"add": "atomic_add", "min": "atomic_min", "max": "atomic_max"}[stmt.op]
+        lines.append(
+            f"{pad}{fn}(&{stmt.buffer.name}[{print_expr(stmt.index)}], {print_expr(stmt.value)});"
+        )
+    elif isinstance(stmt, ir.Block):
+        for s in stmt.stmts:
+            _print_stmt(s, indent, lines)
+    elif isinstance(stmt, ir.If):
+        lines.append(f"{pad}if ({print_expr(stmt.cond)}) {{")
+        _print_stmt(stmt.then_body, indent + 1, lines)
+        if stmt.else_body.stmts:
+            lines.append(f"{pad}}} else {{")
+            _print_stmt(stmt.else_body, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ir.For):
+        v = stmt.var.name
+        lines.append(
+            f"{pad}for (int {v} = {print_expr(stmt.start)}; "
+            f"{v} < {print_expr(stmt.end)}; {v} += {print_expr(stmt.step)}) {{"
+        )
+        _print_stmt(stmt.body, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ir.While):
+        lines.append(f"{pad}while ({print_expr(stmt.cond)}) {{")
+        _print_stmt(stmt.body, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ir.Barrier):
+        lines.append(f"{pad}barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE);")
+    else:
+        raise TypeError(f"cannot print {type(stmt).__name__}")
+
+
+def print_kernel(kernel: ir.Kernel) -> str:
+    """Render a complete ``__kernel`` function as OpenCL C source."""
+    params = []
+    for p in kernel.params:
+        if isinstance(p.type, BufferType):
+            qualifier = "const " if p.intent is ir.ParamIntent.IN else ""
+            params.append(f"__global {qualifier}{p.type.element.cl_name}* {p.name}")
+        else:
+            params.append(f"const {_type_name(p.type)} {p.name}")
+    header = f"__kernel void {kernel.name}({', '.join(params)})"
+    lines = [header, "{"]
+    _print_stmt(kernel.body, 1, lines)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Well-formedness checking for kernels.
+
+The frontend runs this after building a kernel; the multi-device backend
+relies on these invariants (e.g. every referenced variable is a parameter
+or a previously-declared local; no writes to ``IN`` buffers).
+"""
+
+from __future__ import annotations
+
+from . import ast as ir
+from .types import BOOL, BufferType, ScalarType
+
+__all__ = ["ValidationError", "validate_kernel"]
+
+
+class ValidationError(Exception):
+    """Raised when a kernel violates an IR invariant."""
+
+
+def validate_kernel(kernel: ir.Kernel) -> None:
+    """Check a kernel's structural invariants; raises ValidationError.
+
+    Checks performed:
+      * parameter names are unique and non-empty;
+      * ND-range dimensionality is 1 or 2 and intrinsics respect it;
+      * every Var reference resolves to a parameter or a declared local;
+      * locals are declared (``Assign(declares=True)``) before re-assignment;
+      * loads/stores/atomics target buffer parameters with scalar indices;
+      * no stores to ``IN`` buffers, no loads from pure ``OUT`` buffers;
+      * condition expressions are boolean;
+      * blocks inside control flow are well-formed recursively.
+    """
+    names = [p.name for p in kernel.params]
+    if len(set(names)) != len(names):
+        raise ValidationError(f"kernel {kernel.name}: duplicate parameter names")
+    if any(not n for n in names):
+        raise ValidationError(f"kernel {kernel.name}: empty parameter name")
+    if kernel.dim not in (1, 2):
+        raise ValidationError(f"kernel {kernel.name}: dim must be 1 or 2")
+
+    env: dict[str, ir.KernelParam | None] = {p.name: p for p in kernel.params}
+    declared: set[str] = set()
+    _check_block(kernel, kernel.body, env, declared)
+
+
+def _check_block(
+    kernel: ir.Kernel,
+    block: ir.Block,
+    env: dict[str, ir.KernelParam | None],
+    declared: set[str],
+) -> None:
+    for stmt in block.stmts:
+        _check_stmt(kernel, stmt, env, declared)
+
+
+def _check_stmt(
+    kernel: ir.Kernel,
+    stmt: ir.Stmt,
+    env: dict[str, ir.KernelParam | None],
+    declared: set[str],
+) -> None:
+    if isinstance(stmt, ir.Assign):
+        _check_expr(kernel, stmt.value, env, declared)
+        if stmt.var.name in env and env[stmt.var.name] is not None:
+            raise ValidationError(
+                f"kernel {kernel.name}: assignment to parameter {stmt.var.name!r}"
+            )
+        if stmt.declares:
+            declared.add(stmt.var.name)
+            env.setdefault(stmt.var.name, None)
+        elif stmt.var.name not in declared:
+            raise ValidationError(
+                f"kernel {kernel.name}: assignment to undeclared local {stmt.var.name!r}"
+            )
+    elif isinstance(stmt, ir.Store):
+        _check_buffer_access(kernel, stmt.buffer, env, write=True)
+        _check_expr(kernel, stmt.index, env, declared)
+        _check_expr(kernel, stmt.value, env, declared)
+    elif isinstance(stmt, ir.AtomicUpdate):
+        _check_buffer_access(kernel, stmt.buffer, env, write=True)
+        _check_expr(kernel, stmt.index, env, declared)
+        _check_expr(kernel, stmt.value, env, declared)
+        if stmt.op not in ("add", "min", "max"):
+            raise ValidationError(f"kernel {kernel.name}: unknown atomic op {stmt.op!r}")
+    elif isinstance(stmt, ir.Block):
+        _check_block(kernel, stmt, env, declared)
+    elif isinstance(stmt, ir.If):
+        _check_expr(kernel, stmt.cond, env, declared)
+        if stmt.cond.type is not BOOL:
+            raise ValidationError(f"kernel {kernel.name}: if-condition is not bool")
+        _check_block(kernel, stmt.then_body, env, declared)
+        _check_block(kernel, stmt.else_body, env, declared)
+    elif isinstance(stmt, ir.For):
+        for e in (stmt.start, stmt.end, stmt.step):
+            _check_expr(kernel, e, env, declared)
+        declared.add(stmt.var.name)
+        env.setdefault(stmt.var.name, None)
+        _check_block(kernel, stmt.body, env, declared)
+    elif isinstance(stmt, ir.While):
+        _check_expr(kernel, stmt.cond, env, declared)
+        if stmt.cond.type is not BOOL:
+            raise ValidationError(f"kernel {kernel.name}: while-condition is not bool")
+        if stmt.expected_trips <= 0:
+            raise ValidationError(f"kernel {kernel.name}: expected_trips must be positive")
+        _check_block(kernel, stmt.body, env, declared)
+    elif isinstance(stmt, ir.Barrier):
+        pass
+    else:
+        raise ValidationError(f"kernel {kernel.name}: unknown statement {type(stmt).__name__}")
+
+
+def _check_buffer_access(
+    kernel: ir.Kernel,
+    buf: ir.Var,
+    env: dict[str, ir.KernelParam | None],
+    write: bool,
+) -> None:
+    param = env.get(buf.name)
+    if param is None:
+        raise ValidationError(
+            f"kernel {kernel.name}: {buf.name!r} is not a buffer parameter"
+        )
+    if not isinstance(param.type, BufferType):
+        raise ValidationError(f"kernel {kernel.name}: {buf.name!r} is not a buffer")
+    if write and param.intent is ir.ParamIntent.IN:
+        raise ValidationError(
+            f"kernel {kernel.name}: write to IN buffer {buf.name!r}"
+        )
+    if not write and param.intent is ir.ParamIntent.OUT:
+        raise ValidationError(
+            f"kernel {kernel.name}: read from OUT buffer {buf.name!r}"
+        )
+
+
+def _check_expr(
+    kernel: ir.Kernel,
+    expr: ir.Expr,
+    env: dict[str, ir.KernelParam | None],
+    declared: set[str],
+) -> None:
+    if isinstance(expr, ir.Const):
+        return
+    if isinstance(expr, ir.Var):
+        if expr.name not in env and expr.name not in declared:
+            raise ValidationError(
+                f"kernel {kernel.name}: reference to unknown variable {expr.name!r}"
+            )
+        return
+    if isinstance(expr, ir.WorkItemQuery):
+        if not 0 <= expr.dim < kernel.dim:
+            raise ValidationError(
+                f"kernel {kernel.name}: {expr.fn.value}({expr.dim}) exceeds dim {kernel.dim}"
+            )
+        return
+    if isinstance(expr, ir.Load):
+        _check_buffer_access(kernel, expr.buffer, env, write=False)
+        _check_expr(kernel, expr.index, env, declared)
+        if not isinstance(expr.index.type, ScalarType) or expr.index.type.floating:
+            raise ValidationError(f"kernel {kernel.name}: non-integer load index")
+        return
+    if isinstance(expr, ir.BinOp):
+        if (
+            expr.op not in ir.BINARY_OPS
+            and expr.op not in ir.COMPARISON_OPS
+            and expr.op not in ir.LOGICAL_OPS
+            and expr.op not in ir.BITWISE_OPS
+        ):
+            raise ValidationError(f"kernel {kernel.name}: unknown operator {expr.op!r}")
+        _check_expr(kernel, expr.lhs, env, declared)
+        _check_expr(kernel, expr.rhs, env, declared)
+        return
+    if isinstance(expr, ir.UnOp):
+        _check_expr(kernel, expr.operand, env, declared)
+        return
+    if isinstance(expr, ir.Call):
+        if expr.func not in ir.BUILTIN_FUNCTIONS:
+            raise ValidationError(f"kernel {kernel.name}: unknown builtin {expr.func!r}")
+        if len(expr.args) != ir.BUILTIN_FUNCTIONS[expr.func]:
+            raise ValidationError(
+                f"kernel {kernel.name}: {expr.func} arity mismatch"
+            )
+        for a in expr.args:
+            _check_expr(kernel, a, env, declared)
+        return
+    if isinstance(expr, (ir.Cast, ir.Select)):
+        for c in expr.children():
+            _check_expr(kernel, c, env, declared)  # type: ignore[arg-type]
+        return
+    raise ValidationError(f"kernel {kernel.name}: unknown expression {type(expr).__name__}")

@@ -1,0 +1,5 @@
+"""Target machine configurations (the paper's mc1 and mc2)."""
+
+from .configs import ALL_MACHINES, MC1, MC2, machine_by_name, make_cpu_spec, make_gpu_spec
+
+__all__ = ["ALL_MACHINES", "MC1", "MC2", "machine_by_name", "make_cpu_spec", "make_gpu_spec"]

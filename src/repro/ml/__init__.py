@@ -1,0 +1,33 @@
+"""From-scratch NumPy machine learning for the partitioning predictor."""
+
+from .base import (
+    Classifier,
+    MajorityClassifier,
+    accuracy,
+    confusion_matrix,
+    majority_class,
+)
+from .crossval import KFold, LeaveOneGroupOut, cross_val_score
+from .forest import RandomForestClassifier
+from .knn import KNeighborsClassifier
+from .neural import MLPClassifier
+from .scaling import MinMaxScaler, StandardScaler, log1p_counts
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "Classifier",
+    "MajorityClassifier",
+    "accuracy",
+    "confusion_matrix",
+    "majority_class",
+    "KFold",
+    "LeaveOneGroupOut",
+    "cross_val_score",
+    "RandomForestClassifier",
+    "KNeighborsClassifier",
+    "MLPClassifier",
+    "MinMaxScaler",
+    "StandardScaler",
+    "log1p_counts",
+    "DecisionTreeClassifier",
+]

@@ -1,0 +1,82 @@
+"""Cross-validation splitters and helpers.
+
+The paper's evaluation protocol is leave-one-*program*-out: the model
+predicting partitionings for a benchmark must never have seen training
+patterns from that benchmark (only from the other 22).
+:class:`LeaveOneGroupOut` implements exactly that, with programs as
+groups.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from .base import Classifier, accuracy
+
+__all__ = ["KFold", "LeaveOneGroupOut", "cross_val_score"]
+
+
+class KFold:
+    """Deterministic (optionally shuffled) k-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_idx, test_idx) pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError("more folds than samples")
+        idx = np.arange(n_samples)
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(idx)
+        folds = np.array_split(idx, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+class LeaveOneGroupOut:
+    """One fold per distinct group label (the paper's LOPO protocol)."""
+
+    def split(
+        self, groups: Sequence[object]
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, object]]:
+        """Yield (train_idx, test_idx, held_out_group)."""
+        groups_arr = np.asarray(groups)
+        unique = list(dict.fromkeys(groups))  # preserve first-seen order
+        if len(unique) < 2:
+            raise ValueError("need at least two groups")
+        idx = np.arange(len(groups_arr))
+        for g in unique:
+            test = idx[groups_arr == g]
+            train = idx[groups_arr != g]
+            yield train, test, g
+
+
+def cross_val_score(
+    make_model: Callable[[], Classifier],
+    X: np.ndarray,
+    y: np.ndarray,
+    groups: Sequence[object] | None = None,
+    n_splits: int = 5,
+) -> list[float]:
+    """Accuracy per fold; grouped folds when ``groups`` is given."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores: list[float] = []
+    if groups is not None:
+        for train, test, _g in LeaveOneGroupOut().split(groups):
+            model = make_model().fit(X[train], y[train])
+            scores.append(accuracy(y[test], model.predict(X[test])))
+    else:
+        for train, test in KFold(n_splits=n_splits, shuffle=True).split(len(X)):
+            model = make_model().fit(X[train], y[train])
+            scores.append(accuracy(y[test], model.predict(X[test])))
+    return scores

@@ -1,0 +1,75 @@
+"""Random-forest classifier: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_Xy
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(Classifier):
+    """Bootstrap-aggregated decision trees with majority voting.
+
+    Args:
+        n_estimators: number of trees.
+        max_depth: per-tree depth cap.
+        min_samples_leaf: per-tree leaf size floor.
+        max_features: features per split; ``None`` → ``sqrt(d)``.
+        seed: RNG seed controlling bootstraps and per-tree subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 40,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X, y = check_Xy(X, y)
+        assert y is not None
+        self.classes_ = np.unique(y)
+        n, d = X.shape
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.sqrt(d)))
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        for t in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_ or self.classes_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X, _ = check_Xy(X)
+        # Vote over the global label space.
+        label_to_pos = {c: i for i, c in enumerate(self.classes_)}
+        votes = np.zeros((len(X), len(self.classes_)), dtype=np.int64)
+        for tree in self.trees_:
+            pred = tree.predict(X)
+            for row, label in enumerate(pred):
+                votes[row, label_to_pos[label]] += 1
+        return self.classes_[np.argmax(votes, axis=1)]

@@ -1,0 +1,69 @@
+"""k-nearest-neighbours classifier (Euclidean, majority vote)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_Xy
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(Classifier):
+    """Plain kNN over standardized features.
+
+    Args:
+        k: neighbourhood size (clamped to the training-set size).
+        weights: ``"uniform"`` or ``"distance"`` (inverse-distance votes).
+    """
+
+    def __init__(self, k: int = 5, weights: str = "uniform"):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.k = k
+        self.weights = weights
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = check_Xy(X, y)
+        assert y is not None
+        self._X = X
+        self._y = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None or self._y is None or self.classes_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X, _ = check_Xy(X)
+        if X.shape[1] != self._X.shape[1]:
+            raise ValueError("feature-count mismatch with the training data")
+        k = min(self.k, len(self._X))
+        # Pairwise squared distances, blocked to bound memory.
+        out = np.empty(len(X), dtype=self._y.dtype)
+        label_to_pos = {c: i for i, c in enumerate(self.classes_)}
+        block = 256
+        for start in range(0, len(X), block):
+            chunk = X[start : start + block]
+            d2 = (
+                (chunk**2).sum(axis=1)[:, None]
+                - 2.0 * chunk @ self._X.T
+                + (self._X**2).sum(axis=1)[None, :]
+            )
+            np.maximum(d2, 0.0, out=d2)
+            nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            for i in range(len(chunk)):
+                labels = self._y[nn[i]]
+                if self.weights == "distance":
+                    w = 1.0 / (np.sqrt(d2[i, nn[i]]) + 1e-12)
+                else:
+                    w = np.ones(k)
+                scores = np.zeros(len(self.classes_))
+                for lbl, wt in zip(labels, w):
+                    scores[label_to_pos[lbl]] += wt
+                out[start + i] = self.classes_[int(np.argmax(scores))]
+        return out

@@ -1,0 +1,338 @@
+"""Feed-forward neural networks (the paper-family model).
+
+The Insieme task-partitioning line of work trains artificial neural
+networks over static + runtime features; this is a small but complete
+NumPy implementation: dense layers, tanh/ReLU hidden activations,
+softmax cross-entropy (classifier) or MSE (regressor) losses, Adam
+optimizer, mini-batching and early stopping — everything needed to
+train reliably on a few hundred feature vectors with ~66 classes, or
+on ~10k (features, partitioning) → time samples for the scorer model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_Xy
+
+__all__ = ["MLPClassifier", "MLPRegressor"]
+
+_ACTIVATIONS = {
+    "tanh": (np.tanh, lambda a: 1.0 - a * a),
+    "relu": (lambda z: np.maximum(z, 0.0), lambda a: (a > 0.0).astype(a.dtype)),
+}
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier(Classifier):
+    """Multi-layer perceptron with softmax output.
+
+    Args:
+        hidden_layers: sizes of the hidden layers.
+        activation: ``"tanh"`` (paper-era default) or ``"relu"``.
+        learning_rate: Adam step size.
+        epochs: maximum training epochs.
+        batch_size: mini-batch size (clamped to the dataset).
+        l2: weight-decay coefficient.
+        seed: RNG seed for init and shuffling.
+        tol: early-stopping tolerance on the epoch loss.
+        patience: epochs without ``tol`` improvement before stopping.
+    """
+
+    def __init__(
+        self,
+        hidden_layers: tuple[int, ...] = (32, 16),
+        activation: str = "tanh",
+        learning_rate: float = 0.01,
+        epochs: int = 400,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        seed: int = 0,
+        tol: float = 1e-5,
+        patience: int = 30,
+    ):
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        if any(h < 1 for h in hidden_layers):
+            raise ValueError("hidden layer sizes must be positive")
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+        self.hidden_layers = tuple(hidden_layers)
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self.tol = tol
+        self.patience = patience
+        self.classes_: np.ndarray | None = None
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self.loss_curve_: list[float] = []
+
+    # -- forward/backward ----------------------------------------------------
+
+    def _forward(self, X: np.ndarray) -> list[np.ndarray]:
+        """Return activations per layer; last entry is softmax output."""
+        act, _ = _ACTIVATIONS[self.activation]
+        a = X
+        activations = [a]
+        last = len(self._weights) - 1
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            z = a @ W + b
+            a = _softmax(z) if i == last else act(z)
+            activations.append(a)
+        return activations
+
+    def _backward(
+        self, activations: list[np.ndarray], y_onehot: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        _, dact = _ACTIVATIONS[self.activation]
+        n = len(y_onehot)
+        grads_W: list[np.ndarray] = [np.empty(0)] * len(self._weights)
+        grads_b: list[np.ndarray] = [np.empty(0)] * len(self._biases)
+        # Softmax + cross-entropy gradient.
+        delta = (activations[-1] - y_onehot) / n
+        for i in range(len(self._weights) - 1, -1, -1):
+            grads_W[i] = activations[i].T @ delta + self.l2 * self._weights[i]
+            grads_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self._weights[i].T) * dact(activations[i])
+        return grads_W, grads_b
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X, y = check_Xy(X, y)
+        assert y is not None
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        n, d = X.shape
+        rng = np.random.default_rng(self.seed)
+
+        sizes = [d, *self.hidden_layers, n_classes]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # Xavier/Glorot initialization.
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self._weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+        if n_classes == 1:
+            # Degenerate single-class training set.
+            self.loss_curve_ = [0.0]
+            return self
+
+        onehot = np.zeros((n, n_classes))
+        onehot[np.arange(n), y_idx] = 1.0
+
+        # Adam state.
+        mW = [np.zeros_like(W) for W in self._weights]
+        vW = [np.zeros_like(W) for W in self._weights]
+        mb = [np.zeros_like(b) for b in self._biases]
+        vb = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        batch = min(self.batch_size, n)
+        best_loss = np.inf
+        stale = 0
+        self.loss_curve_ = []
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                acts = self._forward(X[idx])
+                probs = acts[-1]
+                epoch_loss += -float(
+                    np.sum(np.log(probs[np.arange(len(idx)), y_idx[idx]] + 1e-12))
+                )
+                gW, gb = self._backward(acts, onehot[idx])
+                step += 1
+                corr1 = 1.0 - beta1**step
+                corr2 = 1.0 - beta2**step
+                for i in range(len(self._weights)):
+                    mW[i] = beta1 * mW[i] + (1 - beta1) * gW[i]
+                    vW[i] = beta2 * vW[i] + (1 - beta2) * gW[i] ** 2
+                    mb[i] = beta1 * mb[i] + (1 - beta1) * gb[i]
+                    vb[i] = beta2 * vb[i] + (1 - beta2) * gb[i] ** 2
+                    self._weights[i] -= (
+                        self.learning_rate * (mW[i] / corr1) / (np.sqrt(vW[i] / corr2) + eps)
+                    )
+                    self._biases[i] -= (
+                        self.learning_rate * (mb[i] / corr1) / (np.sqrt(vb[i] / corr2) + eps)
+                    )
+            epoch_loss /= n
+            self.loss_curve_.append(epoch_loss)
+            if epoch_loss < best_loss - self.tol:
+                best_loss = epoch_loss
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        return self
+
+    # -- inference -------------------------------------------------------------
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities (columns ordered like ``classes_``)."""
+        if self.classes_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X, _ = check_Xy(X)
+        if len(self.classes_) == 1:
+            return np.ones((len(X), 1))
+        return self._forward(X)[-1]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("classifier is not fitted")
+        if len(self.classes_) == 1:
+            X, _ = check_Xy(X)
+            return np.full(len(X), self.classes_[0])
+        probs = self.predict_proba(X)
+        return self.classes_[np.argmax(probs, axis=1)]
+
+
+class MLPRegressor:
+    """Multi-layer perceptron for scalar regression (MSE loss).
+
+    Used by the scorer-style partitioning model, which regresses the
+    (log) execution time of a candidate partitioning from the combined
+    program features plus the candidate's shares, then picks the argmin
+    over the whole partition space — sidestepping the classifier's
+    inability to predict labels absent from the training set.
+    """
+
+    def __init__(
+        self,
+        hidden_layers: tuple[int, ...] = (64, 32),
+        activation: str = "tanh",
+        learning_rate: float = 0.005,
+        epochs: int = 150,
+        batch_size: int = 256,
+        l2: float = 1e-5,
+        seed: int = 0,
+        tol: float = 1e-6,
+        patience: int = 20,
+    ):
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        if any(h < 1 for h in hidden_layers):
+            raise ValueError("hidden layer sizes must be positive")
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+        self.hidden_layers = tuple(hidden_layers)
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self.tol = tol
+        self.patience = patience
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+        self._fitted = False
+        self.loss_curve_: list[float] = []
+
+    def _forward(self, X: np.ndarray) -> list[np.ndarray]:
+        act, _ = _ACTIVATIONS[self.activation]
+        a = X
+        activations = [a]
+        last = len(self._weights) - 1
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            z = a @ W + b
+            a = z if i == last else act(z)  # identity output layer
+            activations.append(a)
+        return activations
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.ndim != 1 or len(X) != len(y):
+            raise ValueError("X must be (n, d) and y must be (n,)")
+        if not (np.isfinite(X).all() and np.isfinite(y).all()):
+            raise ValueError("non-finite training data")
+        n, d = X.shape
+        # Standardize the target for stable optimization.
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        yz = (y - self._y_mean) / self._y_scale
+
+        rng = np.random.default_rng(self.seed)
+        sizes = [d, *self.hidden_layers, 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self._weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+        act, dact = _ACTIVATIONS[self.activation]
+        mW = [np.zeros_like(W) for W in self._weights]
+        vW = [np.zeros_like(W) for W in self._weights]
+        mb = [np.zeros_like(b) for b in self._biases]
+        vb = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        batch = min(self.batch_size, n)
+        best_loss = np.inf
+        stale = 0
+        self.loss_curve_ = []
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                acts = self._forward(X[idx])
+                pred = acts[-1][:, 0]
+                err = pred - yz[idx]
+                epoch_loss += float(err @ err)
+                delta = (err / len(idx))[:, None]
+                step += 1
+                corr1 = 1.0 - beta1**step
+                corr2 = 1.0 - beta2**step
+                for i in range(len(self._weights) - 1, -1, -1):
+                    gW = acts[i].T @ delta + self.l2 * self._weights[i]
+                    gb = delta.sum(axis=0)
+                    if i > 0:
+                        delta = (delta @ self._weights[i].T) * dact(acts[i])
+                    mW[i] = beta1 * mW[i] + (1 - beta1) * gW
+                    vW[i] = beta2 * vW[i] + (1 - beta2) * gW**2
+                    mb[i] = beta1 * mb[i] + (1 - beta1) * gb
+                    vb[i] = beta2 * vb[i] + (1 - beta2) * gb**2
+                    self._weights[i] -= (
+                        self.learning_rate * (mW[i] / corr1) / (np.sqrt(vW[i] / corr2) + eps)
+                    )
+                    self._biases[i] -= (
+                        self.learning_rate * (mb[i] / corr1) / (np.sqrt(vb[i] / corr2) + eps)
+                    )
+            epoch_loss /= n
+            self.loss_curve_.append(epoch_loss)
+            if epoch_loss < best_loss - self.tol:
+                best_loss = epoch_loss
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("regressor is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        z = self._forward(X)[-1][:, 0]
+        return z * self._y_scale + self._y_mean

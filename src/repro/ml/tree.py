@@ -1,0 +1,180 @@
+"""CART decision-tree classifier (gini impurity, axis-aligned splits).
+
+Serves both as an interpretable ablation model for the partitioning
+predictor and as the base learner of :mod:`repro.ml.forest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Classifier, check_Xy
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """A tree node: either a leaf (prediction) or an internal split."""
+
+    prediction: int
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini_from_counts(counts: np.ndarray, total: float) -> float:
+    if total <= 0:
+        return 0.0
+    p = counts / total
+    return 1.0 - float((p * p).sum())
+
+
+def _best_split(
+    X: np.ndarray,
+    y_idx: np.ndarray,
+    n_classes: int,
+    feature_indices: np.ndarray,
+    min_leaf: int,
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, impurity-decrease) over the candidates.
+
+    For every feature the samples are sorted once; class-count prefix
+    sums then give the gini of every candidate threshold in O(n)
+    (vectorized over thresholds).
+    """
+    n = len(y_idx)
+    parent_counts = np.bincount(y_idx, minlength=n_classes).astype(np.float64)
+    parent_gini = _gini_from_counts(parent_counts, n)
+    best: tuple[int, float, float] | None = None
+    # Zero-gain splits are permitted on impure nodes (XOR-like data has
+    # no informative single split at the root, yet the children become
+    # separable); recursion still terminates because both children are
+    # strictly smaller.
+    best_gain = -1e-12
+    onehot = np.zeros((n, n_classes))
+    onehot[np.arange(n), y_idx] = 1.0
+    for f in feature_indices:
+        order = np.argsort(X[:, f], kind="stable")
+        xs = X[order, f]
+        # Cumulative class counts for the left side of each cut.
+        left_counts = np.cumsum(onehot[order], axis=0)
+        # Valid cut positions: between distinct adjacent values, with at
+        # least min_leaf samples on each side.
+        cuts = np.nonzero(xs[1:] > xs[:-1])[0]  # cut after index i
+        cuts = cuts[(cuts + 1 >= min_leaf) & (n - cuts - 1 >= min_leaf)]
+        if len(cuts) == 0:
+            continue
+        nl = (cuts + 1).astype(np.float64)
+        nr = n - nl
+        lc = left_counts[cuts]
+        rc = parent_counts[None, :] - lc
+        gini_l = 1.0 - ((lc / nl[:, None]) ** 2).sum(axis=1)
+        gini_r = 1.0 - ((rc / nr[:, None]) ** 2).sum(axis=1)
+        weighted = (nl * gini_l + nr * gini_r) / n
+        gains = parent_gini - weighted
+        k = int(np.argmax(gains))
+        if gains[k] > best_gain:
+            best_gain = float(gains[k])
+            threshold = float((xs[cuts[k]] + xs[cuts[k] + 1]) / 2.0)
+            best = (int(f), threshold, best_gain)
+    return best
+
+
+class DecisionTreeClassifier(Classifier):
+    """A CART classifier.
+
+    Args:
+        max_depth: maximum tree depth (None = unbounded).
+        min_samples_split: minimum samples to attempt a split.
+        min_samples_leaf: minimum samples in each child.
+        max_features: number of features considered per split (None =
+            all; forests pass ``sqrt``-sized subsets through ``rng``).
+        seed: RNG seed used only when ``max_features`` subsampling is on.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ):
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.classes_: np.ndarray | None = None
+        self._root: _Node | None = None
+        self.node_count_ = 0
+        self.depth_ = 0
+
+    def _build(
+        self,
+        X: np.ndarray,
+        y_idx: np.ndarray,
+        depth: int,
+        n_classes: int,
+        rng: np.random.Generator,
+    ) -> _Node:
+        self.node_count_ += 1
+        self.depth_ = max(self.depth_, depth)
+        counts = np.bincount(y_idx, minlength=n_classes)
+        prediction = int(np.argmax(counts))
+        node = _Node(prediction=prediction)
+        if (
+            len(y_idx) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or counts.max() == len(y_idx)
+        ):
+            return node
+        d = X.shape[1]
+        if self.max_features is not None and self.max_features < d:
+            features = rng.choice(d, size=self.max_features, replace=False)
+        else:
+            features = np.arange(d)
+        split = _best_split(X, y_idx, n_classes, features, self.min_samples_leaf)
+        if split is None:
+            return node
+        f, threshold, _gain = split
+        mask = X[:, f] <= threshold
+        node.feature = f
+        node.threshold = threshold
+        node.left = self._build(X[mask], y_idx[mask], depth + 1, n_classes, rng)
+        node.right = self._build(X[~mask], y_idx[~mask], depth + 1, n_classes, rng)
+        return node
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = check_Xy(X, y)
+        assert y is not None
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        self.node_count_ = 0
+        self.depth_ = 0
+        rng = np.random.default_rng(self.seed)
+        self._root = self._build(X, y_idx, 0, len(self.classes_), rng)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None or self.classes_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X, _ = check_Xy(X)
+        out = np.empty(len(X), dtype=np.int64)
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right  # type: ignore[assignment]
+            out[i] = node.prediction
+        return self.classes_[out]

@@ -1,0 +1,86 @@
+"""Simulated ``cl_mem`` buffers.
+
+A :class:`Buffer` owns a host-side NumPy array (the single source of
+truth for functional results) plus transfer bookkeeping.  Sub-range
+views (:class:`BufferSlice`) describe the region a device reads or
+writes when a kernel is partitioned — the splitter computes them, the
+queues charge their bytes to the PCIe link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Buffer", "BufferSlice"]
+
+
+class Buffer:
+    """A global-memory buffer shared by all devices of a context.
+
+    Functional kernel execution mutates :attr:`host` directly (the
+    simulation keeps one coherent copy); what *would* move over PCIe is
+    accounted separately by the command queues using byte counts from
+    :class:`BufferSlice`.
+    """
+
+    _counter = 0
+
+    def __init__(self, name: str, host: np.ndarray):
+        if not isinstance(host, np.ndarray):
+            raise TypeError("Buffer requires a NumPy array")
+        Buffer._counter += 1
+        self.uid = Buffer._counter
+        self.name = name
+        self.host = host
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.host.nbytes)
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.host.itemsize)
+
+    @property
+    def size(self) -> int:
+        """Number of elements (flattened)."""
+        return int(self.host.size)
+
+    def full_slice(self) -> "BufferSlice":
+        """A slice covering the whole buffer."""
+        return BufferSlice(self, 0, self.size)
+
+    def slice(self, offset: int, count: int) -> "BufferSlice":
+        """A clamped sub-range of ``count`` elements starting at ``offset``."""
+        return BufferSlice(self, offset, count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Buffer({self.name!r}, {self.host.dtype}, {self.host.shape})"
+
+
+@dataclass(frozen=True)
+class BufferSlice:
+    """A contiguous element range of a buffer (flattened indexing)."""
+
+    buffer: Buffer
+    offset: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.count < 0:
+            raise ValueError("offset and count must be non-negative")
+        if self.offset + self.count > self.buffer.size:
+            raise ValueError(
+                f"slice [{self.offset}, {self.offset + self.count}) exceeds "
+                f"buffer {self.buffer.name!r} of size {self.buffer.size}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.buffer.itemsize
+
+    def view(self) -> np.ndarray:
+        """A writable NumPy view of the slice (no copy)."""
+        return self.buffer.host.reshape(-1)[self.offset : self.offset + self.count]

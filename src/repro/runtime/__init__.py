@@ -1,0 +1,20 @@
+"""The Insieme-like runtime system: scheduling, strategies, measurement."""
+
+from .measurement import MeasuredRun, Runner
+from .scheduler import ExecutionRequest, ExecutionResult, ExecutorFn, execute_partitioned
+from .strategies import StrategyFn, all_gpus, cpu_only, even_split, gpu_only, oracle_search
+
+__all__ = [
+    "MeasuredRun",
+    "Runner",
+    "ExecutionRequest",
+    "ExecutionResult",
+    "ExecutorFn",
+    "execute_partitioned",
+    "StrategyFn",
+    "cpu_only",
+    "gpu_only",
+    "all_gpus",
+    "even_split",
+    "oracle_search",
+]

@@ -1,0 +1,95 @@
+"""Measurement harness: repetitions, medians, noise.
+
+The paper's training phase executes every (program, size, partitioning)
+combination and stores the measured time.  Real measurements jitter, so
+the harness supports repetitions with a median reduction — with the
+deterministic noise model of :mod:`repro.ocl.platform` this reproduces
+the statistics of a real campaign while staying bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..ocl.context import Context
+from ..ocl.platform import Platform, make_lognormal_noise
+from ..partitioning import Partitioning
+from .scheduler import ExecutionRequest, ExecutionResult, execute_partitioned
+
+__all__ = ["MeasuredRun", "Runner"]
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """Median-of-repetitions timing for one partitioning."""
+
+    partitioning: Partitioning
+    median_s: float
+    samples_s: tuple[float, ...]
+    result: ExecutionResult
+
+    @property
+    def repetitions(self) -> int:
+        return len(self.samples_s)
+
+
+class Runner:
+    """Executes kernels on one simulated machine.
+
+    One Runner corresponds to one physical testbed: it owns the device
+    instances (and their noise streams) for a whole training or
+    evaluation campaign.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        noise_sigma: float = 0.0,
+        seed: int = 0,
+    ):
+        noise = make_lognormal_noise(noise_sigma, seed) if noise_sigma > 0 else None
+        self.platform = platform
+        self.devices = platform.create_devices(noise)
+        self.context = Context(self.devices)
+
+    def run(
+        self,
+        request: ExecutionRequest,
+        partitioning: Partitioning,
+        functional: bool = True,
+        repetitions: int = 1,
+    ) -> MeasuredRun:
+        """Measure one partitioning; functional execution only on rep 0."""
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        samples: list[float] = []
+        result: ExecutionResult | None = None
+        for rep in range(repetitions):
+            r = execute_partitioned(
+                self.context,
+                request,
+                partitioning,
+                functional=functional and rep == 0,
+            )
+            if rep == 0:
+                result = r
+            samples.append(r.makespan_s)
+        assert result is not None
+        return MeasuredRun(
+            partitioning=partitioning,
+            median_s=statistics.median(samples),
+            samples_s=tuple(samples),
+            result=result,
+        )
+
+    def time_of(
+        self,
+        request: ExecutionRequest,
+        partitioning: Partitioning,
+        repetitions: int = 1,
+    ) -> float:
+        """Timing-only convenience (no functional execution)."""
+        return self.run(
+            request, partitioning, functional=False, repetitions=repetitions
+        ).median_s

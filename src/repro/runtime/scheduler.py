@@ -1,0 +1,274 @@
+"""The multi-device runtime scheduler.
+
+Given a compiled kernel, host buffers and a :class:`Partitioning`, the
+scheduler plays the role of the paper's Insieme runtime system: it
+computes each device's chunk, enqueues the host→device transfers the
+chunk needs, launches the kernel sub-range, reads results back and
+merges reduction outputs.  The simulated wall-clock of the whole launch
+is the maximum over the per-device timelines — transfers included, per
+the paper's measurement methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..compiler.frontend import CompiledKernel
+from ..compiler.splitter import DistributionKind, plan_chunks
+from ..inspire.ast import ParamIntent
+from ..ocl.context import Context
+from ..ocl.events import Event
+from ..ocl.queue import KernelLaunch
+from ..partitioning import Partitioning
+
+__all__ = ["ExecutorFn", "ExecutionRequest", "ExecutionResult", "execute_partitioned"]
+
+#: Functional payload: (arrays, scalars, item_offset, item_count) -> None.
+#: Must write only outputs derivable from work items in
+#: [item_offset, item_offset + item_count).
+ExecutorFn = Callable[[dict[str, np.ndarray], Mapping[str, float | int], int, int], None]
+
+
+@dataclass(frozen=True)
+class ExecutionRequest:
+    """Everything needed to run one kernel on one problem instance.
+
+    Attributes:
+        compiled: the compiled kernel (analysis + distributions).
+        arrays: host arrays keyed by buffer parameter name.
+        scalars: scalar kernel arguments keyed by parameter name.
+        total_items: ND-range extent along the partition axis.
+        executor: vectorized functional implementation.
+        granularity: work-group size; chunks align to it.
+        iterations: kernel launches per transfer cycle (time steps,
+            refinement rounds); functional execution runs once.
+        refresh_buffers: FULL-distributed inputs re-broadcast to every
+            active device on each iteration after the first, when two or
+            more devices are active (multi-device synchronization cost).
+    """
+
+    compiled: CompiledKernel
+    arrays: Mapping[str, np.ndarray]
+    scalars: Mapping[str, float | int]
+    total_items: int
+    executor: ExecutorFn
+    granularity: int = 16
+    iterations: int = 1
+    refresh_buffers: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.total_items <= 0:
+            raise ValueError("total_items must be positive")
+        if self.granularity < 1:
+            raise ValueError("granularity must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        unknown = set(self.refresh_buffers) - {
+            p.name for p in self.compiled.kernel.buffer_params
+        }
+        if unknown:
+            raise ValueError(f"refresh_buffers name unknown buffers: {sorted(unknown)}")
+        param_buffers = {p.name for p in self.compiled.kernel.buffer_params}
+        missing = param_buffers - set(self.arrays)
+        if missing:
+            raise ValueError(f"missing arrays for buffers: {sorted(missing)}")
+        param_scalars = {p.name for p in self.compiled.kernel.scalar_params}
+        missing_s = param_scalars - set(self.scalars)
+        if missing_s:
+            raise ValueError(f"missing scalar args: {sorted(missing_s)}")
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one partitioned execution."""
+
+    partitioning: Partitioning
+    makespan_s: float
+    device_busy_s: tuple[float, ...]
+    events: tuple[Event, ...] = field(repr=False, default=())
+
+    @property
+    def active_device_count(self) -> int:
+        return sum(1 for t in self.device_busy_s if t > 0)
+
+
+_REDUCE_IDENTITY = {
+    "sum": lambda dtype: np.zeros(1, dtype=dtype)[0],
+    "min": lambda dtype: np.array(
+        np.inf if np.issubdtype(dtype, np.floating) else np.iinfo(dtype).max, dtype=dtype
+    )[()],
+    "max": lambda dtype: np.array(
+        -np.inf if np.issubdtype(dtype, np.floating) else np.iinfo(dtype).min, dtype=dtype
+    )[()],
+}
+
+_REDUCE_MERGE = {
+    "sum": lambda host, private: np.add(host, private, out=host),
+    "min": lambda host, private: np.minimum(host, private, out=host),
+    "max": lambda host, private: np.maximum(host, private, out=host),
+}
+
+
+def execute_partitioned(
+    context: Context,
+    request: ExecutionRequest,
+    partitioning: Partitioning,
+    functional: bool = True,
+) -> ExecutionResult:
+    """Run a kernel split across the context's devices.
+
+    With ``functional=False`` only the timing side runs — the training
+    sweep measures dozens of partitionings per problem size and the
+    functional result is partition-invariant, so recomputing it would
+    only burn host time (the simulated clock is unaffected).
+    """
+    if partitioning.num_devices != context.num_devices:
+        raise ValueError(
+            f"partitioning has {partitioning.num_devices} shares but the "
+            f"context has {context.num_devices} devices"
+        )
+    compiled = request.compiled
+    kernel = compiled.kernel
+    buffer_sizes = {name: int(a.size) for name, a in request.arrays.items()}
+    chunks = plan_chunks(
+        request.total_items,
+        partitioning,
+        compiled.distribution,
+        buffer_sizes,
+        request.granularity,
+    )
+
+    context.reset_timelines()
+    scalar_args = {k: float(v) for k, v in request.scalars.items()}
+
+    # Private copies for reduction-merged outputs, one per active device.
+    reduced_names = [
+        name
+        for name in request.arrays
+        if compiled.distribution.of(name).kind is DistributionKind.REDUCED
+        and kernel.param(name).intent is not ParamIntent.IN
+    ]
+    private_copies: dict[int, dict[str, np.ndarray]] = {}
+
+    buffers = {
+        name: context.create_buffer(name, np.asarray(arr))
+        for name, arr in request.arrays.items()
+    }
+
+    active_devices = sum(1 for c in chunks if not c.is_empty)
+    all_events: list[Event] = []
+    for chunk in chunks:
+        if chunk.is_empty:
+            continue
+        device = context.devices[chunk.device_index]
+        queue = context.queue_for(device)
+
+        # 1. Host→device transfers for inputs this chunk reads.
+        for p in kernel.buffer_params:
+            if p.intent not in (ParamIntent.IN, ParamIntent.INOUT):
+                continue
+            off, cnt = chunk.buffer_ranges[p.name]
+            if cnt > 0:
+                all_events.append(queue.enqueue_write(buffers[p.name].slice(off, cnt)))
+
+        # 2. Kernel launches (iterated); functional payload runs once.
+        functional_payload = None
+        if functional:
+            device_arrays = dict(request.arrays)
+            if reduced_names:
+                copies: dict[str, np.ndarray] = {}
+                for name in reduced_names:
+                    host = request.arrays[name]
+                    op = compiled.distribution.of(name).reduce_op
+                    identity = _REDUCE_IDENTITY[op](host.dtype)
+                    copies[name] = np.full_like(host, identity)
+                private_copies[chunk.device_index] = copies
+                device_arrays.update(copies)
+
+            def payload(
+                arrays: dict[str, np.ndarray] = device_arrays,
+                offset: int = chunk.item_offset,
+                count: int = chunk.item_count,
+            ) -> None:
+                request.executor(arrays, request.scalars, offset, count)
+
+            functional_payload = payload
+        launch = KernelLaunch(
+            kernel_name=kernel.name,
+            analysis=compiled.analysis,
+            items=chunk.item_count,
+            scalar_args=scalar_args,
+            functional=functional_payload,
+        )
+        all_events.append(queue.enqueue_kernel(launch))
+        if request.iterations > 1:
+            steady = KernelLaunch(
+                kernel_name=kernel.name,
+                analysis=compiled.analysis,
+                items=chunk.item_count,
+                scalar_args=scalar_args,
+                functional=None,
+            )
+            for _ in range(request.iterations - 1):
+                # Multi-device iteration requires re-synchronizing shared
+                # state: halo rows of HALO-distributed inputs, and any
+                # declared refresh buffers, cross the bus every step.
+                if active_devices > 1:
+                    for p in kernel.buffer_params:
+                        if p.intent is ParamIntent.OUT:
+                            continue
+                        dist = compiled.distribution.of(p.name)
+                        if dist.kind is DistributionKind.HALO:
+                            halo_elems = min(
+                                2 * dist.halo, buffer_sizes[p.name]
+                            )
+                            if halo_elems > 0:
+                                all_events.append(
+                                    queue.enqueue_write(
+                                        buffers[p.name].slice(0, halo_elems)
+                                    )
+                                )
+                        elif p.name in request.refresh_buffers:
+                            off, cnt = chunk.buffer_ranges[p.name]
+                            if cnt > 0:
+                                all_events.append(
+                                    queue.enqueue_write(
+                                        buffers[p.name].slice(off, cnt)
+                                    )
+                                )
+                all_events.append(queue.enqueue_kernel(steady))
+
+        # 3. Device→host read-back of outputs (halo-free written range).
+        for p in kernel.buffer_params:
+            if p.intent not in (ParamIntent.OUT, ParamIntent.INOUT):
+                continue
+            dist = compiled.distribution.of(p.name)
+            if dist.kind is DistributionKind.REDUCED or dist.kind is DistributionKind.FULL:
+                off, cnt = 0, buffer_sizes[p.name]
+            else:
+                epi = dist.elements_per_item
+                off = int(chunk.item_offset * epi)
+                stop = min(buffer_sizes[p.name], int((chunk.item_offset + chunk.item_count) * epi))
+                cnt = max(0, stop - off)
+            if cnt > 0:
+                all_events.append(queue.enqueue_read(buffers[p.name].slice(off, cnt)))
+
+    # 4. Merge reduction outputs into the host arrays.
+    if functional and private_copies:
+        for name in reduced_names:
+            op = compiled.distribution.of(name).reduce_op
+            merge = _REDUCE_MERGE[op]
+            host = request.arrays[name]
+            for copies in private_copies.values():
+                merge(host, copies[name])
+
+    busy = tuple(d.clock_s for d in context.devices)
+    return ExecutionResult(
+        partitioning=partitioning,
+        makespan_s=context.makespan_s(),
+        device_busy_s=busy,
+        events=tuple(all_events),
+    )

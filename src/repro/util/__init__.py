@@ -1,0 +1,6 @@
+"""Shared utilities: ASCII tables, seeded RNG helpers."""
+
+from .rng import derive_seed, rng_for
+from .tables import format_series, format_table
+
+__all__ = ["format_table", "format_series", "rng_for", "derive_seed"]

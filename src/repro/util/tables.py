@@ -1,0 +1,64 @@
+"""ASCII table / series rendering for experiment reports.
+
+The experiment harnesses print the same rows and series the paper's
+tables and figures report; these helpers keep that output aligned and
+diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt_cell(value: object, ndigits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    ndigits: int = 3,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows = [[_fmt_cell(c, ndigits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out: list[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    ndigits: int = 3,
+) -> str:
+    """Render one figure series as ``name: (x, y) ...`` pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    pairs = ", ".join(f"({_fmt_cell(x, ndigits)}, {y:.{ndigits}f})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchsuite import all_benchmarks, get_benchmark
+from repro.inspire import FLOAT, INT, Intent, KernelBuilder
+from repro.machines import MC1, MC2
+
+#: Small-but-nontrivial sizes per benchmark for interpreter-based tests
+#: (the reference interpreter is deliberately slow Python).
+TINY_SIZES: dict[str, int] = {
+    "vec_add": 64,
+    "saxpy": 64,
+    "dot_product": 256,
+    "mat_mul": 8,
+    "black_scholes": 32,
+    "mandelbrot": 8,
+    "nbody": 16,
+    "histogram": 128,
+    "reduction": 256,
+    "triad": 64,
+    "spmv": 32,
+    "md": 32,
+    "stencil2d": 8,
+    "hotspot": 8,
+    "kmeans": 48,
+    "nn": 64,
+    "srad": 8,
+    "pathfinder": 64,
+    "bfs": 64,
+    "backprop": 16,
+    "conv2d": 8,
+    "atax": 16,
+    "mvt": 16,
+}
+
+#: Sizes large enough to partition but cheap to execute functionally.
+SMALL_SIZES: dict[str, int] = {name: b.problem_sizes()[0] for name, b in
+                               ((b.name, b) for b in all_benchmarks())}
+
+
+@pytest.fixture(scope="session")
+def benchmarks():
+    return all_benchmarks()
+
+
+@pytest.fixture(scope="session")
+def mc1():
+    return MC1
+
+
+@pytest.fixture(scope="session")
+def mc2():
+    return MC2
+
+
+@pytest.fixture
+def saxpy_kernel():
+    """A small well-formed kernel used across compiler tests."""
+    b = KernelBuilder("saxpy_t", dim=1)
+    x = b.buffer("x", FLOAT, Intent.IN)
+    y = b.buffer("y", FLOAT, Intent.INOUT)
+    a = b.scalar("a", FLOAT)
+    n = b.scalar("n", INT)
+    gid = b.global_id(0)
+    with b.if_(gid < n):
+        b.store(y, gid, a * b.load(x, gid) + b.load(y, gid))
+    return b.finish()
+
+
+def tiny_instance(name: str, seed: int = 1):
+    """A tiny ProblemInstance for interpreter-speed tests."""
+    bench = get_benchmark(name)
+    return bench, bench.make_instance(TINY_SIZES[name], seed=seed)

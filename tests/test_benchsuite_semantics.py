@@ -1,0 +1,103 @@
+"""Semantic validation of all 23 benchmarks.
+
+Three-way agreement is required for every program:
+  1. the IR kernel under the reference interpreter,
+  2. the vectorized NumPy device executor,
+  3. the analytical reference implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite import all_benchmarks, benchmark_names, get_benchmark
+from repro.inspire import run_kernel
+from tests.conftest import TINY_SIZES
+
+#: Benchmarks whose reduction outputs need looser tolerances (float32
+#: accumulation order differs between interpreter and NumPy).
+LOOSE = {"dot_product": 5e-2, "reduction": 5e-2, "nbody": 1e-2, "md": 1e-2}
+
+
+def _global_size(bench, inst):
+    kernel = bench.compiled(inst).kernel
+    if kernel.dim == 1:
+        return (inst.total_items,)
+    w = int(inst.scalars["w"]) if "w" in inst.scalars else int(inst.scalars["N"])
+    return (w, inst.total_items // w)
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_interpreter_matches_reference(name):
+    bench, inst = get_benchmark(name), get_benchmark(name).make_instance(TINY_SIZES[name], seed=1)
+    expected = bench.reference(inst)
+    run_kernel(
+        bench.compiled(inst).kernel,
+        _global_size(bench, inst),
+        dict(inst.arrays),
+        dict(inst.scalars),
+    )
+    tol = LOOSE.get(name, 2e-3)
+    for out in inst.output_names:
+        assert np.allclose(
+            inst.arrays[out], expected[out], rtol=tol, atol=tol
+        ), f"{name}: interpreter output {out!r} diverges from reference"
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_executor_full_range_matches_reference(name):
+    bench = get_benchmark(name)
+    inst = bench.make_instance(TINY_SIZES[name], seed=2)
+    expected = bench.reference(inst)
+    bench.execute(dict(inst.arrays), inst.scalars, 0, inst.total_items)
+    for out in inst.output_names:
+        assert np.allclose(
+            inst.arrays[out], expected[out], rtol=1e-4, atol=1e-4
+        ), f"{name}: executor output {out!r} diverges from reference"
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_executor_subranges_compose(name):
+    """Executing two halves must equal executing the full range.
+
+    REDUCED-output benchmarks accumulate, so running disjoint halves on
+    the same arrays composes by construction too.
+    """
+    bench = get_benchmark(name)
+    inst_full = bench.make_instance(TINY_SIZES[name], seed=3)
+    inst_half = inst_full.fresh_copy()
+    expected = bench.reference(inst_full)
+    total = inst_full.total_items
+    g = inst_full.granularity
+    mid = max(g, (total // 2) // g * g)
+    if mid >= total:
+        mid = total // 2
+    bench.execute(dict(inst_half.arrays), inst_half.scalars, 0, mid)
+    bench.execute(dict(inst_half.arrays), inst_half.scalars, mid, total - mid)
+    tol = LOOSE.get(name, 1e-4)
+    for out in inst_full.output_names:
+        assert np.allclose(
+            inst_half.arrays[out], expected[out], rtol=tol, atol=tol
+        ), f"{name}: split execution diverges at boundary"
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_executor_out_of_range_requests_are_safe(name):
+    bench = get_benchmark(name)
+    inst = bench.make_instance(TINY_SIZES[name], seed=4)
+    # Asking for work beyond the range must clamp, not crash or write OOB.
+    bench.execute(dict(inst.arrays), inst.scalars, inst.total_items, 64)
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_instances_deterministic_in_seed(name):
+    bench = get_benchmark(name)
+    a = bench.make_instance(TINY_SIZES[name], seed=9)
+    b = bench.make_instance(TINY_SIZES[name], seed=9)
+    c = bench.make_instance(TINY_SIZES[name], seed=10)
+    for key in a.arrays:
+        assert np.array_equal(a.arrays[key], b.arrays[key])
+    assert any(
+        not np.array_equal(a.arrays[k], c.arrays[k])
+        for k in a.arrays
+        if a.arrays[k].size > 1 and not np.array_equal(a.arrays[k], np.zeros_like(a.arrays[k]))
+    ) or name == "mandelbrot"  # mandelbrot has no random inputs

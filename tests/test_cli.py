@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestListAndMachines:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "vec_add" in out and "mvt" in out
+        assert out.count("\n") >= 24
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "mc1" in out and "mc2" in out
+        assert "host-resident" in out
+        assert "PCIe" in out
+
+
+class TestKernel:
+    def test_kernel_emission(self, capsys):
+        assert main(["kernel", "saxpy"]) == 0
+        out = capsys.readouterr().out
+        assert "__kernel void saxpy" in out
+        assert "__chunk_offset" in out
+        assert "clEnqueueNDRangeKernel" in out
+
+    def test_unknown_program(self):
+        with pytest.raises(KeyError):
+            main(["kernel", "nope"])
+
+
+class TestRun:
+    def test_run_default_machine(self, capsys):
+        assert main(["run", "vec_add", "--size", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu-only" in out and "gpu-only" in out and "oracle" in out
+
+    def test_run_with_custom_partitioning(self, capsys):
+        assert main(
+            ["run", "triad", "--machine", "mc1", "--size", "16384",
+             "--partitioning", "40/30/30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "40/30/30" in out
+
+
+class TestTrainAndReport:
+    def test_train_then_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        # Training on the full suite is slow; patch the suite down.
+        import repro.cli as cli
+        from repro.benchsuite import get_benchmark
+
+        small = tuple(get_benchmark(n) for n in ("vec_add", "mat_mul", "hotspot"))
+        monkeypatch.setattr(cli, "all_benchmarks", lambda: small)
+
+        out_path = tmp_path / "db.json"
+        assert main(
+            ["train", "mc2", "--output", str(out_path), "--max-sizes", "2"]
+        ) == 0
+        txt = capsys.readouterr().out
+        assert "wrote 6 records" in txt
+        doc = json.loads(out_path.read_text())
+        assert len(doc["records"]) == 6
+
+        assert main(["report", str(out_path), "--model", "knn"]) == 0
+        report = capsys.readouterr().out
+        assert "REPRODUCTION REPORT" in report
+        assert "Figure 1 [mc2]" in report
+        assert "Size sensitivity" in report

@@ -1,0 +1,88 @@
+"""Tests for the multi-device backend (offset rewriting + codegen)."""
+
+import numpy as np
+
+from repro.compiler import OFFSET_PARAM, compile_kernel, make_offset_kernel
+from repro.inspire import FLOAT, INT, Intent, KernelBuilder, run_kernel, validate_kernel
+
+
+class TestOffsetKernel:
+    def test_offset_param_added(self, saxpy_kernel):
+        offset = make_offset_kernel(saxpy_kernel)
+        assert offset.params[-1].name == OFFSET_PARAM
+        assert offset.name == saxpy_kernel.name + "_md"
+        validate_kernel(offset)
+
+    def test_offset_semantics_match_subrange(self, saxpy_kernel):
+        """Running the offset kernel over [0, c) with offset o must equal
+        running the original over global ids [o, o+c)."""
+        offset_kernel = make_offset_kernel(saxpy_kernel)
+        n = 16
+        x = np.arange(n, dtype=np.float32)
+        y1 = np.ones(n, dtype=np.float32)
+        y2 = np.ones(n, dtype=np.float32)
+        # Original: work items 5..11 via interpreter offset.
+        run_kernel(saxpy_kernel, (6,), {"x": x, "y": y1}, {"a": 3.0, "n": n}, offset=(5,))
+        # Multi-device form: plain range + explicit offset argument.
+        run_kernel(
+            offset_kernel,
+            (6,),
+            {"x": x, "y": y2},
+            {"a": 3.0, "n": n, OFFSET_PARAM: 5},
+        )
+        assert np.array_equal(y1, y2)
+
+    def test_2d_offsets_last_dim(self):
+        b = KernelBuilder("rows", dim=2)
+        out = b.buffer("out", INT, Intent.OUT)
+        w = b.scalar("w", INT)
+        col = b.global_id(0)
+        row = b.global_id(1)
+        b.store(out, row * w + col, row)
+        k = b.finish()
+        mk = make_offset_kernel(k)
+        out = np.full(12, -1, dtype=np.int32)
+        run_kernel(mk, (4, 1), {"out": out}, {"w": 4, OFFSET_PARAM: 2})
+        assert list(out.reshape(3, 4)[2]) == [2, 2, 2, 2]
+        assert np.all(out.reshape(3, 4)[:2] == -1)
+
+
+class TestEmission:
+    def test_md_source_contains_offset(self, saxpy_kernel):
+        compiled = compile_kernel(saxpy_kernel)
+        assert OFFSET_PARAM in compiled.program.md_source
+        assert f"get_global_id(0) + {OFFSET_PARAM}" in compiled.program.md_source
+        assert OFFSET_PARAM not in compiled.program.source
+
+    def test_host_plan_mentions_transfers(self, saxpy_kernel):
+        compiled = compile_kernel(saxpy_kernel)
+        plan = compiled.program.host_plan
+        assert "clEnqueueWriteBuffer" in plan
+        assert "clEnqueueNDRangeKernel" in plan
+        assert "clEnqueueReadBuffer" in plan
+
+    def test_all_benchmarks_emit(self, benchmarks):
+        for bench in benchmarks:
+            compiled = bench.compiled()
+            assert "__kernel" in compiled.program.md_source
+            assert OFFSET_PARAM in compiled.program.md_source
+
+
+class TestCompileKernel:
+    def test_unknown_override_rejected(self, saxpy_kernel):
+        import pytest
+
+        from repro.compiler import BufferDistribution
+
+        with pytest.raises(KeyError):
+            compile_kernel(saxpy_kernel, {"ghost": BufferDistribution.full()})
+
+    def test_static_features_exposed(self, saxpy_kernel):
+        compiled = compile_kernel(saxpy_kernel)
+        feats = compiled.static_features()
+        assert feats["st_loads"] > 0
+        assert compiled.name == "saxpy_t"
+
+    def test_unoptimized_compile(self, saxpy_kernel):
+        compiled = compile_kernel(saxpy_kernel, optimize=False)
+        assert compiled.kernel == saxpy_kernel

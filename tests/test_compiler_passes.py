@@ -1,0 +1,158 @@
+"""Tests for the IR normalization passes."""
+
+import pytest
+
+from repro.compiler import constant_fold, dead_store_elimination, run_default_passes, simplify_algebra
+from repro.inspire import FLOAT, INT, Intent, KernelBuilder, analyze_kernel, const
+from repro.inspire import ast as ir
+from repro.inspire.visitors import walk
+
+
+def _consts_in(kernel):
+    return [n for n in walk(kernel.body) if isinstance(n, ir.Const)]
+
+
+class TestConstantFold:
+    def test_folds_arithmetic(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        b.store(out, 0, const(2.0, FLOAT) * 3.0 + 4.0)
+        folded = constant_fold(b.finish())
+        stores = [s for s in walk(folded.body) if isinstance(s, ir.Store)]
+        assert isinstance(stores[0].value, ir.Const)
+        assert stores[0].value.value == pytest.approx(10.0)
+
+    def test_folds_comparisons(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        with b.if_(const(3) > 2):
+            b.store(out, 0, 1.0)
+        folded = constant_fold(b.finish())
+        cond = [s for s in walk(folded.body) if isinstance(s, ir.If)][0].cond
+        assert isinstance(cond, ir.Const) and cond.value is True
+
+    def test_preserves_variables(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        x = b.scalar("x", FLOAT)
+        b.store(out, 0, x + 1.0)
+        folded = constant_fold(b.finish())
+        stores = [s for s in walk(folded.body) if isinstance(s, ir.Store)]
+        assert isinstance(stores[0].value, ir.BinOp)
+
+    def test_integer_division_semantics(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", INT, Intent.OUT)
+        b.store(out, 0, const(7, INT) / 2)
+        folded = constant_fold(b.finish())
+        stores = [s for s in walk(folded.body) if isinstance(s, ir.Store)]
+        assert stores[0].value.value == 3
+
+    def test_division_by_zero_not_folded(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", INT, Intent.OUT)
+        b.store(out, 0, const(7, INT) / 0)
+        folded = constant_fold(b.finish())
+        stores = [s for s in walk(folded.body) if isinstance(s, ir.Store)]
+        assert isinstance(stores[0].value, ir.BinOp)
+
+    def test_select_on_constant_condition(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        x = b.scalar("x", FLOAT)
+        b.store(out, 0, b.select(const(True, ir.BOOL if hasattr(ir, "BOOL") else None) if False else (const(1) > 0), x, x * 2.0))
+        folded = constant_fold(b.finish())
+        stores = [s for s in walk(folded.body) if isinstance(s, ir.Store)]
+        assert isinstance(stores[0].value, ir.Var)
+
+
+class TestSimplifyAlgebra:
+    def test_mul_by_one(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        x = b.scalar("x", FLOAT)
+        b.store(out, 0, x * 1.0)
+        simp = simplify_algebra(b.finish())
+        stores = [s for s in walk(simp.body) if isinstance(s, ir.Store)]
+        assert isinstance(stores[0].value, (ir.Var, ir.Cast))
+
+    def test_add_zero(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        x = b.scalar("x", FLOAT)
+        b.store(out, 0, x + 0.0)
+        simp = simplify_algebra(b.finish())
+        stores = [s for s in walk(simp.body) if isinstance(s, ir.Store)]
+        assert not isinstance(stores[0].value, ir.BinOp)
+
+    def test_mul_by_zero(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        x = b.scalar("x", FLOAT)
+        b.store(out, 0, x * 0.0)
+        simp = simplify_algebra(b.finish())
+        stores = [s for s in walk(simp.body) if isinstance(s, ir.Store)]
+        assert isinstance(stores[0].value, ir.Const)
+        assert stores[0].value.value == 0.0
+
+    def test_identity_ops_do_not_inflate_features(self):
+        b1 = KernelBuilder("raw")
+        out = b1.buffer("out", FLOAT, Intent.OUT)
+        x = b1.scalar("x", FLOAT)
+        b1.store(out, 0, (x * 1.0 + 0.0) * 1.0)
+        normalized = run_default_passes(b1.finish())
+        counts = analyze_kernel(normalized).op_counts()
+        assert counts.float_ops == 0.0
+
+
+class TestDeadStoreElimination:
+    def test_removes_unused_local(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        x = b.scalar("x", FLOAT)
+        b.let("unused", x * 2.0)
+        b.store(out, 0, x)
+        pruned = dead_store_elimination(b.finish())
+        assigns = [s for s in walk(pruned.body) if isinstance(s, ir.Assign)]
+        assert not assigns
+
+    def test_keeps_used_local(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        x = b.scalar("x", FLOAT)
+        v = b.let("v", x * 2.0)
+        b.store(out, 0, v)
+        pruned = dead_store_elimination(b.finish())
+        assigns = [s for s in walk(pruned.body) if isinstance(s, ir.Assign)]
+        assert len(assigns) == 1
+
+    def test_keeps_local_used_in_condition(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        x = b.scalar("x", FLOAT)
+        v = b.let("v", x * 2.0)
+        with b.if_(v > 0.0):
+            b.store(out, 0, 1.0)
+        pruned = dead_store_elimination(b.finish())
+        assigns = [s for s in walk(pruned.body) if isinstance(s, ir.Assign)]
+        assert len(assigns) == 1
+
+
+class TestPipeline:
+    def test_default_passes_preserve_semantics(self, saxpy_kernel):
+        import numpy as np
+
+        from repro.inspire import run_kernel
+
+        normalized = run_default_passes(saxpy_kernel)
+        x = np.arange(8, dtype=np.float32)
+        y1 = np.ones(8, dtype=np.float32)
+        y2 = np.ones(8, dtype=np.float32)
+        run_kernel(saxpy_kernel, (8,), {"x": x, "y": y1}, {"a": 2.0, "n": 8})
+        run_kernel(normalized, (8,), {"x": x, "y": y2}, {"a": 2.0, "n": 8})
+        assert np.array_equal(y1, y2)
+
+    def test_passes_idempotent(self, saxpy_kernel):
+        once = run_default_passes(saxpy_kernel)
+        twice = run_default_passes(once)
+        assert once == twice

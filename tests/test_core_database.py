@@ -1,0 +1,111 @@
+"""Tests for the training database."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import TrainingDatabase, TrainingRecord
+from repro.partitioning import Partitioning
+
+
+def _record(machine="mc1", program="p1", size=64, best="100/0/0", t_best=1.0):
+    timings = {"100/0/0": t_best, "0/100/0": t_best * 2, "0/50/50": t_best * 3}
+    timings[best] = t_best
+    return TrainingRecord.from_timings(
+        machine=machine,
+        program=program,
+        size=size,
+        features={"st_x": 1.0, "rt_y": float(size)},
+        timings=timings,
+    )
+
+
+class TestTrainingRecord:
+    def test_best_derived_from_sweep(self):
+        r = _record()
+        assert r.best_label == "100/0/0"
+        assert r.best_time == 1.0
+        assert r.best_partitioning == Partitioning((100, 0, 0))
+
+    def test_time_of(self):
+        r = _record()
+        assert r.time_of(Partitioning((0, 100, 0))) == 2.0
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingRecord.from_timings("m", "p", 1, {}, {})
+
+    def test_inconsistent_best_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingRecord("m", "p", 1, {}, {"100/0/0": 1.0}, best_label="0/100/0")
+
+
+class TestDatabaseQueries:
+    def _db(self):
+        db = TrainingDatabase()
+        for m in ("mc1", "mc2"):
+            for p in ("p1", "p2", "p3"):
+                for s in (64, 256):
+                    db.add(_record(machine=m, program=p, size=s))
+        return db
+
+    def test_len_and_iter(self):
+        db = self._db()
+        assert len(db) == 12
+        assert len(list(db)) == 12
+
+    def test_machines_and_programs(self):
+        db = self._db()
+        assert db.machines() == ("mc1", "mc2")
+        assert db.programs() == ("p1", "p2", "p3")
+
+    def test_for_machine(self):
+        db = self._db().for_machine("mc1")
+        assert len(db) == 6
+        assert all(r.machine == "mc1" for r in db)
+
+    def test_excluding_program_lopo(self):
+        db = self._db().excluding_program("p2")
+        assert "p2" not in db.programs()
+        assert len(db) == 8
+
+    def test_matrices_shapes(self):
+        db = self._db()
+        X, y, groups = db.matrices()
+        assert X.shape == (12, 2)
+        assert y.shape == (12,)
+        assert len(groups) == 12
+
+    def test_matrices_on_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingDatabase().matrices()
+
+    def test_inconsistent_features_rejected(self):
+        db = TrainingDatabase([_record()])
+        bad = TrainingRecord.from_timings(
+            "mc1", "p9", 1, {"other": 1.0}, {"100/0/0": 1.0}
+        )
+        db.add(bad)
+        with pytest.raises(ValueError):
+            db.feature_names()
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        db = TrainingDatabase([_record(), _record(program="p2", size=128)])
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = TrainingDatabase.load(path)
+        assert len(loaded) == 2
+        assert loaded.records[0] == db.records[0]
+        X1, y1, _ = db.matrices()
+        X2, y2, _ = loaded.matrices()
+        assert np.array_equal(X1, X2)
+        assert list(y1) == list(y2)
+
+    def test_schema_version_checked(self, tmp_path):
+        path = tmp_path / "db.json"
+        TrainingDatabase([_record()]).save(path)
+        doc = path.read_text().replace('"schema_version": 1', '"schema_version": 99')
+        path.write_text(doc)
+        with pytest.raises(ValueError, match="schema"):
+            TrainingDatabase.load(path)

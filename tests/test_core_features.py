@@ -1,0 +1,111 @@
+"""Tests for feature extraction (the paper's two feature classes)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core.features import (
+    MAGNITUDE_FEATURES,
+    combined_features,
+    feature_vector,
+    runtime_feature_dict,
+    static_feature_dict,
+)
+
+
+class TestStaticFeatures:
+    def test_prefixed_and_finite(self):
+        bench = get_benchmark("mat_mul")
+        feats = static_feature_dict(bench.compiled())
+        assert all(k.startswith("st_") for k in feats)
+        assert all(math.isfinite(v) for v in feats.values())
+
+    def test_independent_of_problem_size(self):
+        bench = get_benchmark("mat_mul")
+        a = static_feature_dict(bench.compiled(bench.make_instance(64)))
+        b = static_feature_dict(bench.compiled(bench.make_instance(512)))
+        assert a == b
+
+    def test_discriminates_kernels(self):
+        f1 = static_feature_dict(get_benchmark("vec_add").compiled())
+        f2 = static_feature_dict(get_benchmark("black_scholes").compiled())
+        assert f1["st_transcendental_ops"] == 0.0
+        assert f2["st_transcendental_ops"] > 0.0
+
+
+class TestRuntimeFeatures:
+    def test_prefixed_and_finite(self):
+        bench = get_benchmark("spmv")
+        inst = bench.make_instance(1 << 12)
+        feats = runtime_feature_dict(bench.compiled(inst), inst)
+        assert all(k.startswith("rt_") for k in feats)
+        assert all(math.isfinite(v) for v in feats.values())
+
+    def test_scale_with_problem_size(self):
+        bench = get_benchmark("vec_add")
+        small = bench.make_instance(1 << 12)
+        big = bench.make_instance(1 << 20)
+        f_small = runtime_feature_dict(bench.compiled(small), small)
+        f_big = runtime_feature_dict(bench.compiled(big), big)
+        assert f_big["rt_items"] == 256 * f_small["rt_items"]
+        assert f_big["rt_transfer_in_bytes"] == 256 * f_small["rt_transfer_in_bytes"]
+
+    def test_loop_bound_feature_is_size_sensitive(self):
+        """mat_mul's per-item op count grows with K — the core of the
+        paper's 'runtime features' argument."""
+        bench = get_benchmark("mat_mul")
+        small = bench.make_instance(64)
+        big = bench.make_instance(512)
+        f_small = runtime_feature_dict(bench.compiled(small), small)
+        f_big = runtime_feature_dict(bench.compiled(big), big)
+        assert f_big["rt_ops_per_item"] > 4 * f_small["rt_ops_per_item"]
+
+    def test_iterations_counted(self):
+        bench = get_benchmark("hotspot")
+        inst = bench.make_instance(128)
+        feats = runtime_feature_dict(bench.compiled(inst), inst)
+        assert feats["rt_iterations"] == bench.ITERATIONS
+
+    def test_transfer_split_vs_full(self):
+        """nbody gathers positions on every device: split share < total."""
+        bench = get_benchmark("nbody")
+        inst = bench.make_instance(1024)
+        feats = runtime_feature_dict(bench.compiled(inst), inst)
+        assert feats["rt_split_transfer_in_bytes"] < feats["rt_transfer_in_bytes"]
+
+    def test_mandelbrot_has_no_input_transfer(self):
+        bench = get_benchmark("mandelbrot")
+        inst = bench.make_instance(64)
+        feats = runtime_feature_dict(bench.compiled(inst), inst)
+        assert feats["rt_transfer_in_bytes"] == 0.0
+        assert feats["rt_transfer_out_bytes"] > 0.0
+
+
+class TestVectorization:
+    def test_combined_has_both_classes(self):
+        bench = get_benchmark("kmeans")
+        inst = bench.make_instance(1 << 12)
+        feats = combined_features(bench.compiled(inst), inst)
+        assert any(k.startswith("st_") for k in feats)
+        assert any(k.startswith("rt_") for k in feats)
+
+    def test_vectorization_order_and_log(self):
+        feats = {"rt_items": float(np.e - 1), "st_divergence": 0.5}
+        names = ("rt_items", "st_divergence")
+        vec = feature_vector(feats, names)
+        assert vec[0] == pytest.approx(1.0)  # log1p applied
+        assert vec[1] == pytest.approx(0.5)  # ratio passes through
+
+    def test_missing_feature_raises(self):
+        with pytest.raises(KeyError):
+            feature_vector({"a": 1.0}, ("a", "b"))
+
+    def test_magnitude_set_covers_count_features(self):
+        bench = get_benchmark("mat_mul")
+        inst = bench.make_instance(64)
+        feats = combined_features(bench.compiled(inst), inst)
+        big = [k for k, v in feats.items() if v > 1e4]
+        for k in big:
+            assert k in MAGNITUDE_FEATURES, f"{k} is huge but not log-compressed"

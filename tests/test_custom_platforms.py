@@ -1,0 +1,72 @@
+"""Generality: the pipeline is not hard-wired to three-device machines."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import TrainingConfig, evaluate_lopo, generate_training_data
+from repro.machines import make_cpu_spec, make_gpu_spec
+from repro.ocl import Platform
+from repro.partitioning import Partitioning, partition_space
+from repro.runtime import Runner, cpu_only, gpu_only, oracle_search
+
+
+@pytest.fixture(scope="module")
+def laptop():
+    """A CPU + single-GPU machine (the common developer box)."""
+    return Platform(
+        name="laptop",
+        device_specs=(
+            make_cpu_spec("mobile CPU", cores=4, clock_ghz=2.4, mem_bandwidth_gbs=20.0,
+                          scalar_issue_efficiency=0.3),
+            make_gpu_spec("mobile GPU", compute_units=6, lanes_per_unit=32,
+                          clock_ghz=1.0, mem_bandwidth_gbs=80.0,
+                          pcie_bandwidth_gbs=4.0),
+        ),
+        description="1 CPU + 1 GPU",
+    )
+
+
+class TestTwoDeviceMachine:
+    def test_partition_space_is_11_points(self, laptop):
+        assert len(partition_space(laptop.num_devices, 10)) == 11
+
+    def test_strategies(self, laptop):
+        assert cpu_only(laptop).shares == (100, 0)
+        assert gpu_only(laptop).shares == (0, 100)
+
+    def test_partitioned_execution_exact(self, laptop):
+        bench = get_benchmark("vec_add")
+        inst = bench.make_instance(4096, seed=0)
+        runner = Runner(laptop)
+        runner.run(bench.request(inst), Partitioning((70, 30)))
+        assert np.array_equal(inst.arrays["c"], inst.arrays["a"] + inst.arrays["b"])
+
+    def test_oracle_search_over_11_points(self, laptop):
+        bench = get_benchmark("mat_mul")
+        inst = bench.make_instance(128, seed=0)
+        req = bench.request(inst)
+        runner = Runner(laptop)
+        space = partition_space(2, 10)
+        best, t = oracle_search(lambda p: runner.time_of(req, p), space=space)
+        assert best in space and t > 0
+
+    def test_full_training_and_lopo(self, laptop):
+        suite = tuple(get_benchmark(n) for n in ("vec_add", "mat_mul", "kmeans"))
+        db = generate_training_data(laptop, suite, TrainingConfig(max_sizes=2))
+        assert len(db) == 6
+        assert all(len(r.timings) == 11 for r in db)
+        ev = evaluate_lopo(laptop, db, model_kind="knn")
+        assert len(ev.programs) == 3
+
+
+class TestCoarseStepMachine:
+    def test_trainer_respects_step_config(self, laptop):
+        suite = (get_benchmark("vec_add"),)
+        db = generate_training_data(
+            laptop, suite, TrainingConfig(max_sizes=1, step_percent=25)
+        )
+        assert all(len(r.timings) == 5 for r in db)  # C(4+1,1) = 5 over 2 devices
+        for r in db:
+            for label in r.timings:
+                assert all(s % 25 == 0 for s in Partitioning.from_label(label).shares)

@@ -1,0 +1,37 @@
+"""Smoke tests: the fast examples must run to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, argv: list[str] | None = None, capsys=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys=capsys)
+    assert "oracle over all 66 partitionings" in out
+    assert "functional check passed" in out
+
+
+def test_custom_kernel(capsys):
+    out = _run("custom_kernel.py", capsys=capsys)
+    assert "__kernel void horner_md" in out
+    assert "functional check passed" in out
+
+
+@pytest.mark.slow
+def test_size_sensitivity_example(capsys):
+    out = _run("size_sensitivity.py", capsys=capsys)
+    assert "Optimal task partitioning" in out

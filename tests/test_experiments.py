@@ -1,0 +1,150 @@
+"""Experiment harness tests: the paper-shape assertions on small configs."""
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import TrainingConfig, generate_training_data
+from repro.experiments import (
+    ablate_feature_classes,
+    analyze_size_sensitivity,
+    compare_models,
+    render_figure1,
+    render_model_comparison,
+    render_size_sensitivity,
+    render_suite_table,
+    run_figure1,
+    suite_rows,
+)
+from repro.machines import MC1, MC2
+
+# A cross-section with both CPU- and GPU-friendly members.
+SUITE = tuple(
+    get_benchmark(n)
+    for n in ("vec_add", "triad", "mat_mul", "black_scholes", "hotspot", "spmv")
+)
+CONFIG = TrainingConfig(repetitions=1, max_sizes=4)
+
+
+@pytest.fixture(scope="module")
+def dbs():
+    return {
+        m.name: generate_training_data(m, SUITE, CONFIG) for m in (MC1, MC2)
+    }
+
+
+class TestSuiteTable:
+    def test_23_rows(self):
+        rows = suite_rows()
+        assert len(rows) == 23
+
+    def test_render_contains_machines_and_space(self):
+        text = render_suite_table()
+        assert "mc1" in text and "mc2" in text
+        assert "66 points" in text
+        assert "vendor=8" in text and "rodinia=7" in text
+
+
+class TestFigure1:
+    def test_structure(self, dbs):
+        res = run_figure1(MC2, db=dbs["mc2"], model_kind="tree")
+        assert res.machine == "mc2"
+        assert len(res.evaluation.programs) == len(SUITE)
+        assert res.cpu_default_wins + res.gpu_default_wins == len(SUITE)
+
+    def test_render(self, dbs):
+        res1 = run_figure1(MC1, db=dbs["mc1"], model_kind="tree")
+        text = render_figure1([res1])
+        assert "Figure 1 [mc1]" in text
+        assert "speedup-vs-CPU" in text
+        assert "vec_add" in text
+
+    def test_paper_shape_default_flip(self, dbs):
+        """E5: the GPU default is relatively stronger on mc2 than mc1."""
+        r1 = run_figure1(MC1, db=dbs["mc1"], model_kind="tree")
+        r2 = run_figure1(MC2, db=dbs["mc2"], model_kind="tree")
+        assert r2.gpu_default_wins >= r1.gpu_default_wins
+
+    def test_paper_shape_ml_beats_defaults_on_average(self, dbs):
+        """E1: the ML-guided partitioning beats both defaults on average."""
+        for m, db in ((MC1, dbs["mc1"]), (MC2, dbs["mc2"])):
+            res = run_figure1(m, db=db, model_kind="knn")
+            ev = res.evaluation
+            assert ev.geomean_speedup_vs_cpu > 0.95
+            assert ev.geomean_speedup_vs_gpu > 1.0
+
+
+class TestSizeSensitivity:
+    def test_trajectories_cover_db(self, dbs):
+        trajs = analyze_size_sensitivity(dbs["mc1"])
+        assert len(trajs) == len(SUITE)
+        for t in trajs:
+            assert len(t.sizes) == len(t.oracle_labels) == 4
+
+    def test_paper_claim_optima_change_with_size(self, dbs):
+        """E3: most programs change their optimum along the ladder."""
+        trajs = analyze_size_sensitivity(dbs["mc1"]) + analyze_size_sensitivity(dbs["mc2"])
+        changing = sum(1 for t in trajs if t.changes_with_size)
+        assert changing >= len(trajs) // 2
+
+    def test_render(self, dbs):
+        text = render_size_sensitivity(analyze_size_sensitivity(dbs["mc2"]))
+        assert "Size sensitivity" in text
+        assert "->" in text
+
+
+class TestModelAccuracy:
+    def test_compare_models_rows(self, dbs):
+        scores = compare_models(MC2, dbs["mc2"], kinds=("tree", "majority"))
+        assert len(scores) == 2
+        tree, majority = scores
+        assert tree.oracle_efficiency >= majority.oracle_efficiency - 0.02
+
+    def test_learned_beats_majority(self, dbs):
+        scores = compare_models(MC2, dbs["mc2"], kinds=("knn", "majority"))
+        knn, majority = scores
+        assert knn.oracle_efficiency > majority.oracle_efficiency - 1e-9
+
+    def test_feature_ablation_runs(self, dbs):
+        scores = ablate_feature_classes(MC2, dbs["mc2"], model_kind="tree")
+        kinds = [s.model_kind for s in scores]
+        assert any("combined" in k for k in kinds)
+        assert any("static-only" in k for k in kinds)
+        assert any("runtime-only" in k for k in kinds)
+
+    def test_render(self, dbs):
+        text = render_model_comparison(
+            compare_models(MC2, dbs["mc2"], kinds=("tree",)), "t"
+        )
+        assert "oracle-eff" in text
+
+
+class TestNoiseRobustness:
+    """The paper's conclusions must survive measurement jitter."""
+
+    def test_shape_claims_hold_under_noise(self):
+        noisy = TrainingConfig(repetitions=3, noise_sigma=0.04, seed=17, max_sizes=3)
+        for machine in (MC1, MC2):
+            db = generate_training_data(machine, SUITE, noisy)
+            res = run_figure1(machine, db=db, model_kind="knn")
+            ev = res.evaluation
+            # Averages may move, but the ML strategy must stay competitive
+            # and the oracle lookups must remain self-consistent.
+            assert ev.geomean_speedup_vs_gpu > 0.9
+            for prog in ev.programs:
+                for s in prog.sizes:
+                    assert s.oracle_efficiency <= 1.0 + 1e-9
+
+    def test_oracle_labels_mostly_stable_under_small_noise(self):
+        clean = generate_training_data(MC2, SUITE[:3], TrainingConfig(max_sizes=3))
+        noisy = generate_training_data(
+            MC2, SUITE[:3], TrainingConfig(repetitions=5, noise_sigma=0.02, seed=3, max_sizes=3)
+        )
+        agree = sum(
+            1
+            for c, n in zip(clean.records, noisy.records)
+            if c.best_label == n.best_label or
+            # accept a neighbouring grid point: within one 10% step
+            max(abs(a - b) for a, b in zip(
+                c.best_partitioning.shares, n.best_partitioning.shares)) <= 10
+        )
+        assert agree >= len(clean.records) * 0.6

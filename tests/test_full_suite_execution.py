@@ -1,0 +1,78 @@
+"""Whole-suite multi-device correctness: all 23 programs, both machines.
+
+This is the system-level guarantee behind every timing experiment: no
+matter how the runtime splits a kernel, the merged result equals the
+single-device reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchsuite import benchmark_names, get_benchmark
+from repro.machines import MC1, MC2
+from repro.partitioning import Partitioning, partition_space
+from repro.runtime import Runner
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+@pytest.mark.parametrize("machine", [MC1, MC2], ids=lambda m: m.name)
+def test_mixed_partitioning_exact(name, machine):
+    bench = get_benchmark(name)
+    inst = bench.make_instance(bench.problem_sizes()[0], seed=5)
+    expected = bench.reference(inst)
+    runner = Runner(machine)
+    runner.run(bench.request(inst), Partitioning((30, 40, 30)))
+    bench.verify(inst, atol=1e-2, rtol=1e-3, expected=expected)
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_gpu_pair_partitioning_exact(name):
+    bench = get_benchmark(name)
+    inst = bench.make_instance(bench.problem_sizes()[0], seed=6)
+    expected = bench.reference(inst)
+    runner = Runner(MC2)
+    runner.run(bench.request(inst), Partitioning((0, 50, 50)))
+    bench.verify(inst, atol=1e-2, rtol=1e-3, expected=expected)
+
+
+@given(p_idx=st.integers(min_value=0, max_value=65))
+@settings(max_examples=20, deadline=None)
+def test_property_vec_add_any_partitioning(p_idx):
+    """vec_add must be bit-exact under every point of the 66-way space."""
+    p = partition_space(3, 10)[p_idx]
+    bench = get_benchmark("vec_add")
+    inst = bench.make_instance(4096, seed=7)
+    runner = Runner(MC2)
+    runner.run(bench.request(inst), p)
+    assert np.array_equal(inst.arrays["c"], inst.arrays["a"] + inst.arrays["b"])
+
+
+@given(p_idx=st.integers(min_value=0, max_value=65))
+@settings(max_examples=15, deadline=None)
+def test_property_histogram_mass_conserved(p_idx):
+    """Reduce-merged histograms conserve total mass for any split."""
+    p = partition_space(3, 10)[p_idx]
+    bench = get_benchmark("histogram")
+    inst = bench.make_instance(1 << 13, seed=8)
+    runner = Runner(MC1)
+    runner.run(bench.request(inst), p)
+    assert int(inst.arrays["hist"].sum()) == int(inst.scalars["n"])
+
+
+@given(p_idx=st.integers(min_value=0, max_value=65))
+@settings(max_examples=10, deadline=None)
+def test_property_makespan_positive_and_busy_consistent(p_idx):
+    p = partition_space(3, 10)[p_idx]
+    bench = get_benchmark("stencil2d")
+    inst = bench.make_instance(64, seed=9)
+    runner = Runner(MC2)
+    res = runner.run(bench.request(inst), p, functional=False)
+    busy = res.result.device_busy_s
+    assert res.median_s == pytest.approx(max(busy))
+    for i, share in enumerate(p.shares):
+        if share == 0:
+            assert busy[i] == 0.0
+        else:
+            assert busy[i] > 0.0

@@ -1,0 +1,186 @@
+"""Tests for the kernel-builder DSL."""
+
+import pytest
+
+from repro.inspire import (
+    BOOL,
+    FLOAT,
+    INT,
+    Intent,
+    KernelBuilder,
+    const,
+    validate_kernel,
+)
+from repro.inspire import ast as ir
+
+
+class TestSignature:
+    def test_buffer_and_scalar_params(self):
+        b = KernelBuilder("k", dim=1)
+        b.buffer("a", FLOAT, Intent.IN)
+        b.scalar("n", INT)
+        k = b.finish()
+        assert [p.name for p in k.params] == ["a", "n"]
+        assert k.params[0].is_buffer and not k.params[1].is_buffer
+
+    def test_duplicate_param_rejected(self):
+        b = KernelBuilder("k")
+        b.buffer("a", FLOAT)
+        with pytest.raises(ValueError):
+            b.scalar("a", INT)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            KernelBuilder("k", dim=3)
+
+    def test_kernel_param_lookup(self):
+        b = KernelBuilder("k")
+        b.buffer("a", FLOAT)
+        k = b.finish()
+        assert k.param("a").name == "a"
+        with pytest.raises(KeyError):
+            k.param("zzz")
+
+
+class TestExpressions:
+    def test_arithmetic_promotion(self):
+        b = KernelBuilder("k")
+        n = b.scalar("n", INT)
+        x = b.scalar("x", FLOAT)
+        assert (n + 1).type is INT
+        assert (n + x).type is FLOAT
+        assert (x / 2).type is FLOAT
+        assert (n < 5).type is BOOL
+
+    def test_reflected_operators(self):
+        b = KernelBuilder("k")
+        x = b.scalar("x", FLOAT)
+        assert (2.0 * x).type is FLOAT
+        assert (1 - x).type is FLOAT
+
+    def test_logical_ops(self):
+        b = KernelBuilder("k")
+        n = b.scalar("n", INT)
+        e = (n > 0).and_(n < 10).or_((n.eq(42)))
+        assert e.type is BOOL
+
+    def test_bitwise_requires_integers(self):
+        b = KernelBuilder("k")
+        x = b.scalar("x", FLOAT)
+        n = b.scalar("n", INT)
+        assert (n & 3).type is INT
+        with pytest.raises(TypeError):
+            _ = x & n
+
+    def test_builtin_calls(self):
+        b = KernelBuilder("k")
+        x = b.scalar("x", FLOAT)
+        assert b.sqrt(x).type is FLOAT
+        assert b.atan2(x, x).type is FLOAT
+        assert b.mad(x, x, x).type is FLOAT
+
+    def test_cast(self):
+        b = KernelBuilder("k")
+        n = b.scalar("n", INT)
+        assert n.cast(FLOAT).type is FLOAT
+
+    def test_select(self):
+        b = KernelBuilder("k")
+        n = b.scalar("n", INT)
+        e = b.select(n > 0, 1.0, 0.0)
+        assert e.type is FLOAT
+
+    def test_load_requires_buffer(self):
+        b = KernelBuilder("k")
+        n = b.scalar("n", INT)
+        with pytest.raises(TypeError):
+            b.load(n, 0)
+
+    def test_global_id_dim_checked(self):
+        b = KernelBuilder("k", dim=1)
+        with pytest.raises(ValueError):
+            b.global_id(1)
+
+
+class TestStatements:
+    def test_let_and_assign(self):
+        b = KernelBuilder("k")
+        x = b.scalar("x", FLOAT)
+        acc = b.let("acc", const(0.0, FLOAT))
+        b.assign(acc, acc + x)
+        k = b.finish()
+        assigns = [s for s in k.body.stmts if isinstance(s, ir.Assign)]
+        assert assigns[0].declares and not assigns[1].declares
+
+    def test_assign_undeclared_rejected(self):
+        b = KernelBuilder("k")
+        from repro.inspire.builder import E
+
+        ghost = E(ir.Var("ghost", FLOAT))
+        with pytest.raises(ValueError):
+            b.assign(ghost, 1.0)
+
+    def test_store_requires_buffer(self):
+        b = KernelBuilder("k")
+        n = b.scalar("n", INT)
+        with pytest.raises(TypeError):
+            b.store(n, 0, 1)
+
+    def test_if_else_blocks(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        n = b.scalar("n", INT)
+        with b.if_else(n > 0) as (then, otherwise):
+            with then:
+                b.store(out, 0, 1.0)
+            with otherwise:
+                b.store(out, 0, 2.0)
+        k = b.finish()
+        stmt = k.body.stmts[0]
+        assert isinstance(stmt, ir.If)
+        assert len(stmt.then_body.stmts) == 1
+        assert len(stmt.else_body.stmts) == 1
+
+    def test_for_loop_structure(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        n = b.scalar("n", INT)
+        with b.for_("i", 0, n) as i:
+            b.store(out, i, 0.0)
+        k = b.finish()
+        loop = k.body.stmts[0]
+        assert isinstance(loop, ir.For)
+        assert loop.var.name == "i"
+
+    def test_while_expected_trips(self):
+        b = KernelBuilder("k")
+        n = b.scalar("n", INT)
+        it = b.let("it", const(0, INT))
+        with b.while_(it < n, expected_trips=42):
+            b.assign(it, it + 1)
+        k = b.finish()
+        loop = k.body.stmts[1]
+        assert isinstance(loop, ir.While)
+        assert loop.expected_trips == 42
+
+    def test_fresh_names_unique(self):
+        b = KernelBuilder("k")
+        assert b.fresh() != b.fresh()
+
+    def test_finish_with_open_block_fails(self):
+        b = KernelBuilder("k")
+        n = b.scalar("n", INT)
+        cm = b.if_(n > 0)
+        cm.__enter__()
+        with pytest.raises(RuntimeError):
+            b.finish()
+
+    def test_emit_after_finish_fails(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        b.finish()
+        with pytest.raises(RuntimeError):
+            b.store(out, 0, 1.0)
+
+    def test_built_kernels_validate(self, saxpy_kernel):
+        validate_kernel(saxpy_kernel)

@@ -1,0 +1,122 @@
+"""Tests for the OpenCL C pretty-printer."""
+
+from repro.inspire import (
+    FLOAT,
+    INT,
+    Intent,
+    KernelBuilder,
+    const,
+    print_expr,
+    print_kernel,
+)
+from repro.inspire import ast as ir
+
+
+class TestExpressions:
+    def test_precedence_parenthesization(self):
+        b = KernelBuilder("k")
+        x = b.scalar("x", FLOAT)
+        y = b.scalar("y", FLOAT)
+        # (x + y) * x needs parens; x + y * x does not.
+        e1 = (x + y) * x
+        assert print_expr(e1.node) == "(x + y) * x"
+        e2 = x + y * x
+        assert print_expr(e2.node) == "x + y * x"
+
+    def test_float_literal_suffix(self):
+        assert print_expr(ir.Const(1.5, FLOAT)) == "1.5f"
+        from repro.inspire import DOUBLE
+
+        assert print_expr(ir.Const(1.5, DOUBLE)) == "1.5"
+
+    def test_bool_literals(self):
+        from repro.inspire import BOOL
+
+        assert print_expr(ir.Const(True, BOOL)) == "true"
+
+    def test_builtin_call(self):
+        b = KernelBuilder("k")
+        x = b.scalar("x", FLOAT)
+        assert print_expr(b.sqrt(x).node) == "sqrt(x)"
+        assert print_expr(b.atan2(x, x).node) == "atan2(x, x)"
+
+    def test_cast(self):
+        b = KernelBuilder("k")
+        n = b.scalar("n", INT)
+        assert print_expr(n.cast(FLOAT).node) == "(float)(n)"
+
+    def test_select_ternary(self):
+        b = KernelBuilder("k")
+        n = b.scalar("n", INT)
+        s = b.select(n > 0, 1, 0)
+        assert "?" in print_expr(s.node)
+
+    def test_work_item_intrinsics(self):
+        b = KernelBuilder("k", dim=2)
+        assert print_expr(b.global_id(1).node) == "get_global_id(1)"
+        assert print_expr(b.local_size(0).node) == "get_local_size(0)"
+
+
+class TestKernels:
+    def test_header_and_qualifiers(self, saxpy_kernel):
+        src = print_kernel(saxpy_kernel)
+        assert src.startswith("__kernel void saxpy_t(")
+        assert "__global const float* x" in src
+        assert "__global float* y" in src  # INOUT: no const
+        assert "const float a" in src
+        assert "const int n" in src
+
+    def test_guard_and_body(self, saxpy_kernel):
+        src = print_kernel(saxpy_kernel)
+        assert "if (get_global_id(0) < n) {" in src
+        assert "y[get_global_id(0)] = a * x[get_global_id(0)] + y[get_global_id(0)];" in src
+
+    def test_for_loop_rendering(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        n = b.scalar("n", INT)
+        acc = b.let("acc", const(0.0, FLOAT))
+        with b.for_("i", 0, n, 2) as i:
+            b.assign(acc, acc + i.cast(FLOAT))
+        b.store(out, 0, acc)
+        src = print_kernel(b.finish())
+        assert "for (int i = 0; i < n; i += 2) {" in src
+        assert "float acc = 0.0f;" in src
+
+    def test_while_and_barrier(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", INT, Intent.OUT)
+        n = b.scalar("n", INT)
+        v = b.let("v", n + 0)
+        with b.while_(v > 1):
+            b.assign(v, v / 2)
+        b.barrier()
+        b.store(out, 0, v)
+        src = print_kernel(b.finish())
+        assert "while (v > 1) {" in src
+        assert "barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE);" in src
+
+    def test_atomic_rendering(self):
+        b = KernelBuilder("k")
+        h = b.buffer("h", INT, Intent.INOUT)
+        b.atomic_add(h, 0, 1)
+        src = print_kernel(b.finish())
+        assert "atomic_add(&h[0], 1);" in src
+
+    def test_if_else_rendering(self):
+        b = KernelBuilder("k")
+        out = b.buffer("out", FLOAT, Intent.OUT)
+        n = b.scalar("n", INT)
+        with b.if_else(n > 0) as (then, otherwise):
+            with then:
+                b.store(out, 0, 1.0)
+            with otherwise:
+                b.store(out, 0, 2.0)
+        src = print_kernel(b.finish())
+        assert "} else {" in src
+
+    def test_all_suite_kernels_print(self, benchmarks):
+        for bench in benchmarks:
+            src = print_kernel(bench.compiled().kernel)
+            assert src.startswith("__kernel void")
+            assert src.rstrip().endswith("}")

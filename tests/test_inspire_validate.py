@@ -1,0 +1,126 @@
+"""Tests for kernel validation."""
+
+import pytest
+
+from repro.inspire import (
+    BOOL,
+    FLOAT,
+    INT,
+    Intent,
+    KernelBuilder,
+    ValidationError,
+    validate_kernel,
+)
+from repro.inspire import ast as ir
+from repro.inspire.types import BufferType
+
+
+def _kernel(params, body, dim=1, name="k"):
+    return ir.Kernel(name, tuple(params), ir.Block(tuple(body)), dim)
+
+
+class TestSignatureChecks:
+    def test_duplicate_params(self):
+        p = ir.KernelParam("a", BufferType(FLOAT), Intent.IN)
+        with pytest.raises(ValidationError, match="duplicate"):
+            validate_kernel(_kernel([p, p], []))
+
+    def test_empty_name(self):
+        p = ir.KernelParam("", INT, Intent.VALUE)
+        with pytest.raises(ValidationError, match="empty"):
+            validate_kernel(_kernel([p], []))
+
+    def test_bad_dim(self):
+        with pytest.raises(ValidationError, match="dim"):
+            validate_kernel(_kernel([], [], dim=3))
+
+
+class TestBodyChecks:
+    def test_unknown_variable(self):
+        body = [ir.Assign(ir.Var("x", FLOAT), ir.Var("ghost", FLOAT), declares=True)]
+        with pytest.raises(ValidationError, match="unknown variable"):
+            validate_kernel(_kernel([], body))
+
+    def test_assignment_to_parameter(self):
+        p = ir.KernelParam("n", INT, Intent.VALUE)
+        body = [ir.Assign(ir.Var("n", INT), ir.Const(1, INT))]
+        with pytest.raises(ValidationError, match="parameter"):
+            validate_kernel(_kernel([p], body))
+
+    def test_assignment_before_declaration(self):
+        body = [ir.Assign(ir.Var("x", FLOAT), ir.Const(1.0, FLOAT), declares=False)]
+        with pytest.raises(ValidationError, match="undeclared"):
+            validate_kernel(_kernel([], body))
+
+    def test_store_to_in_buffer(self):
+        p = ir.KernelParam("a", BufferType(FLOAT), Intent.IN)
+        body = [ir.Store(p.var(), ir.Const(0, INT), ir.Const(1.0, FLOAT))]
+        with pytest.raises(ValidationError, match="write to IN"):
+            validate_kernel(_kernel([p], body))
+
+    def test_load_from_out_buffer(self):
+        p = ir.KernelParam("a", BufferType(FLOAT), Intent.OUT)
+        q = ir.KernelParam("b", BufferType(FLOAT), Intent.OUT)
+        load = ir.Load(p.var(), ir.Const(0, INT), FLOAT)
+        body = [ir.Store(q.var(), ir.Const(0, INT), load)]
+        with pytest.raises(ValidationError, match="read from OUT"):
+            validate_kernel(_kernel([p, q], body))
+
+    def test_store_to_scalar(self):
+        p = ir.KernelParam("n", INT, Intent.VALUE)
+        body = [ir.Store(ir.Var("n", INT), ir.Const(0, INT), ir.Const(1, INT))]
+        with pytest.raises(ValidationError, match="not a buffer"):
+            validate_kernel(_kernel([p], body))
+
+    def test_non_bool_condition(self):
+        p = ir.KernelParam("n", INT, Intent.VALUE)
+        body = [ir.If(ir.Var("n", INT), ir.Block(()))]
+        with pytest.raises(ValidationError, match="not bool"):
+            validate_kernel(_kernel([p], body))
+
+    def test_float_load_index(self):
+        p = ir.KernelParam("a", BufferType(FLOAT), Intent.IN)
+        q = ir.KernelParam("b", BufferType(FLOAT), Intent.OUT)
+        load = ir.Load(p.var(), ir.Const(0.5, FLOAT), FLOAT)
+        body = [ir.Store(q.var(), ir.Const(0, INT), load)]
+        with pytest.raises(ValidationError, match="non-integer"):
+            validate_kernel(_kernel([p, q], body))
+
+    def test_intrinsic_dim_out_of_range(self):
+        q = ir.KernelParam("b", BufferType(INT), Intent.OUT)
+        gid1 = ir.WorkItemQuery(ir.WorkItemFn.GLOBAL_ID, 1)
+        body = [ir.Store(q.var(), ir.Const(0, INT), gid1)]
+        with pytest.raises(ValidationError, match="exceeds dim"):
+            validate_kernel(_kernel([q], body, dim=1))
+
+    def test_unknown_builtin(self):
+        q = ir.KernelParam("b", BufferType(FLOAT), Intent.OUT)
+        call = ir.Call("frobnicate", (ir.Const(1.0, FLOAT),), FLOAT)
+        body = [ir.Store(q.var(), ir.Const(0, INT), call)]
+        with pytest.raises(ValidationError, match="unknown builtin"):
+            validate_kernel(_kernel([q], body))
+
+    def test_builtin_arity(self):
+        q = ir.KernelParam("b", BufferType(FLOAT), Intent.OUT)
+        call = ir.Call("sqrt", (ir.Const(1.0, FLOAT), ir.Const(2.0, FLOAT)), FLOAT)
+        body = [ir.Store(q.var(), ir.Const(0, INT), call)]
+        with pytest.raises(ValidationError, match="arity"):
+            validate_kernel(_kernel([q], body))
+
+    def test_bad_atomic_op(self):
+        p = ir.KernelParam("h", BufferType(INT), Intent.INOUT)
+        body = [ir.AtomicUpdate(p.var(), ir.Const(0, INT), ir.Const(1, INT), op="xor")]
+        with pytest.raises(ValidationError, match="atomic"):
+            validate_kernel(_kernel([p], body))
+
+    def test_while_needs_positive_trips(self):
+        body = [ir.While(ir.Const(False, BOOL), ir.Block(()), expected_trips=0)]
+        with pytest.raises(ValidationError, match="expected_trips"):
+            validate_kernel(_kernel([], body))
+
+    def test_all_suite_kernels_validate(self, benchmarks):
+        for bench in benchmarks:
+            validate_kernel(bench.build_kernel())
+
+    def test_builder_kernels_pass(self, saxpy_kernel):
+        validate_kernel(saxpy_kernel)

@@ -1,0 +1,118 @@
+"""Calibration invariants of the mc1/mc2 platform models.
+
+These encode the paper's architectural narrative; if a recalibration
+breaks one of them, the evaluation shape claims are at risk.
+"""
+
+import pytest
+
+from repro.machines import ALL_MACHINES, MC1, MC2, machine_by_name
+from repro.ocl import DeviceCostModel, DeviceKind
+
+
+class TestLayout:
+    def test_both_machines_have_three_devices(self):
+        for m in ALL_MACHINES:
+            assert m.num_devices == 3
+            assert len(m.cpu_indices) == 1  # both CPUs fused, as in the paper
+            assert len(m.gpu_indices) == 2
+
+    def test_device_order_cpu_first(self):
+        for m in ALL_MACHINES:
+            assert m.device_specs[0].kind is DeviceKind.CPU
+
+    def test_gpus_identical_within_machine(self):
+        for m in ALL_MACHINES:
+            a, b = (m.device_specs[i] for i in m.gpu_indices)
+            assert a.peak_gflops == b.peak_gflops
+            assert a.mem_bandwidth_gbs == b.mem_bandwidth_gbs
+
+    def test_lookup(self):
+        assert machine_by_name("mc1") is MC1
+        with pytest.raises(KeyError):
+            machine_by_name("mc3")
+
+
+class TestArchitecturalNarrative:
+    def test_cpus_are_host_resident(self):
+        for m in ALL_MACHINES:
+            assert m.device_specs[0].is_host_resident
+            for g in m.gpu_indices:
+                assert not m.device_specs[g].is_host_resident
+
+    def test_mc1_gpu_is_vliw_mc2_is_scalar(self):
+        assert MC1.device_specs[1].vliw_width == 5
+        assert MC2.device_specs[1].vliw_width == 1
+
+    def test_vliw_scalar_efficiency_poor(self):
+        """'The VLIW architecture ... would require specific fine-tuning
+        of each code to perform well' — untuned scalar code reaches only
+        a small fraction of the HD 5870's peak."""
+        hd5870 = DeviceCostModel(MC1.device_specs[1])
+        assert hd5870.effective_gflops(0.0) < 0.12 * MC1.device_specs[1].peak_gflops
+        gtx480 = DeviceCostModel(MC2.device_specs[1])
+        assert gtx480.effective_gflops(0.0) > 0.5 * MC2.device_specs[1].peak_gflops
+
+    def test_vliw_branch_cost_dominant(self):
+        assert MC1.device_specs[1].branch_cost > 5 * MC2.device_specs[1].branch_cost
+
+    def test_mc1_cpu_stronger_than_mc2_cpu(self):
+        """2x 12-core Opterons out-muscle 2x 6-core Xeons for throughput."""
+        eff1 = DeviceCostModel(MC1.device_specs[0]).effective_gflops(0.0)
+        eff2 = DeviceCostModel(MC2.device_specs[0]).effective_gflops(0.0)
+        assert eff1 > eff2
+
+    def test_gpu_bandwidth_dwarfs_cpu(self):
+        for m in ALL_MACHINES:
+            cpu_bw = m.device_specs[0].mem_bandwidth_gbs
+            gpu_bw = m.device_specs[1].mem_bandwidth_gbs
+            assert gpu_bw > 4 * cpu_bw
+
+    def test_pcie_much_slower_than_memories(self):
+        for m in ALL_MACHINES:
+            gpu = m.device_specs[1]
+            assert gpu.pcie_bandwidth_gbs < 0.25 * m.device_specs[0].mem_bandwidth_gbs
+
+    def test_gpu_transcendental_advantage(self):
+        for m in ALL_MACHINES:
+            assert m.device_specs[1].transcendental_cost < m.device_specs[0].transcendental_cost
+
+
+class TestEmergentBehaviour:
+    def test_streaming_kernel_prefers_cpu_everywhere(self):
+        """Transfer-bound one-shot kernels must favour the host device on
+        both machines (the Gregg-Hazelwood effect)."""
+        from repro.benchsuite import get_benchmark
+        from repro.runtime import Runner, cpu_only, gpu_only
+
+        bench = get_benchmark("triad")
+        inst = bench.make_instance(1 << 20, seed=0)
+        req = bench.request(inst)
+        for m in ALL_MACHINES:
+            r = Runner(m)
+            assert r.time_of(req, cpu_only(m)) < r.time_of(req, gpu_only(m))
+
+    def test_compute_kernel_prefers_gpu_on_mc2(self):
+        from repro.benchsuite import get_benchmark
+        from repro.runtime import Runner, cpu_only, gpu_only
+
+        bench = get_benchmark("mat_mul")
+        inst = bench.make_instance(1024, seed=0)
+        req = bench.request(inst)
+        r = Runner(MC2)
+        assert r.time_of(req, gpu_only(MC2)) < r.time_of(req, cpu_only(MC2))
+
+    def test_machine_asymmetry_black_scholes(self):
+        """The GTX 480 gains more over its CPU than the HD 5870 over its
+        (stronger) CPU on the same transcendental kernel."""
+        from repro.benchsuite import get_benchmark
+        from repro.runtime import Runner, cpu_only, gpu_only
+
+        bench = get_benchmark("black_scholes")
+        inst = bench.make_instance(1 << 22, seed=0)
+        req = bench.request(inst)
+        ratios = {}
+        for m in ALL_MACHINES:
+            r = Runner(m)
+            ratios[m.name] = r.time_of(req, cpu_only(m)) / r.time_of(req, gpu_only(m))
+        assert ratios["mc2"] > ratios["mc1"]

@@ -1,0 +1,150 @@
+"""Tests for scalers and cross-validation splitters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    KFold,
+    LeaveOneGroupOut,
+    MinMaxScaler,
+    StandardScaler,
+    cross_val_score,
+    log1p_counts,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_passthrough(self):
+        X = np.ones((10, 2))
+        X[:, 1] = np.arange(10)
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_feature_count_checked(self):
+        sc = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            sc.transform(np.zeros((5, 4)))
+
+    @given(
+        arrays(
+            np.float64,
+            (17, 3),
+            elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_inverse_round_trip(self, X):
+        sc = StandardScaler().fit(X)
+        Z = sc.transform(X)
+        back = sc.inverse_transform(Z)
+        assert np.allclose(back, X, atol=1e-6 * (1 + np.abs(X).max()))
+
+
+class TestMinMaxScaler:
+    def test_range_is_unit_interval(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-50, 120, size=(100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+        assert np.allclose(Z.min(axis=0), 0.0)
+        assert np.allclose(Z.max(axis=0), 1.0)
+
+    def test_constant_column(self):
+        X = np.full((10, 1), 3.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Z, 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+
+class TestLog1p:
+    def test_values(self):
+        X = np.array([[0.0, 1.0, np.e - 1]])
+        out = log1p_counts(X)
+        assert out[0, 0] == 0.0
+        assert out[0, 2] == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log1p_counts(np.array([[-1.0]]))
+
+
+class TestKFold:
+    def test_partitions_cover_everything(self):
+        folds = list(KFold(n_splits=4).split(21))
+        assert len(folds) == 4
+        all_test = np.concatenate([t for _, t in folds])
+        assert sorted(all_test) == list(range(21))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(n_splits=3).split(10):
+            assert not set(train) & set(test)
+
+    def test_shuffle_deterministic(self):
+        f1 = [t.tolist() for _, t in KFold(3, shuffle=True, seed=5).split(12)]
+        f2 = [t.tolist() for _, t in KFold(3, shuffle=True, seed=5).split(12)]
+        assert f1 == f2
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestLeaveOneGroupOut:
+    def test_one_fold_per_group(self):
+        groups = ["a", "a", "b", "c", "c", "c"]
+        folds = list(LeaveOneGroupOut().split(groups))
+        assert [g for _, _, g in folds] == ["a", "b", "c"]
+
+    def test_test_fold_is_exactly_the_group(self):
+        groups = ["a", "b", "a", "b"]
+        for train, test, g in LeaveOneGroupOut().split(groups):
+            assert all(groups[i] == g for i in test)
+            assert all(groups[i] != g for i in train)
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValueError):
+            list(LeaveOneGroupOut().split(["a", "a"]))
+
+
+class TestCrossValScore:
+    def test_grouped_scores(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(c * 4, 0.3, size=(30, 3)) for c in range(2)])
+        y = np.repeat([0, 1], 30)
+        groups = list(np.tile(np.arange(6), 10))
+        scores = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=4), X, y, groups=groups
+        )
+        assert len(scores) == 6
+        assert min(scores) > 0.8
+
+    def test_ungrouped_kfold(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = (X[:, 0] > 0).astype(int)
+        scores = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=3), X, y, n_splits=5
+        )
+        assert len(scores) == 5

@@ -1,0 +1,63 @@
+"""Tests for offline model persistence (train once, deploy later)."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import (
+    PartitioningModel,
+    TrainingConfig,
+    generate_training_data,
+    load_model,
+    save_model,
+)
+from repro.machines import MC2
+
+SUITE = tuple(get_benchmark(n) for n in ("vec_add", "mat_mul", "hotspot"))
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_training_data(MC2, SUITE, TrainingConfig(max_sizes=3))
+
+
+@pytest.mark.parametrize("kind", ["mlp", "knn", "majority"])
+def test_round_trip_predictions_identical(kind, db, tmp_path):
+    model = PartitioningModel(kind).fit(db)
+    path = tmp_path / f"{kind}.json"
+    save_model(model, path)
+    loaded = load_model(path)
+    assert loaded.kind == kind
+    assert loaded.feature_names_ == model.feature_names_
+    original = [p.label for p in model.predict_many(db)]
+    restored = [p.label for p in loaded.predict_many(db)]
+    assert original == restored
+
+
+def test_round_trip_single_prediction(db, tmp_path):
+    model = PartitioningModel("mlp").fit(db)
+    path = tmp_path / "m.json"
+    save_model(model, path)
+    loaded = load_model(path)
+    feats = db.records[0].features
+    assert loaded.predict_features(feats) == model.predict_features(feats)
+
+
+def test_unfitted_model_rejected(tmp_path):
+    with pytest.raises(RuntimeError):
+        save_model(PartitioningModel("mlp"), tmp_path / "m.json")
+
+
+def test_tree_models_not_supported(db, tmp_path):
+    model = PartitioningModel("tree").fit(db)
+    with pytest.raises(NotImplementedError):
+        save_model(model, tmp_path / "t.json")
+
+
+def test_schema_version_checked(db, tmp_path):
+    model = PartitioningModel("majority").fit(db)
+    path = tmp_path / "m.json"
+    save_model(model, path)
+    path.write_text(path.read_text().replace('"schema_version": 1', '"schema_version": 9'))
+    with pytest.raises(ValueError, match="schema"):
+        load_model(path)

@@ -1,0 +1,183 @@
+"""Tests for the partition space and ND-range splitting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioning import (
+    DEFAULT_STEP_PERCENT,
+    Partitioning,
+    partition_space,
+    split_items,
+)
+
+
+class TestPartitioning:
+    def test_shares_must_sum_to_100(self):
+        with pytest.raises(ValueError):
+            Partitioning((50, 40))
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            Partitioning((-10, 110, 0))
+
+    def test_share_above_100_rejected(self):
+        with pytest.raises(ValueError):
+            Partitioning((110, -10, 0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Partitioning(())
+
+    def test_single_device(self):
+        p = Partitioning.single_device(1, 3)
+        assert p.shares == (0, 100, 0)
+        assert p.is_single_device
+        assert p.active_devices == (1,)
+
+    def test_single_device_out_of_range(self):
+        with pytest.raises(ValueError):
+            Partitioning.single_device(3, 3)
+
+    def test_even_three_devices(self):
+        p = Partitioning.even(3)
+        assert sum(p.shares) == 100
+        assert max(p.shares) - min(p.shares) <= DEFAULT_STEP_PERCENT
+
+    def test_even_two_devices(self):
+        assert Partitioning.even(2).shares == (50, 50)
+
+    def test_fraction(self):
+        p = Partitioning((70, 20, 10))
+        assert p.fraction(0) == pytest.approx(0.7)
+        assert p.fraction(2) == pytest.approx(0.1)
+
+    def test_label_round_trip(self):
+        p = Partitioning((50, 30, 20))
+        assert Partitioning.from_label(p.label) == p
+        assert str(p) == "50/30/20"
+
+    def test_active_devices(self):
+        assert Partitioning((0, 100, 0)).active_devices == (1,)
+        assert Partitioning((10, 0, 90)).active_devices == (0, 2)
+
+    def test_ordering_is_stable(self):
+        assert Partitioning((0, 0, 100)) < Partitioning((100, 0, 0))
+
+
+class TestPartitionSpace:
+    def test_three_devices_ten_percent_has_66_points(self):
+        # C(12, 2) = 66: the paper's discretized space.
+        assert len(partition_space(3, 10)) == 66
+
+    def test_two_devices_ten_percent_has_11_points(self):
+        assert len(partition_space(2, 10)) == 11
+
+    def test_one_device(self):
+        space = partition_space(1, 10)
+        assert space == (Partitioning((100,)),)
+
+    def test_includes_single_device_corners(self):
+        space = partition_space(3, 10)
+        for i in range(3):
+            assert Partitioning.single_device(i, 3) in space
+
+    def test_all_points_unique_and_valid(self):
+        space = partition_space(3, 10)
+        assert len(set(space)) == len(space)
+        for p in space:
+            assert sum(p.shares) == 100
+            assert all(s % 10 == 0 for s in p.shares)
+
+    def test_coarser_step_is_subset(self):
+        fine = set(partition_space(3, 10))
+        coarse = set(partition_space(3, 20))
+        assert coarse <= fine
+
+    def test_step_25(self):
+        # C(4+2, 2) = 15 compositions of 4 quarters over 3 devices.
+        assert len(partition_space(3, 25)) == 15
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            partition_space(3, 7)
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ValueError):
+            partition_space(0, 10)
+
+    def test_deterministic_order(self):
+        assert partition_space(3, 10) == partition_space(3, 10)
+
+
+class TestSplitItems:
+    def test_exact_cover_simple(self):
+        chunks = split_items(100, Partitioning((50, 30, 20)))
+        assert chunks == ((0, 50), (50, 30), (80, 20))
+
+    def test_zero_share_gets_zero_items(self):
+        chunks = split_items(1000, Partitioning((100, 0, 0)), granularity=8)
+        assert chunks[0] == (0, 1000)
+        assert chunks[1][1] == 0 and chunks[2][1] == 0
+
+    def test_remainder_goes_to_last_active(self):
+        chunks = split_items(7, Partitioning((0, 50, 50)), granularity=4)
+        assert sum(c for _, c in chunks) == 7
+        assert chunks[0][1] == 0
+
+    def test_granularity_alignment(self):
+        chunks = split_items(1024, Partitioning((30, 30, 40)), granularity=64)
+        # All boundaries except the final end must be multiples of 64.
+        for off, cnt in chunks[:-1]:
+            assert off % 64 == 0
+        assert sum(c for _, c in chunks) == 1024
+
+    def test_zero_items(self):
+        chunks = split_items(0, Partitioning((50, 50, 0)))
+        assert all(c == 0 for _, c in chunks)
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError):
+            split_items(-1, Partitioning((100, 0, 0)))
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            split_items(10, Partitioning((100, 0, 0)), granularity=0)
+
+    @given(
+        total=st.integers(min_value=0, max_value=100_000),
+        shares_idx=st.integers(min_value=0, max_value=65),
+        granularity=st.sampled_from([1, 2, 8, 16, 64, 256]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_disjoint_exact_cover(self, total, shares_idx, granularity):
+        """Chunks are contiguous, disjoint and cover the range exactly."""
+        space = partition_space(3, 10)
+        p = space[shares_idx]
+        chunks = split_items(total, p, granularity)
+        cursor = 0
+        for off, cnt in chunks:
+            assert cnt >= 0
+            assert off == cursor
+            cursor += cnt
+        assert cursor == total
+
+    @given(
+        total=st.integers(min_value=1, max_value=50_000),
+        shares_idx=st.integers(min_value=0, max_value=65),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_share_proportionality(self, total, shares_idx):
+        """Without granularity pressure, counts track shares closely."""
+        p = partition_space(3, 10)[shares_idx]
+        chunks = split_items(total, p, granularity=1)
+        for i, (off, cnt) in enumerate(chunks):
+            ideal = total * p.shares[i] / 100
+            assert abs(cnt - ideal) <= 2.0
+
+    @given(total=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_single_device_takes_all(self, total):
+        for i in range(3):
+            chunks = split_items(total, Partitioning.single_device(i, 3))
+            assert chunks[i][1] == total

@@ -1,0 +1,68 @@
+"""Tests for table rendering and seeded RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util import derive_seed, format_series, format_table, rng_for
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("long-name", 2.0)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[-1]
+        # All data rows have the same column start for 'value'.
+        col = lines[0].index("value")
+        assert lines[2][col:].strip() == "1.500"
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_float_precision(self):
+        text = format_table(["x"], [(1.23456,)], ndigits=2)
+        assert "1.23" in text and "1.235" not in text
+
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [(True,), (False,)])
+        assert "yes" in text and "no" in text
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        text = format_series("s", ["a", "b"], [1.0, 2.0])
+        assert text == "s: (a, 1.000), (b, 2.000)"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1.0, 2.0])
+
+
+class TestSeeds:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed("a", 1, base_seed=3) == derive_seed("a", 1, base_seed=3)
+
+    def test_derive_seed_sensitive_to_parts(self):
+        assert derive_seed("a", 1) != derive_seed("a", 2)
+        assert derive_seed("a") != derive_seed("b")
+        assert derive_seed("a", base_seed=0) != derive_seed("a", base_seed=1)
+
+    def test_derive_seed_range(self):
+        s = derive_seed("anything", 42)
+        assert 0 <= s < 2**63
+
+    def test_rng_for_streams_independent(self):
+        a = rng_for("x").standard_normal(4)
+        b = rng_for("y").standard_normal(4)
+        assert not np.allclose(a, b)
+
+    def test_rng_for_reproducible(self):
+        assert np.array_equal(
+            rng_for("x", 7).standard_normal(4), rng_for("x", 7).standard_normal(4)
+        )
