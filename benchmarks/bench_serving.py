@@ -1,0 +1,90 @@
+"""E7 — serving-layer throughput and cache behaviour.
+
+Measures the online serving path on a Zipf-skewed trace: end-to-end
+requests/s through the PartitioningService (the number later PRs track),
+the steady-state cost of a cache hit versus a cold prediction, and the
+price of one online adaptation (local search + incremental refit).
+"""
+
+import pytest
+
+from repro.benchsuite import all_benchmarks, get_benchmark
+from repro.core import TrainingConfig, train_system
+from repro.machines import MC2
+from repro.serving import (
+    PartitioningService,
+    ServiceConfig,
+    ServingRequest,
+    key_universe,
+    zipf_trace,
+)
+
+#: Trace shape shared by the throughput benchmarks.
+TRACE_REQUESTS = 200
+TRACE_SKEW = 1.5
+
+
+def _system(train_programs: int = 16, max_sizes: int = 2):
+    benchmarks = all_benchmarks()[:train_programs]
+    return train_system(
+        MC2,
+        benchmarks,
+        model_kind="knn",
+        config=TrainingConfig(repetitions=1, max_sizes=max_sizes),
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_system():
+    return _system()
+
+
+def test_serving_throughput(benchmark, trained_system):
+    """Requests/s through the full service loop on a skewed trace."""
+    keys = key_universe(all_benchmarks(), max_sizes=2)
+    trace = zipf_trace(keys, TRACE_REQUESTS, skew=TRACE_SKEW, seed=0)
+
+    def replay():
+        service = PartitioningService(trained_system, ServiceConfig())
+        service.serve(trace)
+        return service
+
+    service = benchmark.pedantic(replay, rounds=3, iterations=1)
+    stats = service.cache.stats
+    benchmark.extra_info["requests"] = TRACE_REQUESTS
+    benchmark.extra_info["requests_per_s"] = TRACE_REQUESTS / benchmark.stats.stats.mean
+    benchmark.extra_info["cache_hit_rate"] = stats.hit_rate
+    benchmark.extra_info["refits"] = service.stats.refits
+    assert stats.hit_rate > 0.5
+    assert service.stats.requests == TRACE_REQUESTS
+
+
+def test_cache_hit_path(benchmark, trained_system):
+    """Steady state: repeated key answered from the LRU cache."""
+    service = PartitioningService(trained_system, ServiceConfig())
+    size = get_benchmark("mat_mul").problem_sizes()[0]
+    service.submit(ServingRequest(request_id=0, program="mat_mul", size=size))
+
+    counter = iter(range(1, 1_000_000))
+    benchmark(
+        lambda: service.submit(
+            ServingRequest(request_id=next(counter), program="mat_mul", size=size)
+        )
+    )
+    assert service.cache.stats.hit_rate > 0.9
+
+
+def test_online_adaptation_cost(benchmark, trained_system):
+    """One cold out-of-distribution key: local search + refit."""
+    size = get_benchmark("mandelbrot").problem_sizes()[-1]
+
+    def adapt_once():
+        service = PartitioningService(
+            trained_system, ServiceConfig(refit_interval=1)
+        )
+        return service.submit(
+            ServingRequest(request_id=0, program="mandelbrot", size=size)
+        )
+
+    response = benchmark.pedantic(adapt_once, rounds=3, iterations=1)
+    assert response.measured_s > 0

@@ -17,6 +17,8 @@ substrate:
 * :mod:`repro.benchsuite` — the 23-program evaluation suite;
 * :mod:`repro.core` — the contribution: feature assembly, training
   database, partitioning predictor, end-to-end pipeline, evaluation;
+* :mod:`repro.serving` — the online-adaptive partitioning service
+  (prediction cache, batch dispatch, feedback-driven refits);
 * :mod:`repro.experiments` — regenerates every table/figure.
 
 Quickstart::
@@ -40,8 +42,9 @@ from .core import (
     train_system,
 )
 from .machines import ALL_MACHINES, MC1, MC2, machine_by_name
-from .partitioning import Partitioning, partition_space, split_items
+from .partitioning import Partitioning, neighborhood, partition_space, split_items
 from .runtime import Runner, cpu_only, even_split, gpu_only, oracle_search
+from .serving import PartitioningService, ServiceConfig
 
 __version__ = "1.0.0"
 
@@ -61,8 +64,11 @@ __all__ = [
     "MC2",
     "machine_by_name",
     "Partitioning",
+    "neighborhood",
     "partition_space",
     "split_items",
+    "PartitioningService",
+    "ServiceConfig",
     "Runner",
     "cpu_only",
     "gpu_only",

@@ -7,16 +7,21 @@ Commands:
     run     <program>         — sweep the strategies for one launch
     train   <machine>         — training campaign → JSON database
     report  <db.json> [...]   — full experiment report from databases
+    replay                    — serve a synthetic Zipf trace (cache +
+                                batching + online adaptation)
+    serve                     — serve "program size" requests from a
+                                file or stdin
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from .benchsuite import all_benchmarks, get_benchmark
-from .core import TrainingConfig, TrainingDatabase, generate_training_data
+from .core import TrainingConfig, TrainingDatabase, generate_training_data, train_system
 from .machines import ALL_MACHINES, machine_by_name
 from .partitioning import Partitioning
 from .runtime import Runner, cpu_only, even_split, gpu_only, oracle_search
@@ -122,6 +127,181 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace):
+    """Train a system and wrap it in a PartitioningService (serve/replay)."""
+    from .serving import PartitioningService, ServiceConfig
+
+    platform = machine_by_name(args.machine)
+    benchmarks = all_benchmarks()
+    train_benchmarks = benchmarks
+    if args.train_programs is not None:
+        if not 1 <= args.train_programs <= len(benchmarks):
+            raise SystemExit(
+                f"--train-programs must be in [1, {len(benchmarks)}]"
+            )
+        train_benchmarks = benchmarks[: args.train_programs]
+    config = TrainingConfig(
+        repetitions=1,
+        noise_sigma=args.noise,
+        seed=args.seed,
+        max_sizes=args.max_sizes,
+    )
+    system = train_system(
+        platform, train_benchmarks, model_kind=args.model, config=config
+    )
+    service = PartitioningService(
+        system,
+        ServiceConfig(
+            cache_capacity=args.cache_capacity,
+            regression_threshold=args.threshold,
+            instance_seed=args.seed,
+        ),
+    )
+    return benchmarks, train_benchmarks, service
+
+
+def _print_service_summary(service, responses, wall_s: float) -> None:
+    stats = service.stats
+    cache = service.cache.stats
+    sched = service.scheduler
+    runner_stats = service.system.runner.stats
+    serialized = sum(r.measured_s for r in responses)
+    multiplexed = sched.makespan_s
+    served_executions = stats.requests * service.config.repetitions
+    probes = runner_stats.executions - served_executions
+    rows = [
+        ("requests", f"{stats.requests}"),
+        (
+            "executions",
+            f"{runner_stats.executions} ({probes} adaptation probes)",
+        ),
+        (
+            "cache hit rate",
+            f"{cache.hit_rate * 100.0:.1f}% "
+            f"({cache.hits} hits / {cache.misses} misses / "
+            f"{cache.evictions} evictions)",
+        ),
+        (
+            "adaptations",
+            f"{stats.adaptations} "
+            f"(cold validations {stats.cold_validations}, "
+            f"regressions {stats.regressions})",
+        ),
+        ("refits", f"{stats.refits}"),
+        ("adaptation gain", f"{stats.improvement_s * 1e3:.3f} ms"),
+        ("simulated serial", f"{serialized * 1e3:.3f} ms"),
+        ("simulated multiplexed", f"{multiplexed * 1e3:.3f} ms"),
+        (
+            "batching speedup",
+            f"{serialized / multiplexed:.2f}x" if multiplexed > 0 else "n/a",
+        ),
+        ("throughput (simulated)", f"{sched.throughput_rps():.1f} req/s"),
+        (
+            "throughput (wall)",
+            f"{stats.requests / wall_s:.1f} req/s" if wall_s > 0 else "n/a",
+        ),
+        (
+            "device utilization",
+            " ".join(f"{u * 100.0:.0f}%" for u in sched.utilization()),
+        ),
+    ]
+    print(format_table(["metric", "value"], rows, title="Serving summary"))
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .serving import key_universe, zipf_trace
+
+    benchmarks, train_benchmarks, service = _build_service(args)
+    keys = key_universe(benchmarks, max_sizes=args.max_sizes)
+    trace = zipf_trace(keys, args.requests, skew=args.skew, seed=args.seed)
+    print(
+        f"trained on {len(train_benchmarks)}/{len(benchmarks)} programs "
+        f"({len(service.system.database)} records, model {args.model}) "
+        f"on {args.machine}"
+    )
+    print(
+        f"replaying {len(trace)} requests over {len(keys)} keys "
+        f"(zipf skew {args.skew}, seed {args.seed})"
+    )
+    t0 = time.perf_counter()
+    responses = service.serve(trace)
+    wall_s = time.perf_counter() - t0
+    _print_service_summary(service, responses, wall_s)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import ServingRequest
+
+    benchmarks, _train_benchmarks, service = _build_service(args)
+    known = {b.name for b in benchmarks}
+    stream = Path(args.trace).open() if args.trace else sys.stdin
+    print(f"serving on {args.machine}; requests are '<program> <size>' lines")
+    responses = []
+    t0 = time.perf_counter()
+    try:
+        for line in stream:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if (
+                len(parts) != 2
+                or parts[0] not in known
+                or not parts[1].isdigit()
+                or int(parts[1]) < 1
+            ):
+                print(f"!! malformed request {line!r} (want '<program> <size>')")
+                continue
+            request = ServingRequest(
+                request_id=len(responses), program=parts[0], size=int(parts[1])
+            )
+            r = service.submit(request)
+            flags = ("hit" if r.cache_hit else "miss") + (
+                "+adapted" if r.adapted else ""
+            )
+            print(
+                f"{r.request.program}@{r.request.size}: {r.partitioning.label} "
+                f"{r.measured_s * 1e3:.3f} ms [{flags}]"
+            )
+            responses.append(r)
+    finally:
+        if args.trace:
+            stream.close()
+    wall_s = time.perf_counter() - t0
+    if responses:
+        _print_service_summary(service, responses, wall_s)
+    return 0
+
+
+def _add_serving_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--machine", default="mc2", choices=[m.name for m in ALL_MACHINES]
+    )
+    p.add_argument("--model", default="mlp", help="prediction model kind")
+    p.add_argument(
+        "--train-programs",
+        type=int,
+        default=16,
+        help="train on the first N suite programs (the rest arrive cold)",
+    )
+    p.add_argument(
+        "--max-sizes",
+        type=int,
+        default=3,
+        help="cap each program's size ladder (training and trace)",
+    )
+    p.add_argument("--noise", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-capacity", type=int, default=512)
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.3,
+        help="relative regression slack before adaptation triggers",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -162,6 +342,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("databases", nargs="+")
     p_report.add_argument("--model", default="mlp")
     p_report.set_defaults(fn=_cmd_report)
+
+    p_replay = sub.add_parser(
+        "replay", help="serve a synthetic Zipf request trace (online adaptation)"
+    )
+    p_replay.add_argument("--requests", type=int, default=200)
+    p_replay.add_argument("--skew", type=float, default=1.5)
+    _add_serving_options(p_replay)
+    p_replay.set_defaults(fn=_cmd_replay)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve '<program> <size>' requests from a file or stdin"
+    )
+    p_serve.add_argument(
+        "--trace", default=None, help="request file (default: read stdin)"
+    )
+    _add_serving_options(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve)
 
     return parser
 

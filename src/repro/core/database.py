@@ -78,9 +78,75 @@ class TrainingDatabase:
 
     def __init__(self, records: Iterable[TrainingRecord] = ()):
         self.records: list[TrainingRecord] = list(records)
+        self._index: dict[tuple[str, str, int], int] = {}
+        self._indexed_count = -1
+
+    def _key_index(self) -> dict[tuple[str, str, int], int]:
+        """Key → first record position, rebuilt lazily after appends.
+
+        The serving loop looks up and upserts keys on every request;
+        a linear scan per lookup would make a replay O(requests ×
+        records).  Direct appends to :attr:`records` are detected by
+        the length check on the next lookup.
+        """
+        if self._indexed_count != len(self.records):
+            self._index = {}
+            for i, r in enumerate(self.records):
+                self._index.setdefault((r.machine, r.program, r.size), i)
+            self._indexed_count = len(self.records)
+        return self._index
 
     def add(self, record: TrainingRecord) -> None:
         self.records.append(record)
+
+    def record_for(
+        self, machine: str, program: str, size: int
+    ) -> TrainingRecord | None:
+        """The record for one (machine, program, size) key, if present."""
+        i = self._key_index().get((machine, program, size))
+        return self.records[i] if i is not None else None
+
+    def upsert(self, record: TrainingRecord) -> bool:
+        """Insert a record, replacing any existing record with its key.
+
+        Returns ``True`` when an existing record was replaced.  This is
+        the serving layer's append path: online measurements refresh the
+        key they observed instead of accumulating duplicates.
+        """
+        index = self._key_index()
+        key = (record.machine, record.program, record.size)
+        i = index.get(key)
+        if i is not None:
+            self.records[i] = record
+            return True
+        self.records.append(record)
+        index[key] = len(self.records) - 1
+        self._indexed_count = len(self.records)
+        return False
+
+    def merge_timings(
+        self,
+        machine: str,
+        program: str,
+        size: int,
+        features: dict[str, float],
+        timings: dict[str, float],
+    ) -> TrainingRecord:
+        """Merge online measurements into the key's sweep (creating it).
+
+        Unlike the offline trainer, an online run measures only a few
+        partitionings per launch; merging grows the key's partial sweep
+        over time and re-derives the oracle label from everything seen
+        so far.  Returns the updated record.
+        """
+        if not timings:
+            raise ValueError("empty timing sweep")
+        existing = self.record_for(machine, program, size)
+        merged = dict(existing.timings) if existing is not None else {}
+        merged.update(timings)
+        record = TrainingRecord.from_timings(machine, program, size, features, merged)
+        self.upsert(record)
+        return record
 
     def __len__(self) -> int:
         return len(self.records)
@@ -105,6 +171,24 @@ class TrainingDatabase:
 
     def for_program(self, program: str) -> "TrainingDatabase":
         return TrainingDatabase(r for r in self.records if r.program == program)
+
+    def consistent_sweeps(self) -> "TrainingDatabase":
+        """The subset of records sharing the *widest* sweep label set.
+
+        Online adaptation appends records with *partial* sweeps (only
+        the locally searched partitionings); scorer-style models need
+        every record to cover the same candidate set, so they refit on
+        this view.  Width wins over count: the full training sweeps
+        must keep the candidate space intact even once partial online
+        records outnumber them (ties broken by record count).
+        """
+        by_sweep: dict[tuple[str, ...], list[TrainingRecord]] = {}
+        for r in self.records:
+            by_sweep.setdefault(tuple(sorted(r.timings)), []).append(r)
+        if not by_sweep:
+            return TrainingDatabase()
+        _, best = max(by_sweep.items(), key=lambda kv: (len(kv[0]), len(kv[1])))
+        return TrainingDatabase(best)
 
     def feature_names(self) -> tuple[str, ...]:
         """Canonical feature order (validated to be uniform)."""

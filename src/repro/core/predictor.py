@@ -88,6 +88,36 @@ class PartitioningModel:
         self._fitted = True
         return self
 
+    #: Warm-start epochs per incremental MLP refit (a nudge, not a
+    #: from-scratch schedule).
+    INCREMENTAL_EPOCHS = 80
+
+    def refit(self, db: TrainingDatabase, incremental: bool = True) -> "PartitioningModel":
+        """Re-train after the database changed (online adaptation path).
+
+        ``incremental=True`` keeps the fitted feature statistics (the
+        scaler) so the feature space stays stable under a handful of new
+        records; an MLP warm-starts from its current weights for a
+        shortened schedule (a new oracle label forces a full fit — the
+        output layer changes shape).  Other classifier kinds re-fit
+        from scratch, which for them is cheap and exact.  ``False`` is
+        a full :meth:`fit`.
+        """
+        if not incremental or not self._fitted or self.feature_names_ is None:
+            return self.fit(db)
+        X, y, _groups = db.matrices(self.feature_names_)
+        Xs = self.scaler.transform(X)
+        if isinstance(self.classifier, MLPClassifier):
+            try:
+                self.classifier.continue_fit(Xs, y, epochs=self.INCREMENTAL_EPOCHS)
+                return self
+            except ValueError:
+                pass  # unseen label: fall through to a full re-fit
+        classifier = make_classifier(self.kind, self.seed)
+        classifier.fit(Xs, y)
+        self.classifier = classifier
+        return self
+
     def predict_features(self, features: Mapping[str, float]) -> Partitioning:
         """Predict the partitioning for one combined feature dict."""
         if not self._fitted or self.feature_names_ is None:
@@ -177,6 +207,19 @@ class PartitioningScorerModel:
         self._fitted = True
         return self
 
+    def refit(
+        self, db: TrainingDatabase, incremental: bool = True
+    ) -> "PartitioningScorerModel":
+        """Re-train on the consistent-sweep subset of an updated database.
+
+        Online records carry partial sweeps; scorers need uniform
+        candidate sets, so the refit selects the dominant sweep shape
+        (``incremental`` is accepted for interface parity — scorer fits
+        are cheap enough to redo in full).
+        """
+        del incremental
+        return self.fit(db.consistent_sweeps())
+
     def _scores_for(self, x_scaled: np.ndarray) -> np.ndarray:
         """Relative-cost score per candidate label for one launch."""
         assert self._X is not None and self._rel_times is not None
@@ -248,6 +291,21 @@ class PartitioningPredictor:
     def predict(self, bench: Benchmark, instance: ProblemInstance) -> Partitioning:
         """The partitioning to use for this launch."""
         return self.model.predict_features(self.features_for(bench, instance))
+
+    def predict_features(self, features: Mapping[str, float]) -> Partitioning:
+        """Predict from an already-assembled feature dict (serving path)."""
+        return self.model.predict_features(features)
+
+    def refit(
+        self, db: TrainingDatabase, incremental: bool = True
+    ) -> "PartitioningPredictor":
+        """Incrementally refit the underlying model on an updated database.
+
+        The serving layer calls this after online measurements land in
+        the database, closing the paper's one-shot train→deploy loop.
+        """
+        self.model.refit(db.for_machine(self.machine_name), incremental=incremental)
+        return self
 
 
 # ---------------------------------------------------------------------------

@@ -130,6 +130,45 @@ class MLPClassifier(Classifier):
             self.loss_curve_ = [0.0]
             return self
 
+        self._train_loop(X, y_idx, self.epochs, rng)
+        return self
+
+    def continue_fit(
+        self, X: np.ndarray, y: np.ndarray, epochs: int | None = None
+    ) -> "MLPClassifier":
+        """Warm start: keep the current weights, run more Adam epochs.
+
+        The online refit path: a handful of new training records should
+        nudge the converged network, not re-learn it from random
+        initialization.  The labels must all be covered by the fitted
+        ``classes_`` — a genuinely new label changes the output layer
+        shape, which requires a full :meth:`fit` (raises ValueError).
+        """
+        if self.classes_ is None or not self._weights:
+            raise RuntimeError("classifier is not fitted")
+        X, y = check_Xy(X, y)
+        assert y is not None
+        if len(self.classes_) == 1:
+            return self
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        unseen = sorted(set(map(str, y)) - set(map(str, self.classes_)))
+        if unseen:
+            raise ValueError(f"labels absent from the fitted classes: {unseen}")
+        y_idx = np.array([class_index[v] for v in y])
+        rng = np.random.default_rng(self.seed + 1)
+        self._train_loop(X, y_idx, epochs if epochs is not None else self.epochs, rng)
+        return self
+
+    def _train_loop(
+        self,
+        X: np.ndarray,
+        y_idx: np.ndarray,
+        epochs: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Mini-batched Adam with early stopping over the current weights."""
+        n = len(X)
+        n_classes = len(self.classes_)
         onehot = np.zeros((n, n_classes))
         onehot[np.arange(n), y_idx] = 1.0
 
@@ -145,7 +184,7 @@ class MLPClassifier(Classifier):
         best_loss = np.inf
         stale = 0
         self.loss_curve_ = []
-        for _epoch in range(self.epochs):
+        for _epoch in range(epochs):
             order = rng.permutation(n)
             epoch_loss = 0.0
             for start in range(0, n, batch):
@@ -179,7 +218,6 @@ class MLPClassifier(Classifier):
                 stale += 1
                 if stale >= self.patience:
                     break
-        return self
 
     # -- inference -------------------------------------------------------------
 

@@ -18,6 +18,7 @@ __all__ = [
     "Partitioning",
     "partition_space",
     "split_items",
+    "neighborhood",
     "DEFAULT_STEP_PERCENT",
 ]
 
@@ -119,6 +120,33 @@ def partition_space(
     return tuple(sorted(set(out)))
 
 
+def neighborhood(
+    partitioning: Partitioning, step_percent: int = DEFAULT_STEP_PERCENT
+) -> tuple[Partitioning, ...]:
+    """All grid points one ``step_percent`` move away from a partitioning.
+
+    A neighbour shifts one step of workload from one device to another;
+    the result is the local search frontier used by the online
+    adaptation path to refine a mispredicted partitioning without
+    paying for the full 66-point sweep.
+    """
+    if step_percent < 1 or step_percent > 100:
+        raise ValueError("step_percent must be in [1, 100]")
+    out: list[Partitioning] = []
+    shares = partitioning.shares
+    for src in range(len(shares)):
+        if shares[src] < step_percent:
+            continue
+        for dst in range(len(shares)):
+            if dst == src or shares[dst] + step_percent > 100:
+                continue
+            moved = list(shares)
+            moved[src] -= step_percent
+            moved[dst] += step_percent
+            out.append(Partitioning(tuple(moved)))
+    return tuple(sorted(set(out)))
+
+
 def split_items(
     total_items: int,
     partitioning: Partitioning,
@@ -138,21 +166,23 @@ def split_items(
     n = partitioning.num_devices
     ideal = [total_items * s / 100.0 for s in partitioning.shares]
     counts = [int(x // granularity) * granularity for x in ideal]
-    remainders = [(ideal[i] - counts[i], -i) for i in range(n)]
     leftover = total_items - sum(counts)
-    # Hand out whole granules to the largest remainders among active devices.
-    order = sorted(range(n), key=lambda i: remainders[i], reverse=True)
-    for i in order:
-        if leftover < granularity:
+    # Hand out whole granules one at a time in largest-remainder order,
+    # cycling over the active devices: every active device gets a fair
+    # shot at a granule before any device receives a second one.  (Each
+    # active device's fractional remainder is < granularity, so in fact
+    # the cycle never wraps.)
+    remainders = [(ideal[i] - counts[i], -i) for i in range(n)]
+    active_order = [
+        i
+        for i in sorted(range(n), key=lambda i: remainders[i], reverse=True)
+        if partitioning.shares[i] > 0
+    ]
+    for pos in itertools.count():
+        if leftover < granularity or not active_order:
             break
-        if partitioning.shares[i] == 0:
-            continue
-        take = granularity * (leftover // granularity) if counts[i] == 0 else granularity
-        take = min(take, granularity * (leftover // granularity))
-        if take <= 0:
-            break
-        counts[i] += take
-        leftover -= take
+        counts[active_order[pos % len(active_order)]] += granularity
+        leftover -= granularity
     # Final sub-granule remainder goes to the last active device.
     if leftover > 0:
         last_active = partitioning.active_devices[-1]

@@ -1,12 +1,13 @@
 """The Insieme-like runtime system: scheduling, strategies, measurement."""
 
-from .measurement import MeasuredRun, Runner
+from .measurement import MeasuredRun, Runner, SessionStats
 from .scheduler import ExecutionRequest, ExecutionResult, ExecutorFn, execute_partitioned
 from .strategies import StrategyFn, all_gpus, cpu_only, even_split, gpu_only, oracle_search
 
 __all__ = [
     "MeasuredRun",
     "Runner",
+    "SessionStats",
     "ExecutionRequest",
     "ExecutionResult",
     "ExecutorFn",

@@ -10,14 +10,14 @@ the statistics of a real campaign while staying bit-reproducible.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..ocl.context import Context
 from ..ocl.platform import Platform, make_lognormal_noise
 from ..partitioning import Partitioning
 from .scheduler import ExecutionRequest, ExecutionResult, execute_partitioned
 
-__all__ = ["MeasuredRun", "Runner"]
+__all__ = ["MeasuredRun", "Runner", "SessionStats"]
 
 
 @dataclass(frozen=True)
@@ -32,6 +32,38 @@ class MeasuredRun:
     @property
     def repetitions(self) -> int:
         return len(self.samples_s)
+
+
+@dataclass
+class SessionStats:
+    """Accumulated telemetry of one long-lived Runner session.
+
+    A Runner serving many requests (the serving layer's execution
+    backend) records every partitioned execution here: execution count,
+    total simulated seconds and per-device busy seconds.  The serving
+    CLI reports adaptation-probe overhead from it (executions beyond
+    the served requests); :meth:`utilization` gives the per-device
+    busy share of the *serialized* timeline, complementing the batch
+    scheduler's multiplexed view.
+    """
+
+    executions: int = 0
+    simulated_s: float = 0.0
+    device_busy_s: list[float] = field(default_factory=list)
+
+    def record(self, result: ExecutionResult) -> None:
+        if not self.device_busy_s:
+            self.device_busy_s = [0.0] * len(result.device_busy_s)
+        self.executions += 1
+        self.simulated_s += result.makespan_s
+        for i, t in enumerate(result.device_busy_s):
+            self.device_busy_s[i] += t
+
+    def utilization(self) -> tuple[float, ...]:
+        """Per-device busy fraction of the serialized simulated time."""
+        if self.simulated_s <= 0.0:
+            return tuple(0.0 for _ in self.device_busy_s)
+        return tuple(t / self.simulated_s for t in self.device_busy_s)
 
 
 class Runner:
@@ -52,6 +84,13 @@ class Runner:
         self.platform = platform
         self.devices = platform.create_devices(noise)
         self.context = Context(self.devices)
+        self.stats = SessionStats()
+
+    def reset_stats(self) -> SessionStats:
+        """Start a fresh accounting session; returns the closed stats."""
+        closed = self.stats
+        self.stats = SessionStats()
+        return closed
 
     def run(
         self,
@@ -75,6 +114,7 @@ class Runner:
             if rep == 0:
                 result = r
             samples.append(r.makespan_s)
+            self.stats.record(r)
         assert result is not None
         return MeasuredRun(
             partitioning=partitioning,

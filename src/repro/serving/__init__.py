@@ -1,0 +1,27 @@
+"""The serving layer: online-adaptive partitioning as a service.
+
+Everything above one-shot deployment lives here — the LRU prediction
+cache, the batch scheduler multiplexing requests over the simulated
+devices, synthetic request traces, and the :class:`PartitioningService`
+that closes the train→predict→execute loop with online adaptation.
+"""
+
+from .cache import CacheKey, CacheStats, PredictionCache
+from .dispatch import BatchScheduler, DispatchSlot
+from .service import PartitioningService, ServedResponse, ServiceConfig, ServiceStats
+from .trace import ServingRequest, key_universe, zipf_trace
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "PredictionCache",
+    "BatchScheduler",
+    "DispatchSlot",
+    "PartitioningService",
+    "ServedResponse",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServingRequest",
+    "key_universe",
+    "zipf_trace",
+]

@@ -1,0 +1,91 @@
+"""The prediction cache of the partitioning service.
+
+Model inference is cheap but not free (feature assembly walks the
+kernel analysis, the MLP does two dense layers), and a serving workload
+repeats the same (machine, program, size) keys heavily.  An LRU cache
+over the predicted partitionings turns the steady state into a
+dictionary lookup — and doubles as the consistency point for online
+adaptation: a refit invalidates cached predictions, while locally
+*validated* partitionings can be pinned back in so adapted keys keep
+their search result.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..partitioning import Partitioning
+
+__all__ = ["CacheKey", "CacheStats", "PredictionCache"]
+
+#: (machine, program, size) — the identity of one launch configuration.
+CacheKey = tuple[str, str, int]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PredictionCache:
+    """LRU cache mapping :data:`CacheKey` to a predicted partitioning."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[CacheKey, Partitioning] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey) -> Partitioning | None:
+        """Cached partitioning for a key (counts the hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, partitioning: Partitioning) -> None:
+        """Insert/refresh a key, evicting the LRU entry at capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = partitioning
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: CacheKey | None = None) -> int:
+        """Drop one key (or everything) after the model changed.
+
+        Returns the number of entries dropped.  A full invalidation is
+        the post-refit path: every cached prediction may be stale.
+        """
+        if key is not None:
+            dropped = 1 if self._entries.pop(key, None) is not None else 0
+        else:
+            dropped = len(self._entries)
+            self._entries.clear()
+        self.stats.invalidations += dropped
+        return dropped

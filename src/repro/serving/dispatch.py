@@ -1,0 +1,85 @@
+"""The batch scheduler: multiplexing requests over the devices.
+
+The paper's runtime executes one launch at a time; a serving workload
+has many independent launches in flight.  Because a partitioning only
+occupies its *active* devices, requests with disjoint device sets can
+overlap on the simulated timeline — a CPU-only launch runs while a
+dual-GPU launch occupies the GPUs.  The dispatcher keeps a per-device
+availability clock and places each measured execution at the earliest
+instant all of its active devices are free, which is exactly the
+list-scheduling core of an HeMT-style dispatch layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..partitioning import Partitioning
+
+__all__ = ["DispatchSlot", "BatchScheduler"]
+
+
+@dataclass(frozen=True)
+class DispatchSlot:
+    """Placement of one execution on the multiplexed timeline."""
+
+    start_s: float
+    end_s: float
+    device_indices: tuple[int, ...]
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class BatchScheduler:
+    """Per-device availability clocks for a stream of executions."""
+
+    num_devices: int
+    device_free_s: list[float] = field(default_factory=list)
+    dispatched: int = 0
+    busy_s: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if not self.device_free_s:
+            self.device_free_s = [0.0] * self.num_devices
+        if not self.busy_s:
+            self.busy_s = [0.0] * self.num_devices
+
+    def dispatch(self, partitioning: Partitioning, makespan_s: float) -> DispatchSlot:
+        """Place one measured execution; returns its timeline slot."""
+        if partitioning.num_devices != self.num_devices:
+            raise ValueError(
+                f"partitioning covers {partitioning.num_devices} devices, "
+                f"scheduler tracks {self.num_devices}"
+            )
+        if makespan_s < 0:
+            raise ValueError("makespan_s must be non-negative")
+        active = partitioning.active_devices
+        start = max(self.device_free_s[d] for d in active)
+        end = start + makespan_s
+        for d in active:
+            self.device_free_s[d] = end
+            self.busy_s[d] += makespan_s
+        self.dispatched += 1
+        return DispatchSlot(start_s=start, end_s=end, device_indices=active)
+
+    @property
+    def makespan_s(self) -> float:
+        """Simulated completion time of everything dispatched so far."""
+        return max(self.device_free_s)
+
+    def throughput_rps(self) -> float:
+        """Requests per simulated second on the multiplexed timeline."""
+        span = self.makespan_s
+        return self.dispatched / span if span > 0 else 0.0
+
+    def utilization(self) -> tuple[float, ...]:
+        """Per-device busy fraction of the multiplexed makespan."""
+        span = self.makespan_s
+        if span <= 0:
+            return tuple(0.0 for _ in range(self.num_devices))
+        return tuple(b / span for b in self.busy_s)

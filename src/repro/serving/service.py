@@ -1,0 +1,264 @@
+"""The online-adaptive partitioning service.
+
+Ties the trained system into a long-running loop à la HeSP/HeMT:
+
+1. **Predict** — answer each (program, size) request from an LRU
+   prediction cache, falling back to the model on a miss.
+2. **Dispatch** — place the measured execution on the multiplexed
+   device timeline of the :class:`~repro.serving.dispatch.BatchScheduler`.
+3. **Observe** — append every measured run to the training database.
+4. **Adapt** — when the observed makespan regresses past a threshold
+   versus the predicted-best estimate (or a key outside the training
+   set arrives), re-search the local partition-space neighbourhood,
+   pin the locally-validated winner, and periodically refit the model
+   incrementally on the augmented database.
+
+The service is deterministic given its seed: the same trace against the
+same trained system reproduces the same cache behaviour, adaptations
+and refits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..benchsuite.base import Benchmark
+from ..benchsuite.registry import get_benchmark
+from ..core.pipeline import TrainedSystem
+from ..partitioning import DEFAULT_STEP_PERCENT, Partitioning, neighborhood
+from ..runtime.scheduler import ExecutionRequest
+from .cache import CacheKey, PredictionCache
+from .dispatch import BatchScheduler, DispatchSlot
+from .trace import ServingRequest
+
+__all__ = ["ServiceConfig", "ServiceStats", "ServedResponse", "PartitioningService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the serving loop.
+
+    Attributes:
+        cache_capacity: LRU prediction-cache entries.
+        regression_threshold: relative slack before an observed makespan
+            counts as a regression (0.3 = 30% over the estimate).
+        adaptation_step: partition-space step of the local re-search.
+        max_adaptations_per_key: local searches allowed per key (bounds
+            probing cost on persistently noisy keys).
+        refit_interval: adaptations to batch before one incremental
+            model refit (each refit invalidates the prediction cache,
+            so refitting per-adaptation would churn it).
+        repetitions: measurement repetitions per served execution.
+        validate_cold_keys: locally search keys the training database
+            has never seen (the feedback-driven refinement path for
+            out-of-distribution programs/sizes).
+        incremental_refit: pass-through to the predictor's refit.
+        instance_seed: seed for generated problem instances.
+    """
+
+    cache_capacity: int = 512
+    regression_threshold: float = 0.3
+    adaptation_step: int = DEFAULT_STEP_PERCENT
+    max_adaptations_per_key: int = 1
+    refit_interval: int = 4
+    repetitions: int = 1
+    validate_cold_keys: bool = True
+    incremental_refit: bool = True
+    instance_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.regression_threshold < 0:
+            raise ValueError("regression_threshold must be non-negative")
+        if self.refit_interval < 1:
+            raise ValueError("refit_interval must be >= 1")
+        if self.max_adaptations_per_key < 0:
+            raise ValueError("max_adaptations_per_key must be non-negative")
+
+
+@dataclass
+class ServiceStats:
+    """Counters over one service lifetime."""
+
+    requests: int = 0
+    adaptations: int = 0
+    refits: int = 0
+    regressions: int = 0
+    cold_validations: int = 0
+    improvement_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ServedResponse:
+    """Everything the service decided and observed for one request."""
+
+    request: ServingRequest
+    partitioning: Partitioning
+    cache_hit: bool
+    measured_s: float
+    estimate_s: float | None
+    slot: DispatchSlot
+    adapted: bool = False
+    improvement_s: float = 0.0
+
+
+class PartitioningService:
+    """Serves concurrent launch requests against one trained system."""
+
+    def __init__(self, system: TrainedSystem, config: ServiceConfig = ServiceConfig()):
+        self.system = system
+        self.config = config
+        self.cache = PredictionCache(config.cache_capacity)
+        self.scheduler = BatchScheduler(system.platform.num_devices)
+        self.stats = ServiceStats()
+        self._validated: dict[CacheKey, Partitioning] = {}
+        self._adaptations_by_key: dict[CacheKey, int] = {}
+        self._pending_refit = 0
+        # Per-key memoization of the expensive request plumbing: problem
+        # instances, execution requests and feature dicts are identical
+        # across repeats of a key (timing-only runs never mutate arrays).
+        self._requests: dict[CacheKey, ExecutionRequest] = {}
+        self._features: dict[CacheKey, dict[str, float]] = {}
+
+    # -- plumbing ---------------------------------------------------------
+
+    @property
+    def machine(self) -> str:
+        return self.system.platform.name
+
+    def _key(self, request: ServingRequest) -> CacheKey:
+        return (self.machine, request.program, request.size)
+
+    def _execution_request(self, bench: Benchmark, key: CacheKey) -> ExecutionRequest:
+        if key not in self._requests:
+            instance = bench.make_instance(key[2], seed=self.config.instance_seed)
+            self._requests[key] = bench.request(instance)
+            self._features[key] = self.system.predictor.features_for(bench, instance)
+        return self._requests[key]
+
+    def _estimate(self, key: CacheKey) -> float | None:
+        record = self.system.database.record_for(*key)
+        return record.best_time if record is not None else None
+
+    def _measure(self, exec_request: ExecutionRequest, p: Partitioning) -> float:
+        return self.system.runner.time_of(
+            exec_request, p, repetitions=self.config.repetitions
+        )
+
+    # -- the serving loop -------------------------------------------------
+
+    def submit(self, request: ServingRequest) -> ServedResponse:
+        """Serve one launch request end-to-end."""
+        bench = get_benchmark(request.program)
+        key = self._key(request)
+        self.stats.requests += 1
+
+        cached = self.cache.get(key)
+        cache_hit = cached is not None
+        exec_request = self._execution_request(bench, key)
+        if cached is None:
+            # A locally-validated winner outranks the model: it was
+            # measured, the prediction wasn't.  This also restores
+            # adapted keys that fell out of the LRU cache.
+            cached = self._validated.get(key)
+        if cached is None:
+            cached = self.system.predictor.predict_features(self._features[key])
+        if not cache_hit:
+            self.cache.put(key, cached)
+        partitioning = cached
+
+        estimate = self._estimate(key)
+        cold = estimate is None
+        measured = self._measure(exec_request, partitioning)
+        slot = self.scheduler.dispatch(partitioning, measured)
+
+        regressed = (
+            estimate is not None
+            and measured > (1.0 + self.config.regression_threshold) * estimate
+        )
+        if regressed:
+            self.stats.regressions += 1
+
+        adapted = False
+        improvement = 0.0
+        timings = {partitioning.label: measured}
+        if self._should_search(key, cold, regressed):
+            adapted, improvement, partitioning = self._adapt(
+                key, exec_request, partitioning, measured, timings, cold
+            )
+
+        # Every measured run — adapted or not — lands in the database.
+        self.system.database.merge_timings(
+            *key, features=dict(self._features[key]), timings=timings
+        )
+
+        return ServedResponse(
+            request=request,
+            partitioning=partitioning,
+            cache_hit=cache_hit,
+            measured_s=measured,
+            estimate_s=estimate,
+            slot=slot,
+            adapted=adapted,
+            improvement_s=improvement,
+        )
+
+    def serve(self, trace: tuple[ServingRequest, ...]) -> list[ServedResponse]:
+        """Serve a whole trace; returns per-request responses."""
+        return [self.submit(r) for r in trace]
+
+    # -- online adaptation -------------------------------------------------
+
+    def _should_search(self, key: CacheKey, cold: bool, regressed: bool) -> bool:
+        if self._adaptations_by_key.get(key, 0) >= self.config.max_adaptations_per_key:
+            return False
+        return regressed or (cold and self.config.validate_cold_keys)
+
+    def _adapt(
+        self,
+        key: CacheKey,
+        exec_request: ExecutionRequest,
+        predicted: Partitioning,
+        measured: float,
+        timings: dict[str, float],
+        cold: bool,
+    ) -> tuple[bool, float, Partitioning]:
+        """Local neighbourhood re-search around a suspect prediction."""
+        self._adaptations_by_key[key] = self._adaptations_by_key.get(key, 0) + 1
+        for candidate in neighborhood(predicted, self.config.adaptation_step):
+            timings[candidate.label] = self._measure(exec_request, candidate)
+        best_label = min(timings, key=lambda label: timings[label])
+        best = Partitioning.from_label(best_label)
+        if cold:
+            self.stats.cold_validations += 1
+        if best == predicted:
+            return False, 0.0, predicted
+
+        # The model mispredicted this key: pin the validated winner and
+        # queue the new evidence for an incremental refit.
+        improvement = measured - timings[best_label]
+        self.stats.adaptations += 1
+        self.stats.improvement_s += improvement
+        self._validated[key] = best
+        self.cache.put(key, best)
+        self._pending_refit += 1
+        if self._pending_refit >= self.config.refit_interval:
+            self.refit_now()
+        return True, improvement, best
+
+    def refit_now(self) -> None:
+        """Incrementally refit the model and re-seed the cache.
+
+        The refit consumes the augmented database (training sweeps plus
+        every online observation), so the next cache misses are answered
+        by a model that has seen the serving traffic.  Locally-validated
+        winners survive the invalidation: a measurement beats a model
+        prediction.
+        """
+        self.system.predictor.refit(
+            self.system.database, incremental=self.config.incremental_refit
+        )
+        self.cache.invalidate()
+        for key, partitioning in self._validated.items():
+            self.cache.put(key, partitioning)
+        self._pending_refit = 0
+        self.stats.refits += 1

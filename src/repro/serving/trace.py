@@ -1,0 +1,81 @@
+"""Synthetic request traces for the serving layer.
+
+Production launch streams are heavily skewed: a few hot (program, size)
+configurations dominate while a long tail of rare launches keeps
+appearing.  The generator models that with a Zipf distribution over the
+key universe — the standard assumption for cache workloads — with the
+key-to-rank assignment shuffled deterministically per seed so the hot
+set is not always the same benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..benchsuite.base import Benchmark
+from ..util.rng import rng_for
+
+__all__ = ["ServingRequest", "key_universe", "zipf_trace"]
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One launch request arriving at the service."""
+
+    request_id: int
+    program: str
+    size: int
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.program, self.size)
+
+
+def key_universe(
+    benchmarks: tuple[Benchmark, ...],
+    max_sizes: int | None = None,
+) -> tuple[tuple[str, int], ...]:
+    """Every (program, size) configuration the trace can request.
+
+    ``max_sizes`` caps each benchmark's ladder from the small end, which
+    bounds instance-generation cost during a replay.
+    """
+    keys: list[tuple[str, int]] = []
+    for bench in benchmarks:
+        sizes = bench.problem_sizes()
+        if max_sizes is not None:
+            sizes = sizes[:max_sizes]
+        keys.extend((bench.name, size) for size in sizes)
+    if not keys:
+        raise ValueError("empty key universe")
+    return tuple(keys)
+
+
+def zipf_trace(
+    keys: tuple[tuple[str, int], ...],
+    num_requests: int,
+    skew: float = 1.5,
+    seed: int = 0,
+) -> tuple[ServingRequest, ...]:
+    """A Zipf-skewed request trace over a key universe.
+
+    ``p(rank r) ∝ 1 / r^skew`` with ranks assigned by a seeded shuffle
+    of the keys.  ``skew`` ≈ 1.0 is a classic web-style workload; higher
+    values concentrate traffic on fewer keys (better cache behaviour).
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be non-negative")
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    rng = rng_for("serving-trace", len(keys), skew, base_seed=seed)
+    ranked = list(keys)
+    rng.shuffle(ranked)
+    weights = 1.0 / np.arange(1, len(ranked) + 1, dtype=np.float64) ** skew
+    weights /= weights.sum()
+    draws = rng.choice(len(ranked), size=num_requests, p=weights)
+    return tuple(
+        ServingRequest(request_id=i, program=ranked[j][0], size=ranked[j][1])
+        for i, j in enumerate(draws)
+    )

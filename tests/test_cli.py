@@ -60,6 +60,42 @@ class TestRun:
         assert "40/30/30" in out
 
 
+class TestServing:
+    def test_replay_reports_summary(self, capsys):
+        assert main(
+            ["replay", "--machine", "mc2", "--requests", "25",
+             "--train-programs", "4", "--max-sizes", "1", "--model", "knn"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Serving summary" in out
+        assert "cache hit rate" in out
+        assert "refits" in out
+        assert "throughput (simulated)" in out
+
+    def test_serve_from_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text(
+            "# comment line\n"
+            "vec_add 4096\n"
+            "vec_add 4096\n"
+            "not_a_program 7\n"
+            "vec_add 0\n"
+        )
+        assert main(
+            ["serve", "--trace", str(trace), "--machine", "mc2",
+             "--train-programs", "3", "--max-sizes", "1", "--model", "knn"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("vec_add@4096") == 2
+        assert "[miss" in out and "[hit" in out
+        assert out.count("malformed request") == 2  # unknown program, size 0
+        assert "Serving summary" in out
+
+    def test_replay_rejects_bad_train_programs(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "--requests", "1", "--train-programs", "0"])
+
+
 class TestTrainAndReport:
     def test_train_then_report(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)

@@ -89,6 +89,78 @@ class TestDatabaseQueries:
             db.feature_names()
 
 
+class TestOnlineAppend:
+    def test_record_for_finds_exact_key(self):
+        db = TrainingDatabase([_record(program="p1", size=64)])
+        assert db.record_for("mc1", "p1", 64) is not None
+        assert db.record_for("mc1", "p1", 128) is None
+        assert db.record_for("mc2", "p1", 64) is None
+
+    def test_upsert_appends_new_key(self):
+        db = TrainingDatabase([_record(program="p1")])
+        replaced = db.upsert(_record(program="p2"))
+        assert not replaced
+        assert len(db) == 2
+
+    def test_upsert_replaces_existing_key(self):
+        db = TrainingDatabase([_record(program="p1", t_best=1.0)])
+        replaced = db.upsert(_record(program="p1", t_best=0.5))
+        assert replaced
+        assert len(db) == 1
+        assert db.record_for("mc1", "p1", 64).best_time == 0.5
+
+    def test_merge_timings_creates_record(self):
+        db = TrainingDatabase()
+        record = db.merge_timings(
+            "mc1", "new", 32, {"st_x": 1.0, "rt_y": 32.0}, {"100/0/0": 2.0}
+        )
+        assert len(db) == 1
+        assert record.best_label == "100/0/0"
+
+    def test_merge_timings_grows_sweep_and_rederives_best(self):
+        db = TrainingDatabase()
+        feats = {"st_x": 1.0, "rt_y": 32.0}
+        db.merge_timings("mc1", "new", 32, feats, {"100/0/0": 2.0})
+        record = db.merge_timings("mc1", "new", 32, feats, {"0/50/50": 1.0})
+        assert len(db) == 1  # merged into the same key
+        assert record.timings == {"100/0/0": 2.0, "0/50/50": 1.0}
+        assert record.best_label == "0/50/50"
+
+    def test_merge_timings_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingDatabase().merge_timings("m", "p", 1, {}, {})
+
+    def test_consistent_sweeps_drops_partial_records(self):
+        db = TrainingDatabase([_record(program="p1"), _record(program="p2")])
+        db.merge_timings(
+            "mc1", "online", 16, {"st_x": 1.0, "rt_y": 16.0}, {"100/0/0": 1.0}
+        )
+        full = db.consistent_sweeps()
+        assert len(full) == 2
+        assert "online" not in full.programs()
+
+    def test_consistent_sweeps_prefers_widest_over_most_numerous(self):
+        # Partial online records outnumbering the full training sweeps
+        # must not shrink the candidate space.
+        db = TrainingDatabase([_record(program="p1")])
+        for i in range(5):
+            db.merge_timings(
+                "mc1", f"online{i}", 16, {"st_x": 1.0, "rt_y": 16.0}, {"100/0/0": 1.0}
+            )
+        full = db.consistent_sweeps()
+        assert full.programs() == ("p1",)
+
+    def test_consistent_sweeps_empty_database(self):
+        assert len(TrainingDatabase().consistent_sweeps()) == 0
+
+    def test_record_for_sees_direct_appends(self):
+        # The lazy key index must notice records added behind its back.
+        db = TrainingDatabase()
+        assert db.record_for("mc1", "p1", 64) is None
+        db.records.append(_record(program="p1"))
+        assert db.record_for("mc1", "p1", 64) is not None
+
+
 class TestPersistence:
     def test_round_trip(self, tmp_path):
         db = TrainingDatabase([_record(), _record(program="p2", size=128)])
@@ -101,6 +173,21 @@ class TestPersistence:
         X2, y2, _ = loaded.matrices()
         assert np.array_equal(X1, X2)
         assert list(y1) == list(y2)
+
+    def test_online_appends_round_trip(self, tmp_path):
+        """Records appended by the serving loop survive JSON persistence."""
+        db = TrainingDatabase([_record()])
+        feats = {"st_x": 2.0, "rt_y": 32.0}
+        db.merge_timings("mc1", "online", 32, feats, {"100/0/0": 3.0})
+        db.merge_timings("mc1", "online", 32, feats, {"0/100/0": 1.5, "0/50/50": 2.5})
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = TrainingDatabase.load(path)
+        assert len(loaded) == 2
+        record = loaded.record_for("mc1", "online", 32)
+        assert record == db.record_for("mc1", "online", 32)
+        assert record.best_label == "0/100/0"
+        assert record.timings == {"100/0/0": 3.0, "0/100/0": 1.5, "0/50/50": 2.5}
 
     def test_schema_version_checked(self, tmp_path):
         path = tmp_path / "db.json"

@@ -97,6 +97,41 @@ class TestPartitioningModel:
         with pytest.raises(ValueError):
             make_classifier("svm9000")
 
+    def test_incremental_refit_warm_starts_mlp(self, small_db):
+        model = PartitioningModel("mlp").fit(small_db)
+        classifier_before = model.classifier
+        # Merge one new observation under a label the model has seen.
+        seen = model.classifier.classes_[0]
+        r = small_db.records[0]
+        small_db.merge_timings(
+            r.machine, "online_prog", 999, dict(r.features), {str(seen): 1.0}
+        )
+        try:
+            model.refit(small_db, incremental=True)
+            # Warm start keeps the same classifier instance (weights
+            # continued, not re-initialized).
+            assert model.classifier is classifier_before
+            for rec in small_db.records[:3]:
+                assert isinstance(model.predict_features(rec.features), Partitioning)
+        finally:
+            small_db.records.pop()  # module-scoped fixture: restore
+
+    def test_incremental_refit_with_new_label_refits_fully(self, small_db):
+        model = PartitioningModel("mlp").fit(small_db)
+        classifier_before = model.classifier
+        r = small_db.records[0]
+        unseen = "10/10/80"
+        assert unseen not in set(map(str, model.classifier.classes_))
+        small_db.merge_timings(
+            r.machine, "online_prog", 999, dict(r.features), {unseen: 1e-9}
+        )
+        try:
+            model.refit(small_db, incremental=True)
+            assert model.classifier is not classifier_before
+            assert unseen in set(map(str, model.classifier.classes_))
+        finally:
+            small_db.records.pop()
+
 
 class TestEvaluation:
     def test_lopo_covers_all_programs(self, small_db):

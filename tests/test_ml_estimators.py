@@ -108,6 +108,30 @@ class TestMLPSpecifics:
         m = MLPClassifier(epochs=5000, patience=5, seed=0).fit(X, y)
         assert len(m.loss_curve_) < 5000
 
+    def test_continue_fit_warm_starts_from_current_weights(self):
+        X, y = _blobs()
+        m = MLPClassifier(epochs=30, seed=1).fit(X, y)
+        weights_before = [w.copy() for w in m._weights]
+        m.continue_fit(X, y, epochs=10)
+        # Training continued (weights moved) from a near-converged
+        # state: the continuation starts near the previous loss floor,
+        # far below a from-scratch first epoch.
+        assert any(
+            not np.array_equal(a, b) for a, b in zip(weights_before, m._weights)
+        )
+        fresh = MLPClassifier(epochs=1, seed=1).fit(X, y)
+        assert m.loss_curve_[0] < fresh.loss_curve_[0] / 2
+
+    def test_continue_fit_rejects_unseen_labels(self):
+        X, y = _blobs(n=120, classes=2)
+        m = MLPClassifier(epochs=20, seed=0).fit(X, y)
+        with pytest.raises(ValueError, match="absent"):
+            m.continue_fit(X, np.full(len(X), 99))
+
+    def test_continue_fit_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().continue_fit(np.zeros((4, 2)), np.zeros(4))
+
 
 class TestTreeSpecifics:
     def test_max_depth_respected(self):

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.partitioning import (
     DEFAULT_STEP_PERCENT,
     Partitioning,
+    neighborhood,
     partition_space,
     split_items,
 )
@@ -181,3 +182,100 @@ class TestSplitItems:
         for i in range(3):
             chunks = split_items(total, Partitioning.single_device(i, 3))
             assert chunks[i][1] == total
+
+
+class TestSplitItemsGranuleHandout:
+    """Regressions for the granule hand-out under skewed shares.
+
+    The old hand-out gave the first zero-count active device *all*
+    remaining whole granules at once, starving the other active devices
+    even when several granules were available.
+    """
+
+    def test_two_leftover_granules_reach_two_devices(self):
+        # ideal = [51.2, 38.4, 38.4]; two whole 64-granules remain after
+        # flooring and must go to the two largest remainders — not both
+        # to device 0.
+        chunks = split_items(128, Partitioning((40, 30, 30)), granularity=64)
+        assert chunks == ((0, 64), (64, 64), (128, 0))
+
+    def test_zero_count_device_takes_one_granule_not_all(self):
+        # ideal = [76.8, 57.6, 57.6] → counts [64, 0, 0], leftover 128.
+        # Device 1 (largest remainder, zero count) must take one granule
+        # and leave the second to device 2.
+        chunks = split_items(192, Partitioning((40, 30, 30)), granularity=64)
+        assert chunks == ((0, 64), (64, 64), (128, 64))
+
+    def test_skewed_share_keeps_majority_device_on_top(self):
+        chunks = split_items(128, Partitioning((30, 30, 40)), granularity=64)
+        counts = [c for _, c in chunks]
+        assert sum(counts) == 128
+        assert counts[2] == 64  # largest share keeps its granule
+        assert max(counts) == 64  # nobody hogs both granules
+
+    @given(
+        total=st.integers(min_value=0, max_value=100_000),
+        shares_idx=st.integers(min_value=0, max_value=65),
+        granularity=st.sampled_from([16, 64, 256, 1024]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_no_device_exceeds_ideal_by_a_spare_granule(
+        self, total, shares_idx, granularity
+    ):
+        """Every non-final device stays within one granule of its ideal
+        share; the last active device may additionally absorb the
+        sub-granule remainder."""
+        p = partition_space(3, 10)[shares_idx]
+        chunks = split_items(total, p, granularity)
+        last_active = p.active_devices[-1]
+        for i, (_off, cnt) in enumerate(chunks):
+            ideal = total * p.shares[i] / 100.0
+            slack = 2 * granularity if i == last_active else granularity
+            assert cnt < ideal + slack, (p.label, total, granularity, i)
+
+    @given(
+        total=st.integers(min_value=0, max_value=100_000),
+        shares_idx=st.integers(min_value=0, max_value=65),
+        granularity=st.sampled_from([1, 16, 64, 256]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_active_devices_share_whole_granules(
+        self, total, shares_idx, granularity
+    ):
+        """While whole granules remain unassigned, no active device may
+        hold two spare granules (the starvation symptom)."""
+        p = partition_space(3, 10)[shares_idx]
+        chunks = split_items(total, p, granularity)
+        zero_count_active = [
+            i for i in p.active_devices if chunks[i][1] == 0 and i != p.active_devices[-1]
+        ]
+        for i in zero_count_active:
+            floor_granules = int(total * p.shares[i] / 100.0) // granularity
+            # A starved device is only acceptable when its ideal share
+            # did not reach a whole granule by itself.
+            assert floor_granules == 0, (p.label, total, granularity, i)
+
+
+class TestNeighborhood:
+    def test_moves_one_step_between_device_pairs(self):
+        n = neighborhood(Partitioning((50, 30, 20)), 10)
+        assert Partitioning((40, 40, 20)) in n
+        assert Partitioning((60, 20, 20)) in n
+        assert Partitioning((50, 20, 30)) in n
+        assert len(n) == 6  # all ordered pairs are feasible here
+
+    def test_respects_bounds(self):
+        n = neighborhood(Partitioning((100, 0, 0)), 10)
+        # Only moves away from the full device are possible.
+        assert n == (Partitioning((90, 0, 10)), Partitioning((90, 10, 0)))
+
+    def test_neighbours_are_valid_grid_points(self):
+        space = set(partition_space(3, 10))
+        for p in partition_space(3, 10):
+            for q in neighborhood(p, 10):
+                assert q in space
+                assert q != p
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            neighborhood(Partitioning((100, 0, 0)), 0)

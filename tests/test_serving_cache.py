@@ -1,0 +1,84 @@
+"""Tests for the serving layer's LRU prediction cache."""
+
+import pytest
+
+from repro.partitioning import Partitioning
+from repro.serving import PredictionCache
+
+
+def _p(label: str) -> Partitioning:
+    return Partitioning.from_label(label)
+
+
+def _key(i: int) -> tuple[str, str, int]:
+    return ("mc2", f"prog{i}", 64)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = PredictionCache(capacity=4)
+        assert cache.get(_key(0)) is None
+        cache.put(_key(0), _p("100/0/0"))
+        assert cache.get(_key(0)) == _p("100/0/0")
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_contains_and_len(self):
+        cache = PredictionCache(capacity=4)
+        cache.put(_key(1), _p("0/50/50"))
+        assert _key(1) in cache
+        assert _key(2) not in cache
+        assert len(cache) == 1
+
+    def test_put_refreshes_value(self):
+        cache = PredictionCache(capacity=4)
+        cache.put(_key(0), _p("100/0/0"))
+        cache.put(_key(0), _p("0/100/0"))
+        assert len(cache) == 1
+        assert cache.get(_key(0)) == _p("0/100/0")
+
+    def test_empty_hit_rate_is_zero(self):
+        assert PredictionCache().stats.hit_rate == 0.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PredictionCache(capacity=0)
+
+
+class TestEviction:
+    def test_lru_entry_evicted_at_capacity(self):
+        cache = PredictionCache(capacity=2)
+        cache.put(_key(0), _p("100/0/0"))
+        cache.put(_key(1), _p("0/100/0"))
+        cache.put(_key(2), _p("0/0/100"))
+        assert cache.stats.evictions == 1
+        assert _key(0) not in cache
+        assert _key(1) in cache and _key(2) in cache
+
+    def test_get_refreshes_recency(self):
+        cache = PredictionCache(capacity=2)
+        cache.put(_key(0), _p("100/0/0"))
+        cache.put(_key(1), _p("0/100/0"))
+        cache.get(_key(0))  # 0 becomes most recent; 1 is now LRU
+        cache.put(_key(2), _p("0/0/100"))
+        assert _key(0) in cache
+        assert _key(1) not in cache
+
+
+class TestInvalidation:
+    def test_invalidate_single_key(self):
+        cache = PredictionCache(capacity=4)
+        cache.put(_key(0), _p("100/0/0"))
+        cache.put(_key(1), _p("0/100/0"))
+        assert cache.invalidate(_key(0)) == 1
+        assert _key(0) not in cache and _key(1) in cache
+        assert cache.invalidate(_key(0)) == 0  # already gone
+
+    def test_invalidate_all(self):
+        cache = PredictionCache(capacity=4)
+        for i in range(3):
+            cache.put(_key(i), _p("100/0/0"))
+        assert cache.invalidate() == 3
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 3

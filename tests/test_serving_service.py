@@ -1,0 +1,219 @@
+"""Tests for the serving layer: traces, dispatch and the service loop."""
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import TrainingConfig, train_system
+from repro.machines import MC2
+from repro.partitioning import Partitioning
+from repro.serving import (
+    BatchScheduler,
+    PartitioningService,
+    ServiceConfig,
+    ServingRequest,
+    key_universe,
+    zipf_trace,
+)
+
+
+class TestTrace:
+    def _keys(self):
+        return key_universe(
+            tuple(get_benchmark(n) for n in ("vec_add", "mat_mul")), max_sizes=2
+        )
+
+    def test_key_universe_caps_ladders(self):
+        keys = self._keys()
+        assert len(keys) == 4
+        assert all(name in ("vec_add", "mat_mul") for name, _size in keys)
+
+    def test_trace_is_deterministic(self):
+        keys = self._keys()
+        assert zipf_trace(keys, 50, seed=7) == zipf_trace(keys, 50, seed=7)
+        assert zipf_trace(keys, 50, seed=7) != zipf_trace(keys, 50, seed=8)
+
+    def test_trace_is_skewed(self):
+        keys = key_universe(
+            tuple(get_benchmark(n) for n in ("vec_add", "mat_mul", "saxpy")),
+            max_sizes=3,
+        )
+        trace = zipf_trace(keys, 500, skew=1.5, seed=0)
+        counts: dict[tuple[str, int], int] = {}
+        for r in trace:
+            counts[r.key] = counts.get(r.key, 0) + 1
+        top = max(counts.values())
+        assert top > 500 / len(keys) * 2  # the head dominates a uniform share
+
+    def test_bad_arguments_rejected(self):
+        keys = self._keys()
+        with pytest.raises(ValueError):
+            zipf_trace(keys, -1)
+        with pytest.raises(ValueError):
+            zipf_trace(keys, 10, skew=0.0)
+        with pytest.raises(ValueError):
+            key_universe(())
+
+
+class TestBatchScheduler:
+    def test_disjoint_devices_overlap(self):
+        sched = BatchScheduler(num_devices=3)
+        a = sched.dispatch(Partitioning((100, 0, 0)), 1.0)
+        b = sched.dispatch(Partitioning((0, 50, 50)), 2.0)
+        assert a.start_s == 0.0 and b.start_s == 0.0  # run concurrently
+        assert sched.makespan_s == 2.0
+        assert sched.throughput_rps() == pytest.approx(1.0)
+
+    def test_shared_device_serializes(self):
+        sched = BatchScheduler(num_devices=3)
+        sched.dispatch(Partitioning((50, 50, 0)), 1.0)
+        slot = sched.dispatch(Partitioning((0, 100, 0)), 1.0)
+        assert slot.start_s == 1.0
+        assert sched.makespan_s == 2.0
+
+    def test_utilization_accounts_busy_time(self):
+        sched = BatchScheduler(num_devices=2)
+        sched.dispatch(Partitioning((100, 0)), 1.0)
+        sched.dispatch(Partitioning((0, 100)), 4.0)
+        assert sched.utilization() == pytest.approx((0.25, 1.0))
+
+    def test_device_count_mismatch_rejected(self):
+        sched = BatchScheduler(num_devices=2)
+        with pytest.raises(ValueError):
+            sched.dispatch(Partitioning((100, 0, 0)), 1.0)
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    """A system trained on two programs; everything else arrives cold."""
+    benchmarks = tuple(get_benchmark(n) for n in ("vec_add", "mat_mul"))
+    return train_system(
+        MC2,
+        benchmarks,
+        model_kind="knn",
+        config=TrainingConfig(repetitions=1, max_sizes=2),
+    )
+
+
+def _request(i, program, size):
+    return ServingRequest(request_id=i, program=program, size=size)
+
+
+class TestPartitioningService:
+    def test_repeat_key_hits_cache(self, small_system):
+        service = PartitioningService(small_system, ServiceConfig())
+        size = get_benchmark("vec_add").problem_sizes()[0]
+        first = service.submit(_request(0, "vec_add", size))
+        second = service.submit(_request(1, "vec_add", size))
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.partitioning == first.partitioning
+        assert service.cache.stats.hits == 1
+
+    def test_every_run_lands_in_database(self, small_system):
+        service = PartitioningService(small_system, ServiceConfig())
+        db = small_system.database
+        size = get_benchmark("saxpy").problem_sizes()[0]
+        assert db.record_for("mc2", "saxpy", size) is None
+        service.submit(_request(0, "saxpy", size))
+        record = db.record_for("mc2", "saxpy", size)
+        assert record is not None
+        assert record.best_label in record.timings
+
+    def test_cold_key_triggers_local_search(self, small_system):
+        service = PartitioningService(
+            small_system, ServiceConfig(validate_cold_keys=True)
+        )
+        size = get_benchmark("triad").problem_sizes()[0]
+        response = service.submit(_request(0, "triad", size))
+        # The search measured the predicted point plus its neighbours.
+        record = small_system.database.record_for("mc2", "triad", size)
+        assert record is not None
+        assert len(record.timings) > 1
+        assert service.stats.cold_validations == 1
+        # Whatever won the local search is what the service answers with.
+        assert response.partitioning.label == record.best_label
+
+    def test_adaptation_refits_and_invalidates_cache(self, small_system):
+        # mandelbrot at a large size is far outside the (vec_add, mat_mul)
+        # training distribution, so the cold-key search finds a better
+        # partitioning than the misprediction and the model refits.
+        service = PartitioningService(
+            small_system,
+            ServiceConfig(refit_interval=1, validate_cold_keys=True),
+        )
+        warm_size = get_benchmark("vec_add").problem_sizes()[0]
+        service.submit(_request(0, "vec_add", warm_size))
+        assert ("mc2", "vec_add", warm_size) in service.cache
+
+        size = get_benchmark("mandelbrot").problem_sizes()[-1]
+        response = service.submit(_request(1, "mandelbrot", size))
+        assert response.adapted
+        assert response.improvement_s > 0
+        assert service.stats.refits >= 1
+        # The refit invalidated the warm key but pinned the validated one.
+        assert ("mc2", "vec_add", warm_size) not in service.cache
+        assert ("mc2", "mandelbrot", size) in service.cache
+        assert service.cache.get(("mc2", "mandelbrot", size)) == response.partitioning
+
+    def test_validated_winner_survives_eviction(self):
+        # An adapted key that falls out of the LRU cache must come back
+        # from the validated store, not from the (wrong) model.  Uses a
+        # private system: the shared fixture's model may already have
+        # been refit on mandelbrot by other tests.
+        system = train_system(
+            MC2,
+            tuple(get_benchmark(n) for n in ("vec_add", "mat_mul")),
+            model_kind="knn",
+            config=TrainingConfig(repetitions=1, max_sizes=2),
+        )
+        service = PartitioningService(
+            system,
+            ServiceConfig(cache_capacity=1, refit_interval=100),
+        )
+        size = get_benchmark("mandelbrot").problem_sizes()[-1]
+        adapted = service.submit(_request(0, "mandelbrot", size))
+        assert adapted.adapted
+        warm_size = get_benchmark("vec_add").problem_sizes()[0]
+        service.submit(_request(1, "vec_add", warm_size))  # evicts mandelbrot
+        again = service.submit(_request(2, "mandelbrot", size))
+        assert not again.cache_hit
+        assert again.partitioning == adapted.partitioning
+
+    def test_adaptations_bounded_per_key(self, small_system):
+        service = PartitioningService(
+            small_system,
+            ServiceConfig(max_adaptations_per_key=1, refit_interval=100),
+        )
+        size = get_benchmark("mandelbrot").problem_sizes()[-1]
+        service.submit(_request(0, "mandelbrot", size))
+        searches_after_first = service.system.runner.stats.executions
+        service.submit(_request(1, "mandelbrot", size))
+        # The second submit measures exactly once: no second search.
+        assert service.system.runner.stats.executions == searches_after_first + 1
+
+    def test_serve_trace_reports_responses(self, small_system):
+        service = PartitioningService(small_system, ServiceConfig())
+        keys = key_universe(
+            tuple(get_benchmark(n) for n in ("vec_add", "mat_mul")), max_sizes=2
+        )
+        trace = zipf_trace(keys, 30, seed=3)
+        responses = service.serve(trace)
+        assert len(responses) == 30
+        assert service.stats.requests == 30
+        assert service.scheduler.dispatched == 30
+        assert service.cache.stats.hit_rate > 0.5  # 4 keys, 30 requests
+
+
+class TestRunnerSessionStats:
+    def test_stats_accumulate_and_reset(self, small_system):
+        runner = small_system.runner
+        before = runner.stats.executions
+        bench = get_benchmark("vec_add")
+        inst = bench.make_instance(bench.problem_sizes()[0], seed=0)
+        runner.run(bench.request(inst), Partitioning((100, 0, 0)), functional=False)
+        assert runner.stats.executions == before + 1
+        assert runner.stats.simulated_s > 0
+        assert len(runner.stats.device_busy_s) == 3
+        closed = runner.reset_stats()
+        assert closed.executions == before + 1
+        assert runner.stats.executions == 0
