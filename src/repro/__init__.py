@@ -11,8 +11,10 @@ substrate:
   (ND-range splitting, buffer distributions, offset code generation);
 * :mod:`repro.ocl` / :mod:`repro.machines` — simulated devices with
   calibrated analytic cost models; the paper's mc1 and mc2 platforms;
-* :mod:`repro.runtime` — the multi-device scheduler, default
-  strategies and measurement harness;
+* :mod:`repro.runtime` — the multi-device scheduler, per-device
+  command planning, default strategies and measurement harness;
+* :mod:`repro.engine` — the memoized sweep/measurement engine (the
+  training and adaptation hot path);
 * :mod:`repro.ml` — from-scratch NumPy classifiers (MLP and friends);
 * :mod:`repro.benchsuite` — the 23-program evaluation suite;
 * :mod:`repro.core` — the contribution: feature assembly, training
@@ -41,6 +43,7 @@ from .core import (
     generate_training_data,
     train_system,
 )
+from .engine import SweepEngine
 from .machines import ALL_MACHINES, MC1, MC2, machine_by_name
 from .partitioning import Partitioning, neighborhood, partition_space, split_items
 from .runtime import Runner, cpu_only, even_split, gpu_only, oracle_search
@@ -70,6 +73,7 @@ __all__ = [
     "PartitioningService",
     "ServiceConfig",
     "Runner",
+    "SweepEngine",
     "cpu_only",
     "gpu_only",
     "even_split",

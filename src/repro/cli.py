@@ -155,6 +155,7 @@ def _build_service(args: argparse.Namespace):
             cache_capacity=args.cache_capacity,
             regression_threshold=args.threshold,
             instance_seed=args.seed,
+            memoize=not args.no_memoize,
         ),
     )
     return benchmarks, train_benchmarks, service
@@ -205,6 +206,15 @@ def _print_service_summary(service, responses, wall_s: float) -> None:
             " ".join(f"{u * 100.0:.0f}%" for u in sched.utilization()),
         ),
     ]
+    if service.engine is not None:
+        es = service.engine.stats
+        rows.append(
+            (
+                "sweep engine",
+                f"{es.compositions} compositions, "
+                f"{es.tape_hit_rate * 100.0:.1f}% tape hits",
+            )
+        )
     print(format_table(["metric", "value"], rows, title="Serving summary"))
 
 
@@ -224,7 +234,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"(zipf skew {args.skew}, seed {args.seed})"
     )
     t0 = time.perf_counter()
-    responses = service.serve(trace)
+    if args.no_batch:
+        responses = service.serve(trace)
+    else:
+        responses = service.submit_many(trace)
     wall_s = time.perf_counter() - t0
     _print_service_summary(service, responses, wall_s)
     return 0
@@ -300,6 +313,11 @@ def _add_serving_options(p: argparse.ArgumentParser) -> None:
         default=0.3,
         help="relative regression slack before adaptation triggers",
     )
+    p.add_argument(
+        "--no-memoize",
+        action="store_true",
+        help="measure without the memoizing sweep engine (A/B baseline)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -348,6 +366,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_replay.add_argument("--requests", type=int, default=200)
     p_replay.add_argument("--skew", type=float, default=1.5)
+    p_replay.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="serve sequentially instead of batching model inference",
+    )
     _add_serving_options(p_replay)
     p_replay.set_defaults(fn=_cmd_replay)
 

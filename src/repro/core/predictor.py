@@ -16,7 +16,7 @@ Two model shapes are provided:
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -120,11 +120,24 @@ class PartitioningModel:
 
     def predict_features(self, features: Mapping[str, float]) -> Partitioning:
         """Predict the partitioning for one combined feature dict."""
+        return self.predict_features_many([features])[0]
+
+    def predict_features_many(
+        self, features: Sequence[Mapping[str, float]]
+    ) -> list[Partitioning]:
+        """Batched prediction: one classifier pass over many launches.
+
+        The serving layer's ``submit_many`` funnels every cold key of a
+        trace through here, so a whole batch costs one scaler transform
+        and one classifier forward pass instead of per-row model calls.
+        """
         if not self._fitted or self.feature_names_ is None:
             raise RuntimeError("model is not fitted")
-        x = feature_vector(features, self.feature_names_)[None, :]
-        label = self.classifier.predict(self.scaler.transform(x))[0]
-        return Partitioning.from_label(str(label))
+        if not features:
+            return []
+        X = np.stack([feature_vector(f, self.feature_names_) for f in features])
+        labels = self.classifier.predict(self.scaler.transform(X))
+        return [Partitioning.from_label(str(l)) for l in labels]
 
     def predict_many(self, db: TrainingDatabase) -> list[Partitioning]:
         """Predict for every record of a database (evaluation helper)."""
@@ -168,13 +181,22 @@ class PartitioningScorerModel:
         self._labels: tuple[str, ...] = ()
         self._X: np.ndarray | None = None
         self._rel_times: np.ndarray | None = None
+        self._log_rel: np.ndarray | None = None
+        self._shares: np.ndarray | None = None
         self._regressor: MLPRegressor | None = None
         self._fitted = False
 
     def _candidate_shares(self) -> np.ndarray:
-        return np.array(
-            [Partitioning.from_label(l).shares for l in self._labels], dtype=np.float64
-        ) / 100.0
+        """Candidate-share matrix, parsed once at fit time and cached."""
+        if self._shares is None:
+            self._shares = (
+                np.array(
+                    [Partitioning.from_label(l).shares for l in self._labels],
+                    dtype=np.float64,
+                )
+                / 100.0
+            )
+        return self._shares
 
     def fit(self, db: TrainingDatabase) -> "PartitioningScorerModel":
         names = db.feature_names()
@@ -187,20 +209,21 @@ class PartitioningScorerModel:
                 raise ValueError("inconsistent partitioning sweeps across records")
             best = r.best_time
             rel[i] = [r.timings[l] / best for l in labels]
+        if labels != self._labels:
+            self._shares = None  # candidate set changed: re-derive lazily
         self.feature_names_ = names
         self._labels = labels
         self._X = Xs
         self._rel_times = rel
+        self._log_rel = np.log(rel)
         if self.kind == "mlp-scorer":
             shares = self._candidate_shares()
             n, d = Xs.shape
             m = len(labels)
             rows = np.empty((n * m, d + shares.shape[1]))
-            targets = np.empty(n * m)
-            for i in range(n):
-                rows[i * m : (i + 1) * m, :d] = Xs[i]
-                rows[i * m : (i + 1) * m, d:] = shares
-                targets[i * m : (i + 1) * m] = np.log(rel[i])
+            rows[:, :d] = np.repeat(Xs, m, axis=0)
+            rows[:, d:] = np.tile(shares, (n, 1))
+            targets = self._log_rel.reshape(n * m)
             self._regressor = MLPRegressor(
                 hidden_layers=(48, 24), epochs=60, seed=self.seed
             ).fit(rows, targets)
@@ -222,37 +245,69 @@ class PartitioningScorerModel:
 
     def _scores_for(self, x_scaled: np.ndarray) -> np.ndarray:
         """Relative-cost score per candidate label for one launch."""
-        assert self._X is not None and self._rel_times is not None
+        return self._scores_matrix(x_scaled[None, :])[0]
+
+    def _scores_matrix(self, X_scaled: np.ndarray) -> np.ndarray:
+        """Relative-cost scores, all rows in one pass: (n, candidates).
+
+        ``knn-scorer`` finds every row's neighbourhood from one pairwise
+        distance matrix and gathers the (pre-logged) relative sweeps in
+        a single fancy-indexing step; ``mlp-scorer`` evaluates all
+        (row, candidate) pairs through one regressor forward pass.
+        """
+        assert self._X is not None and self._log_rel is not None
         if self.kind == "knn-scorer":
-            d2 = ((self._X - x_scaled) ** 2).sum(axis=1)
-            k = min(self.k, len(d2))
-            nn = np.argpartition(d2, k - 1)[:k]
-            # Geometric mean over neighbours: robust to outlier sweeps.
-            return np.exp(np.log(self._rel_times[nn]).mean(axis=0))
+            k = min(self.k, self._X.shape[0])
+            out = np.empty((len(X_scaled), self._log_rel.shape[1]))
+            # Broadcast-difference distances, row-blocked to bound the
+            # (block, train, features) intermediate.  Deliberately NOT
+            # the x²-2xy+y² expansion: the difference form keeps every
+            # d2 entry bit-identical to the historical per-row loop, so
+            # vectorization cannot flip near-tied neighbour selections.
+            block = 256
+            for start in range(0, len(X_scaled), block):
+                chunk = X_scaled[start : start + block]
+                d2 = ((self._X[None, :, :] - chunk[:, None, :]) ** 2).sum(axis=2)
+                nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+                # Geometric mean over neighbours: robust to outlier sweeps.
+                out[start : start + len(chunk)] = np.exp(
+                    self._log_rel[nn].mean(axis=1)
+                )
+            return out
         assert self._regressor is not None
         shares = self._candidate_shares()
-        rows = np.hstack([np.tile(x_scaled, (len(shares), 1)), shares])
-        return self._regressor.predict(rows)
+        n, d = X_scaled.shape
+        m = len(shares)
+        rows = np.empty((n * m, d + shares.shape[1]))
+        rows[:, :d] = np.repeat(X_scaled, m, axis=0)
+        rows[:, d:] = np.tile(shares, (n, 1))
+        return self._regressor.predict(rows).reshape(n, m)
+
+    def _argmin_partitionings(self, scores: np.ndarray) -> list[Partitioning]:
+        return [
+            Partitioning.from_label(self._labels[int(i)])
+            for i in np.argmin(scores, axis=1)
+        ]
 
     def predict_features(self, features: Mapping[str, float]) -> Partitioning:
+        return self.predict_features_many([features])[0]
+
+    def predict_features_many(
+        self, features: Sequence[Mapping[str, float]]
+    ) -> list[Partitioning]:
+        """Batched prediction from assembled feature dicts (serving path)."""
         if not self._fitted or self.feature_names_ is None:
             raise RuntimeError("model is not fitted")
-        x = self.scaler.transform(
-            feature_vector(features, self.feature_names_)[None, :]
-        )[0]
-        scores = self._scores_for(x)
-        return Partitioning.from_label(self._labels[int(np.argmin(scores))])
+        if not features:
+            return []
+        X = np.stack([feature_vector(f, self.feature_names_) for f in features])
+        return self._argmin_partitionings(self._scores_matrix(self.scaler.transform(X)))
 
     def predict_many(self, db: TrainingDatabase) -> list[Partitioning]:
         if not self._fitted or self.feature_names_ is None:
             raise RuntimeError("model is not fitted")
         X, _y, _groups = db.matrices(self.feature_names_)
-        Xs = self.scaler.transform(X)
-        out = []
-        for row in Xs:
-            scores = self._scores_for(row)
-            out.append(Partitioning.from_label(self._labels[int(np.argmin(scores))]))
-        return out
+        return self._argmin_partitionings(self._scores_matrix(self.scaler.transform(X)))
 
     def accuracy_on(self, db: TrainingDatabase) -> float:
         predictions = self.predict_many(db)
@@ -295,6 +350,12 @@ class PartitioningPredictor:
     def predict_features(self, features: Mapping[str, float]) -> Partitioning:
         """Predict from an already-assembled feature dict (serving path)."""
         return self.model.predict_features(features)
+
+    def predict_features_many(
+        self, features: Sequence[Mapping[str, float]]
+    ) -> list[Partitioning]:
+        """Batched prediction for many launches in one model pass."""
+        return self.model.predict_features_many(features)
 
     def refit(
         self, db: TrainingDatabase, incremental: bool = True

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..benchsuite.base import Benchmark, ProblemInstance
+from ..engine import SweepEngine
 from ..ocl.platform import Platform
 from ..partitioning import Partitioning, partition_space
 from ..runtime.measurement import Runner
@@ -50,13 +51,23 @@ def sweep_partitionings(
     instance: ProblemInstance,
     space: Sequence[Partitioning],
     repetitions: int = 1,
+    engine: SweepEngine | None = None,
 ) -> dict[str, float]:
-    """Measure every partitioning; returns label → median seconds."""
+    """Measure every partitioning; returns label → median seconds.
+
+    Sweeps run through a memoizing :class:`SweepEngine`: across the
+    grid the per-device chunks repeat heavily, so each unique chunk is
+    simulated once and every further point is composed from cached
+    timelines.  The engine's caches are keyed per request object, so
+    reuse happens *within* one sweep (and across repeated measurements
+    of the same request, as in serving) — a fresh ``bench.request``
+    per record shares nothing, which is why the campaign loop resets
+    its engine between records instead of accumulating pinned arrays.
+    """
+    if engine is None:
+        engine = SweepEngine(runner)
     request = bench.request(instance)
-    out: dict[str, float] = {}
-    for p in space:
-        out[p.label] = runner.time_of(request, p, repetitions=repetitions)
-    return out
+    return engine.sweep(request, space, repetitions=repetitions)
 
 
 def build_record(
@@ -65,6 +76,7 @@ def build_record(
     instance: ProblemInstance,
     space: Sequence[Partitioning],
     config: TrainingConfig,
+    engine: SweepEngine | None = None,
 ) -> TrainingRecord:
     """One training pattern: features + full partitioning sweep."""
     compiled = bench.compiled(instance)
@@ -75,7 +87,7 @@ def build_record(
         runner.run(bench.request(check), space[0], functional=True)
         bench.verify(check, atol=1e-2, rtol=1e-2, expected=expected)
     timings = sweep_partitionings(
-        runner, bench, instance, space, repetitions=config.repetitions
+        runner, bench, instance, space, repetitions=config.repetitions, engine=engine
     )
     return TrainingRecord.from_timings(
         machine=runner.platform.name,
@@ -98,6 +110,7 @@ def generate_training_data(
     partitionings of the configured space and stores one record.
     """
     runner = Runner(platform, noise_sigma=config.noise_sigma, seed=config.seed)
+    engine = SweepEngine(runner)
     space = partition_space(platform.num_devices, config.step_percent)
     db = TrainingDatabase()
     for bench in benchmarks:
@@ -106,7 +119,10 @@ def generate_training_data(
             sizes = sizes[: config.max_sizes]
         for size in sizes:
             instance = bench.make_instance(size, seed=config.seed)
-            record = build_record(runner, bench, instance, space, config)
+            record = build_record(runner, bench, instance, space, config, engine=engine)
+            # Tapes are request-scoped; dropping them between records
+            # keeps campaign memory flat without losing any cache hits.
+            engine.reset()
             db.add(record)
             if progress is not None:
                 progress(

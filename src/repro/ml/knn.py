@@ -43,9 +43,9 @@ class KNeighborsClassifier(Classifier):
         if X.shape[1] != self._X.shape[1]:
             raise ValueError("feature-count mismatch with the training data")
         k = min(self.k, len(self._X))
+        n_classes = len(self.classes_)
         # Pairwise squared distances, blocked to bound memory.
         out = np.empty(len(X), dtype=self._y.dtype)
-        label_to_pos = {c: i for i, c in enumerate(self.classes_)}
         block = 256
         for start in range(0, len(X), block):
             chunk = X[start : start + block]
@@ -56,14 +56,21 @@ class KNeighborsClassifier(Classifier):
             )
             np.maximum(d2, 0.0, out=d2)
             nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
-            for i in range(len(chunk)):
-                labels = self._y[nn[i]]
-                if self.weights == "distance":
-                    w = 1.0 / (np.sqrt(d2[i, nn[i]]) + 1e-12)
-                else:
-                    w = np.ones(k)
-                scores = np.zeros(len(self.classes_))
-                for lbl, wt in zip(labels, w):
-                    scores[label_to_pos[lbl]] += wt
-                out[start + i] = self.classes_[int(np.argmax(scores))]
+            # Weighted votes for the whole block at once: flatten each
+            # row's neighbour labels to class positions (classes_ is the
+            # sorted np.unique output) and bincount the vote weights.
+            pos = np.searchsorted(self.classes_, self._y[nn])
+            if self.weights == "distance":
+                w = 1.0 / (np.sqrt(np.take_along_axis(d2, nn, axis=1)) + 1e-12)
+            else:
+                w = np.ones_like(pos, dtype=np.float64)
+            rows = np.arange(len(chunk))[:, None]
+            votes = np.bincount(
+                (rows * n_classes + pos).ravel(),
+                weights=w.ravel(),
+                minlength=len(chunk) * n_classes,
+            ).reshape(len(chunk), n_classes)
+            out[start : start + len(chunk)] = self.classes_[
+                np.argmax(votes, axis=1)
+            ]
         return out

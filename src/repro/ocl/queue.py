@@ -98,6 +98,16 @@ class CommandQueue:
             breakdown.total_s,
         )
 
+    def enqueue_timed(self, kind: CommandKind, label: str, duration_s: float) -> Event:
+        """Enqueue a pre-priced command (the planner's replay path).
+
+        The duration must be the *noise-free* modeled time; the device's
+        noise model is applied here exactly as for the other enqueues,
+        so a replayed plan produces the same timeline as the equivalent
+        sequence of ``enqueue_write``/``enqueue_kernel`` calls.
+        """
+        return self._record(kind, label, duration_s)
+
     def enqueue_marker(self, label: str = "marker") -> Event:
         """A zero-duration marker event (for timeline bookkeeping)."""
         return self._record(CommandKind.MARKER, label, 0.0)

@@ -147,6 +147,7 @@ def neighborhood(
     return tuple(sorted(set(out)))
 
 
+@lru_cache(maxsize=65536)
 def split_items(
     total_items: int,
     partitioning: Partitioning,
@@ -158,6 +159,10 @@ def split_items(
     aligned to ``granularity`` (the work-group size) except that the last
     active device absorbs the remainder.  Uses the largest-remainder
     method so a 33/33/34-style request cannot lose or duplicate items.
+
+    The result is memoized: the split is a pure function of its three
+    (hashable) arguments, and both the sweep engine and the runtime
+    scheduler ask for the same grid splits over and over.
     """
     if total_items < 0:
         raise ValueError("total_items must be non-negative")

@@ -1,6 +1,7 @@
 """The Insieme-like runtime system: scheduling, strategies, measurement."""
 
 from .measurement import MeasuredRun, Runner, SessionStats
+from .plan import PlannedCommand, command_duration_s, plan_device_commands
 from .scheduler import ExecutionRequest, ExecutionResult, ExecutorFn, execute_partitioned
 from .strategies import StrategyFn, all_gpus, cpu_only, even_split, gpu_only, oracle_search
 
@@ -8,6 +9,9 @@ __all__ = [
     "MeasuredRun",
     "Runner",
     "SessionStats",
+    "PlannedCommand",
+    "plan_device_commands",
+    "command_duration_s",
     "ExecutionRequest",
     "ExecutionResult",
     "ExecutorFn",

@@ -1,0 +1,164 @@
+"""Per-device command planning: the timing skeleton of one execution.
+
+``execute_partitioned`` used to interleave three concerns — planning
+which commands a device runs, executing the functional payload, and
+advancing the simulated timeline.  This module isolates the first one:
+:func:`plan_device_commands` turns (request, chunk) into the exact
+sequence of transfer/kernel commands the device would enqueue, and
+:func:`command_duration_s` prices one command on one device.
+
+The split buys two things:
+
+* the scheduler replays a plan through the command queues (identical
+  timelines, one source of truth for the command sequence), and
+* the :mod:`repro.engine` sweep engine caches plans' noise-free
+  durations per (request, device, chunk) and composes makespans without
+  re-simulating — the training sweep's 66 points repeat the same
+  per-device chunks heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from ..compiler.splitter import DeviceChunk, DistributionKind
+from ..inspire.analysis import KernelAnalysis
+from ..inspire.ast import ParamIntent
+from ..ocl.costmodel import TransferDirection
+from ..ocl.device import Device
+from ..ocl.events import CommandKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scheduler import ExecutionRequest
+
+__all__ = ["PlannedCommand", "plan_device_commands", "command_duration_s"]
+
+
+@dataclass(frozen=True)
+class PlannedCommand:
+    """One device command with its timing inputs (no duration yet).
+
+    Attributes:
+        kind: transfer direction or kernel launch.
+        label: event label (doubles as the noise-stream key).
+        nbytes: payload size for transfers.
+        items: work items for kernel launches.
+    """
+
+    kind: CommandKind
+    label: str
+    nbytes: int = 0
+    items: int = 0
+
+
+def plan_device_commands(
+    request: "ExecutionRequest",
+    chunk: DeviceChunk,
+    multi_device: bool,
+    buffer_sizes: Mapping[str, int],
+    itemsizes: Mapping[str, int],
+) -> tuple[PlannedCommand, ...]:
+    """The exact command sequence one device enqueues for its chunk.
+
+    Mirrors the runtime scheduler's enqueue order: h2d transfers for the
+    inputs the chunk reads, the kernel launch (iterated, with halo /
+    refresh re-broadcasts between steps when more than one device is
+    active), then d2h read-back of the outputs.  The plan is purely a
+    function of (request, chunk, multi_device) — no timeline state.
+    """
+    compiled = request.compiled
+    kernel = compiled.kernel
+    commands: list[PlannedCommand] = []
+
+    # 1. Host→device transfers for inputs this chunk reads.
+    for p in kernel.buffer_params:
+        if p.intent not in (ParamIntent.IN, ParamIntent.INOUT):
+            continue
+        off, cnt = chunk.buffer_ranges[p.name]
+        if cnt > 0:
+            commands.append(
+                PlannedCommand(
+                    CommandKind.WRITE_BUFFER,
+                    f"h2d:{p.name}",
+                    nbytes=cnt * itemsizes[p.name],
+                )
+            )
+
+    # 2. Kernel launches (iterated).
+    launch = PlannedCommand(
+        CommandKind.NDRANGE_KERNEL, f"kernel:{kernel.name}", items=chunk.item_count
+    )
+    commands.append(launch)
+    for _ in range(request.iterations - 1):
+        # Multi-device iteration requires re-synchronizing shared state:
+        # halo rows of HALO-distributed inputs, and any declared refresh
+        # buffers, cross the bus every step.
+        if multi_device:
+            for p in kernel.buffer_params:
+                if p.intent is ParamIntent.OUT:
+                    continue
+                dist = compiled.distribution.of(p.name)
+                if dist.kind is DistributionKind.HALO:
+                    halo_elems = min(2 * dist.halo, buffer_sizes[p.name])
+                    if halo_elems > 0:
+                        commands.append(
+                            PlannedCommand(
+                                CommandKind.WRITE_BUFFER,
+                                f"h2d:{p.name}",
+                                nbytes=halo_elems * itemsizes[p.name],
+                            )
+                        )
+                elif p.name in request.refresh_buffers:
+                    off, cnt = chunk.buffer_ranges[p.name]
+                    if cnt > 0:
+                        commands.append(
+                            PlannedCommand(
+                                CommandKind.WRITE_BUFFER,
+                                f"h2d:{p.name}",
+                                nbytes=cnt * itemsizes[p.name],
+                            )
+                        )
+        commands.append(launch)
+
+    # 3. Device→host read-back of outputs (halo-free written range).
+    for p in kernel.buffer_params:
+        if p.intent not in (ParamIntent.OUT, ParamIntent.INOUT):
+            continue
+        dist = compiled.distribution.of(p.name)
+        if dist.kind is DistributionKind.REDUCED or dist.kind is DistributionKind.FULL:
+            off, cnt = 0, buffer_sizes[p.name]
+        else:
+            epi = dist.elements_per_item
+            off = int(chunk.item_offset * epi)
+            stop = min(
+                buffer_sizes[p.name],
+                int((chunk.item_offset + chunk.item_count) * epi),
+            )
+            cnt = max(0, stop - off)
+        if cnt > 0:
+            commands.append(
+                PlannedCommand(
+                    CommandKind.READ_BUFFER,
+                    f"d2h:{p.name}",
+                    nbytes=cnt * itemsizes[p.name],
+                )
+            )
+    return tuple(commands)
+
+
+def command_duration_s(
+    device: Device,
+    command: PlannedCommand,
+    analysis: KernelAnalysis,
+    scalar_args: dict[str, float],
+) -> float:
+    """Noise-free duration of one planned command on one device."""
+    model = device.cost_model
+    if command.kind is CommandKind.WRITE_BUFFER:
+        return model.transfer_time_s(command.nbytes, TransferDirection.HOST_TO_DEVICE)
+    if command.kind is CommandKind.READ_BUFFER:
+        return model.transfer_time_s(command.nbytes, TransferDirection.DEVICE_TO_HOST)
+    if command.kind is CommandKind.NDRANGE_KERNEL:
+        return model.kernel_time(analysis, command.items, scalar_args).total_s
+    raise ValueError(f"unplannable command kind {command.kind}")

@@ -21,8 +21,8 @@ from ..compiler.splitter import DistributionKind, plan_chunks
 from ..inspire.ast import ParamIntent
 from ..ocl.context import Context
 from ..ocl.events import Event
-from ..ocl.queue import KernelLaunch
 from ..partitioning import Partitioning
+from .plan import command_duration_s, plan_device_commands
 
 __all__ = ["ExecutorFn", "ExecutionRequest", "ExecutionResult", "execute_partitioned"]
 
@@ -143,6 +143,7 @@ def execute_partitioned(
 
     context.reset_timelines()
     scalar_args = {k: float(v) for k, v in request.scalars.items()}
+    itemsizes = {name: int(np.asarray(a).itemsize) for name, a in request.arrays.items()}
 
     # Private copies for reduction-merged outputs, one per active device.
     reduced_names = [
@@ -153,11 +154,6 @@ def execute_partitioned(
     ]
     private_copies: dict[int, dict[str, np.ndarray]] = {}
 
-    buffers = {
-        name: context.create_buffer(name, np.asarray(arr))
-        for name, arr in request.arrays.items()
-    }
-
     active_devices = sum(1 for c in chunks if not c.is_empty)
     all_events: list[Event] = []
     for chunk in chunks:
@@ -166,16 +162,8 @@ def execute_partitioned(
         device = context.devices[chunk.device_index]
         queue = context.queue_for(device)
 
-        # 1. Host→device transfers for inputs this chunk reads.
-        for p in kernel.buffer_params:
-            if p.intent not in (ParamIntent.IN, ParamIntent.INOUT):
-                continue
-            off, cnt = chunk.buffer_ranges[p.name]
-            if cnt > 0:
-                all_events.append(queue.enqueue_write(buffers[p.name].slice(off, cnt)))
-
-        # 2. Kernel launches (iterated); functional payload runs once.
-        functional_payload = None
+        # Functional payload: compute this sub-range's outputs once,
+        # independent of the (iterated) timing commands below.
         if functional:
             device_arrays = dict(request.arrays)
             if reduced_names:
@@ -187,74 +175,16 @@ def execute_partitioned(
                     copies[name] = np.full_like(host, identity)
                 private_copies[chunk.device_index] = copies
                 device_arrays.update(copies)
-
-            def payload(
-                arrays: dict[str, np.ndarray] = device_arrays,
-                offset: int = chunk.item_offset,
-                count: int = chunk.item_count,
-            ) -> None:
-                request.executor(arrays, request.scalars, offset, count)
-
-            functional_payload = payload
-        launch = KernelLaunch(
-            kernel_name=kernel.name,
-            analysis=compiled.analysis,
-            items=chunk.item_count,
-            scalar_args=scalar_args,
-            functional=functional_payload,
-        )
-        all_events.append(queue.enqueue_kernel(launch))
-        if request.iterations > 1:
-            steady = KernelLaunch(
-                kernel_name=kernel.name,
-                analysis=compiled.analysis,
-                items=chunk.item_count,
-                scalar_args=scalar_args,
-                functional=None,
+            request.executor(
+                device_arrays, request.scalars, chunk.item_offset, chunk.item_count
             )
-            for _ in range(request.iterations - 1):
-                # Multi-device iteration requires re-synchronizing shared
-                # state: halo rows of HALO-distributed inputs, and any
-                # declared refresh buffers, cross the bus every step.
-                if active_devices > 1:
-                    for p in kernel.buffer_params:
-                        if p.intent is ParamIntent.OUT:
-                            continue
-                        dist = compiled.distribution.of(p.name)
-                        if dist.kind is DistributionKind.HALO:
-                            halo_elems = min(
-                                2 * dist.halo, buffer_sizes[p.name]
-                            )
-                            if halo_elems > 0:
-                                all_events.append(
-                                    queue.enqueue_write(
-                                        buffers[p.name].slice(0, halo_elems)
-                                    )
-                                )
-                        elif p.name in request.refresh_buffers:
-                            off, cnt = chunk.buffer_ranges[p.name]
-                            if cnt > 0:
-                                all_events.append(
-                                    queue.enqueue_write(
-                                        buffers[p.name].slice(off, cnt)
-                                    )
-                                )
-                all_events.append(queue.enqueue_kernel(steady))
 
-        # 3. Device→host read-back of outputs (halo-free written range).
-        for p in kernel.buffer_params:
-            if p.intent not in (ParamIntent.OUT, ParamIntent.INOUT):
-                continue
-            dist = compiled.distribution.of(p.name)
-            if dist.kind is DistributionKind.REDUCED or dist.kind is DistributionKind.FULL:
-                off, cnt = 0, buffer_sizes[p.name]
-            else:
-                epi = dist.elements_per_item
-                off = int(chunk.item_offset * epi)
-                stop = min(buffer_sizes[p.name], int((chunk.item_offset + chunk.item_count) * epi))
-                cnt = max(0, stop - off)
-            if cnt > 0:
-                all_events.append(queue.enqueue_read(buffers[p.name].slice(off, cnt)))
+        # Timing: replay the planned command sequence on the queue.
+        for cmd in plan_device_commands(
+            request, chunk, active_devices > 1, buffer_sizes, itemsizes
+        ):
+            duration = command_duration_s(device, cmd, compiled.analysis, scalar_args)
+            all_events.append(queue.enqueue_timed(cmd.kind, cmd.label, duration))
 
     # 4. Merge reduction outputs into the host arrays.
     if functional and private_copies:

@@ -21,10 +21,12 @@ and refits.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..benchsuite.base import Benchmark
 from ..benchsuite.registry import get_benchmark
 from ..core.pipeline import TrainedSystem
+from ..engine import SweepEngine
 from ..partitioning import DEFAULT_STEP_PERCENT, Partitioning, neighborhood
 from ..runtime.scheduler import ExecutionRequest
 from .cache import CacheKey, PredictionCache
@@ -54,6 +56,11 @@ class ServiceConfig:
             out-of-distribution programs/sizes).
         incremental_refit: pass-through to the predictor's refit.
         instance_seed: seed for generated problem instances.
+        memoize: measure through the memoizing
+            :class:`~repro.engine.SweepEngine` (repeated keys and local
+            searches compose cached per-device timelines instead of
+            re-simulating).  ``False`` is the unmemoized pre-engine
+            path, kept for benchmarking the engine against it.
     """
 
     cache_capacity: int = 512
@@ -65,6 +72,7 @@ class ServiceConfig:
     validate_cold_keys: bool = True
     incremental_refit: bool = True
     instance_seed: int = 0
+    memoize: bool = True
 
     def __post_init__(self) -> None:
         if self.regression_threshold < 0:
@@ -110,6 +118,7 @@ class PartitioningService:
         self.cache = PredictionCache(config.cache_capacity)
         self.scheduler = BatchScheduler(system.platform.num_devices)
         self.stats = ServiceStats()
+        self.engine = SweepEngine(system.runner) if config.memoize else None
         self._validated: dict[CacheKey, Partitioning] = {}
         self._adaptations_by_key: dict[CacheKey, int] = {}
         self._pending_refit = 0
@@ -140,6 +149,10 @@ class PartitioningService:
         return record.best_time if record is not None else None
 
     def _measure(self, exec_request: ExecutionRequest, p: Partitioning) -> float:
+        if self.engine is not None:
+            return self.engine.time_of(
+                exec_request, p, repetitions=self.config.repetitions
+            )
         return self.system.runner.time_of(
             exec_request, p, repetitions=self.config.repetitions
         )
@@ -148,6 +161,13 @@ class PartitioningService:
 
     def submit(self, request: ServingRequest) -> ServedResponse:
         """Serve one launch request end-to-end."""
+        return self._submit(request, None)
+
+    def _submit(
+        self, request: ServingRequest, prefetched: Partitioning | None
+    ) -> ServedResponse:
+        """Serve one request; ``prefetched`` is a batch-predicted answer
+        for this request's key (used only when the key is cold)."""
         bench = get_benchmark(request.program)
         key = self._key(request)
         self.stats.requests += 1
@@ -160,6 +180,8 @@ class PartitioningService:
             # measured, the prediction wasn't.  This also restores
             # adapted keys that fell out of the LRU cache.
             cached = self._validated.get(key)
+        if cached is None:
+            cached = prefetched
         if cached is None:
             cached = self.system.predictor.predict_features(self._features[key])
         if not cache_hit:
@@ -202,9 +224,54 @@ class PartitioningService:
             improvement_s=improvement,
         )
 
-    def serve(self, trace: tuple[ServingRequest, ...]) -> list[ServedResponse]:
-        """Serve a whole trace; returns per-request responses."""
+    def serve(self, trace: Sequence[ServingRequest]) -> list[ServedResponse]:
+        """Serve a whole trace sequentially; returns per-request responses."""
         return [self.submit(r) for r in trace]
+
+    def submit_many(self, trace: Sequence[ServingRequest]) -> list[ServedResponse]:
+        """Serve a whole trace with batched model inference.
+
+        Groups the trace by cache key and answers every *cold* unique
+        key (neither cached, validated, nor already served) with one
+        vectorized model pass, then dispatches the requests in arrival
+        order through the normal serving loop — cache accounting,
+        adaptation and refit behave exactly as under :meth:`serve`.
+        Batch-predicted answers are invalidated whenever a mid-trace
+        refit changes the model; the remaining cold keys are then
+        re-predicted in one fresh pass.
+        """
+        requests = list(trace)
+        responses: list[ServedResponse] = []
+        prefetched: dict[CacheKey, Partitioning] = {}
+        prefetched_at_refit = -1
+        for i, request in enumerate(requests):
+            if prefetched_at_refit != self.stats.refits:
+                prefetched = self._prefetch(requests[i:])
+                prefetched_at_refit = self.stats.refits
+            responses.append(self._submit(request, prefetched.get(self._key(request))))
+        return responses
+
+    def _prefetch(
+        self, remaining: Sequence[ServingRequest]
+    ) -> dict[CacheKey, Partitioning]:
+        """One vectorized model pass over the remaining cold unique keys."""
+        cold_keys: list[CacheKey] = []
+        seen: set[CacheKey] = set()
+        for request in remaining:
+            key = self._key(request)
+            if key in seen or key in self.cache or key in self._validated:
+                continue
+            seen.add(key)
+            # Builds (and memoizes) the instance plumbing so the feature
+            # dict exists; repeated keys reuse it during dispatch.
+            self._execution_request(get_benchmark(request.program), key)
+            cold_keys.append(key)
+        if not cold_keys:
+            return {}
+        predictions = self.system.predictor.predict_features_many(
+            [self._features[k] for k in cold_keys]
+        )
+        return dict(zip(cold_keys, predictions))
 
     # -- online adaptation -------------------------------------------------
 

@@ -11,6 +11,7 @@ set is not always the same benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -34,7 +35,7 @@ class ServingRequest:
 
 
 def key_universe(
-    benchmarks: tuple[Benchmark, ...],
+    benchmarks: Sequence[Benchmark],
     max_sizes: int | None = None,
 ) -> tuple[tuple[str, int], ...]:
     """Every (program, size) configuration the trace can request.
@@ -54,7 +55,7 @@ def key_universe(
 
 
 def zipf_trace(
-    keys: tuple[tuple[str, int], ...],
+    keys: Sequence[tuple[str, int]],
     num_requests: int,
     skew: float = 1.5,
     seed: int = 0,

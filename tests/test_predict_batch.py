@@ -1,0 +1,159 @@
+"""Vectorized inference must agree with per-row prediction.
+
+``predict_many`` / ``predict_features_many`` run one NumPy pass over
+all rows; these tests pin them to the per-row ``predict_features``
+path for every model kind, plus a hypothesis property test that feature
+vectors the training set has never seen still predict identically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchsuite import all_benchmarks
+from repro.core import TrainingConfig, generate_training_data
+from repro.core.predictor import MODEL_KINDS, make_partitioning_model
+from repro.machines import MC2
+from repro.ml.knn import KNeighborsClassifier
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_training_data(
+        MC2, all_benchmarks()[:5], TrainingConfig(repetitions=1, max_sizes=2)
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted_models(db):
+    return {kind: make_partitioning_model(kind, seed=0).fit(db) for kind in MODEL_KINDS}
+
+
+@pytest.mark.parametrize("kind", MODEL_KINDS)
+def test_predict_many_equals_per_row(kind, db, fitted_models):
+    model = fitted_models[kind]
+    vectorized = model.predict_many(db)
+    per_row = [model.predict_features(r.features) for r in db.records]
+    assert vectorized == per_row
+
+
+@pytest.mark.parametrize("kind", MODEL_KINDS)
+def test_predict_features_many_equals_per_row(kind, db, fitted_models):
+    model = fitted_models[kind]
+    features = [r.features for r in db.records]
+    assert model.predict_features_many(features) == [
+        model.predict_features(f) for f in features
+    ]
+    assert model.predict_features_many([]) == []
+
+
+@pytest.mark.parametrize("kind", ["knn-scorer", "mlp-scorer", "knn", "mlp"])
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_unseen_feature_vectors_predict_identically(kind, data, db, fitted_models):
+    """Property: batched == per-row on perturbed out-of-distribution rows."""
+    model = fitted_models[kind]
+    names = db.feature_names()
+    base = [r.features for r in db.records]
+    rows = []
+    for _ in range(data.draw(st.integers(min_value=1, max_value=4))):
+        record = dict(data.draw(st.sampled_from(base)))
+        for name in names:
+            scale = data.draw(
+                st.floats(min_value=0.25, max_value=4.0, allow_nan=False)
+            )
+            record[name] = record[name] * scale + data.draw(
+                st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+            )
+        rows.append(record)
+    assert model.predict_features_many(rows) == [
+        model.predict_features(r) for r in rows
+    ]
+
+
+@pytest.mark.parametrize("kind", ["knn-scorer", "mlp-scorer"])
+def test_scorer_matches_pre_vectorization_reference(kind, db, fitted_models):
+    """Non-tautological anchor: the one-pass scorer must reproduce the
+    historical per-row ``_scores_for`` algorithm (pre-PR code), not
+    merely agree with itself through shared plumbing."""
+    from repro.core.features import feature_vector
+    from repro.partitioning import Partitioning
+
+    model = fitted_models[kind]
+
+    def reference_predict(features):
+        x = model.scaler.transform(
+            feature_vector(features, model.feature_names_)[None, :]
+        )[0]
+        if kind == "knn-scorer":
+            d2 = ((model._X - x) ** 2).sum(axis=1)
+            k = min(model.k, len(d2))
+            nn = np.argpartition(d2, k - 1)[:k]
+            scores = np.exp(np.log(model._rel_times[nn]).mean(axis=0))
+        else:
+            shares = np.array(
+                [Partitioning.from_label(l).shares for l in model._labels],
+                dtype=np.float64,
+            ) / 100.0
+            rows = np.hstack([np.tile(x, (len(shares), 1)), shares])
+            scores = model._regressor.predict(rows)
+        return Partitioning.from_label(model._labels[int(np.argmin(scores))])
+
+    features = [r.features for r in db.records]
+    assert model.predict_features_many(features) == [
+        reference_predict(f) for f in features
+    ]
+
+
+def test_scorer_candidate_shares_cached_at_fit(db, fitted_models):
+    model = fitted_models["mlp-scorer"]
+    shares = model._candidate_shares()
+    assert model._candidate_shares() is shares  # no re-parse per prediction
+    assert shares.shape == (len(model._labels), MC2.num_devices)
+    # refit with the same candidate set keeps the cached matrix usable.
+    model.refit(db)
+    refit_shares = model._candidate_shares()
+    np.testing.assert_array_equal(refit_shares, shares)
+
+
+class TestVectorizedKNNClassifier:
+    """The bincount vote path must match the per-row reference."""
+
+    @staticmethod
+    def _reference_predict(clf, X):
+        """The pre-vectorization per-row voting loop."""
+        k = min(clf.k, len(clf._X))
+        label_to_pos = {c: i for i, c in enumerate(clf.classes_)}
+        out = np.empty(len(X), dtype=clf._y.dtype)
+        for i, x in enumerate(X):
+            d2 = ((clf._X - x) ** 2).sum(axis=1)
+            nn = np.argpartition(d2, k - 1)[:k]
+            if clf.weights == "distance":
+                w = 1.0 / (np.sqrt(np.maximum(d2[nn], 0.0)) + 1e-12)
+            else:
+                w = np.ones(k)
+            scores = np.zeros(len(clf.classes_))
+            for lbl, wt in zip(clf._y[nn], w):
+                scores[label_to_pos[lbl]] += wt
+            out[i] = clf.classes_[int(np.argmax(scores))]
+        return out
+
+    @pytest.mark.parametrize("weights", ["uniform", "distance"])
+    def test_matches_reference_on_random_data(self, weights):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(60, 5))
+        y = np.array([f"c{i % 7}" for i in range(60)])
+        clf = KNeighborsClassifier(k=5, weights=weights).fit(X, y)
+        queries = rng.normal(size=(300, 5))  # spans multiple 256-row blocks
+        np.testing.assert_array_equal(
+            clf.predict(queries), self._reference_predict(clf, queries)
+        )
+
+    def test_single_query_and_k_clamping(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(3, 4))
+        y = np.array(["a", "b", "a"])
+        clf = KNeighborsClassifier(k=10, weights="distance").fit(X, y)
+        assert clf.predict(X[:1])[0] in ("a", "b")
+        np.testing.assert_array_equal(clf.predict(X), self._reference_predict(clf, X))

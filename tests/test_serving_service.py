@@ -194,14 +194,72 @@ class TestPartitioningService:
     def test_serve_trace_reports_responses(self, small_system):
         service = PartitioningService(small_system, ServiceConfig())
         keys = key_universe(
-            tuple(get_benchmark(n) for n in ("vec_add", "mat_mul")), max_sizes=2
+            [get_benchmark(n) for n in ("vec_add", "mat_mul")], max_sizes=2
         )
-        trace = zipf_trace(keys, 30, seed=3)
+        # serve accepts any Sequence, not just tuples.
+        trace = list(zipf_trace(keys, 30, seed=3))
         responses = service.serve(trace)
         assert len(responses) == 30
         assert service.stats.requests == 30
         assert service.scheduler.dispatched == 30
         assert service.cache.stats.hit_rate > 0.5  # 4 keys, 30 requests
+
+
+class TestSubmitMany:
+    def _fresh_system(self):
+        # Private trained system per service: serving mutates the
+        # database, so equivalence runs need independent twins.
+        return train_system(
+            MC2,
+            tuple(get_benchmark(n) for n in ("vec_add", "mat_mul")),
+            model_kind="knn",
+            config=TrainingConfig(repetitions=1, max_sizes=2),
+        )
+
+    def _trace(self, n=60):
+        keys = key_universe(
+            [get_benchmark(p) for p in ("vec_add", "mat_mul", "saxpy", "mandelbrot")],
+            max_sizes=2,
+        )
+        return zipf_trace(keys, n, skew=1.2, seed=5)
+
+    def test_batched_matches_sequential(self):
+        """submit_many ≡ serve at noise_sigma=0: same decisions, same
+        measurements, same cache accounting — only cheaper."""
+        trace = self._trace()
+        sequential = PartitioningService(self._fresh_system(), ServiceConfig())
+        batched = PartitioningService(self._fresh_system(), ServiceConfig())
+        r_seq = sequential.serve(trace)
+        r_bat = batched.submit_many(list(trace))
+        assert len(r_bat) == len(r_seq)
+        for a, b in zip(r_seq, r_bat):
+            assert a.partitioning == b.partitioning
+            assert a.cache_hit == b.cache_hit
+            assert a.measured_s == b.measured_s
+            assert a.adapted == b.adapted
+        assert batched.stats == sequential.stats
+        assert batched.cache.stats == sequential.cache.stats
+
+    def test_batched_matches_sequential_across_refits(self):
+        """Mid-trace refits invalidate prefetched predictions."""
+        trace = self._trace(40)
+        config = ServiceConfig(refit_interval=1)  # refit on every adaptation
+        sequential = PartitioningService(self._fresh_system(), config)
+        batched = PartitioningService(self._fresh_system(), config)
+        r_seq = sequential.serve(trace)
+        r_bat = batched.submit_many(trace)
+        assert sequential.stats.refits >= 1  # the scenario actually refits
+        assert [r.partitioning for r in r_bat] == [r.partitioning for r in r_seq]
+        assert batched.stats == sequential.stats
+
+    def test_unmemoized_config_still_serves(self):
+        service = PartitioningService(
+            self._fresh_system(), ServiceConfig(memoize=False)
+        )
+        assert service.engine is None
+        responses = service.submit_many(self._trace(10))
+        assert len(responses) == 10
+        assert service.system.runner.stats.executions >= 10
 
 
 class TestRunnerSessionStats:
