@@ -11,6 +11,11 @@ Commands:
                                 batching + online adaptation)
     serve                     — serve "program size" requests from a
                                 file or stdin
+    fleet-train               — train + persist one model per fleet
+                                machine into a model registry
+    fleet-serve               — route one Zipf trace across a fleet of
+                                machines (least-loaded / affinity /
+                                predicted placement)
 """
 
 from __future__ import annotations
@@ -21,7 +26,13 @@ import time
 from pathlib import Path
 
 from .benchsuite import all_benchmarks, get_benchmark
-from .core import TrainingConfig, TrainingDatabase, generate_training_data, train_system
+from .core import (
+    PERSISTABLE_MODEL_KINDS,
+    TrainingConfig,
+    TrainingDatabase,
+    generate_training_data,
+    train_system,
+)
 from .machines import ALL_MACHINES, machine_by_name
 from .partitioning import Partitioning
 from .runtime import Runner, cpu_only, even_split, gpu_only, oracle_search
@@ -287,6 +298,184 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_train_benchmarks(args: argparse.Namespace):
+    """The (all, training-subset) benchmark split shared by fleet commands."""
+    benchmarks = all_benchmarks()
+    train_benchmarks = benchmarks
+    if args.train_programs is not None:
+        if not 1 <= args.train_programs <= len(benchmarks):
+            raise SystemExit(f"--train-programs must be in [1, {len(benchmarks)}]")
+        train_benchmarks = benchmarks[: args.train_programs]
+    return benchmarks, train_benchmarks
+
+
+def _cmd_fleet_train(args: argparse.Namespace) -> int:
+    from .fleet import ModelRegistry
+    from .machines import fleet_platforms
+
+    if args.model not in PERSISTABLE_MODEL_KINDS:
+        # Catch this before spending minutes on the first machine's
+        # training campaign only to fail in save_model.
+        raise SystemExit(
+            f"--model {args.model!r} cannot be persisted; "
+            f"choose from {', '.join(PERSISTABLE_MODEL_KINDS)}"
+        )
+    _benchmarks, train_benchmarks = _fleet_train_benchmarks(args)
+    platforms = fleet_platforms(args.machines)
+    registry = ModelRegistry(args.registry)
+    config = TrainingConfig(
+        repetitions=1,
+        noise_sigma=args.noise,
+        seed=args.seed,
+        max_sizes=args.max_sizes,
+    )
+    rows = []
+    for platform in platforms:
+        system = train_system(
+            platform, train_benchmarks, model_kind=args.model, config=config
+        )
+        path = registry.save(system)
+        rows.append((platform.name, len(system.database), args.model, str(path)))
+    print(
+        format_table(
+            ["machine", "records", "model", "path"],
+            rows,
+            title=f"Fleet training ({args.machines} machines)",
+        )
+    )
+    return 0
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    from .fleet import FleetRouter, ModelRegistry
+    from .machines import fleet_platforms
+    from .serving import PartitioningService, ServiceConfig, key_universe, zipf_trace
+
+    benchmarks, train_benchmarks = _fleet_train_benchmarks(args)
+    platforms = fleet_platforms(args.machines)
+    registry = ModelRegistry(args.registry) if args.registry else None
+    config = TrainingConfig(
+        repetitions=1,
+        noise_sigma=args.noise,
+        seed=args.seed,
+        max_sizes=args.max_sizes,
+    )
+    service_config = ServiceConfig(
+        cache_capacity=args.cache_capacity,
+        regression_threshold=args.threshold,
+        instance_seed=args.seed,
+        memoize=not args.no_memoize,
+    )
+    services, sources = [], []
+    for platform in platforms:
+        if registry is not None and registry.has(platform.name):
+            system = registry.load(platform, noise_sigma=args.noise, seed=args.seed)
+            source = "registry"
+        elif registry is not None and args.warm_start and registry.machines():
+            donor = registry.most_similar(platform)
+            system = registry.warm_start(
+                platform,
+                model_kind=args.model,
+                noise_sigma=args.noise,
+                seed=args.seed,
+                donor=donor,
+            )
+            source = f"warm({donor})"
+        else:
+            system = train_system(
+                platform, train_benchmarks, model_kind=args.model, config=config
+            )
+            source = "trained"
+        services.append(PartitioningService(system, service_config))
+        sources.append(source)
+    router = FleetRouter(services, policy=args.policy)
+    keys = key_universe(benchmarks, max_sizes=args.max_sizes)
+    trace = zipf_trace(keys, args.requests, skew=args.skew, seed=args.seed)
+    print(
+        f"fleet of {len(platforms)} machines (policy {args.policy}); "
+        f"routing {len(trace)} requests over {len(keys)} keys "
+        f"(zipf skew {args.skew}, seed {args.seed})"
+    )
+    t0 = time.perf_counter()
+    router.serve(trace)
+    wall_s = time.perf_counter() - t0
+    _print_fleet_summary(router, sources, wall_s)
+    return 0
+
+
+def _print_fleet_summary(router, sources, wall_s: float) -> None:
+    stats = router.stats()
+    rows = [
+        (
+            r.name,
+            source,
+            f"{r.routed}",
+            f"{r.cache_hit_rate * 100.0:.0f}%",
+            f"{r.adaptations}",
+            f"{r.refits}",
+            f"{r.makespan_s * 1e3:.3f}",
+            " ".join(f"{u * 100.0:.0f}%" for u in r.utilization),
+        )
+        for r, source in zip(stats.replicas, sources)
+    ]
+    print(
+        format_table(
+            [
+                "replica",
+                "model source",
+                "routed",
+                "cache hit",
+                "adapt",
+                "refits",
+                "makespan (ms)",
+                "device util",
+            ],
+            rows,
+            title="Fleet summary",
+        )
+    )
+    totals = [
+        ("requests", f"{stats.requests}"),
+        ("fleet makespan (simulated)", f"{stats.makespan_s * 1e3:.3f} ms"),
+        (
+            "fleet throughput (simulated)",
+            f"{stats.throughput_rps:.1f} req/s",
+        ),
+        (
+            "throughput (wall)",
+            f"{stats.requests / wall_s:.1f} req/s" if wall_s > 0 else "n/a",
+        ),
+        ("adaptations", f"{stats.adaptations}"),
+        ("refits", f"{stats.refits}"),
+    ]
+    print(format_table(["metric", "value"], totals, title="Fleet totals"))
+
+
+def _add_fleet_options(p: argparse.ArgumentParser) -> None:
+    """Options shared by fleet-train and fleet-serve."""
+    p.add_argument(
+        "--machines",
+        type=int,
+        default=4,
+        help="fleet size (machines generated by repro.machines.fleet_platforms)",
+    )
+    p.add_argument("--model", default="knn", help="prediction model kind")
+    p.add_argument(
+        "--train-programs",
+        type=int,
+        default=16,
+        help="train on the first N suite programs (the rest arrive cold)",
+    )
+    p.add_argument(
+        "--max-sizes",
+        type=int,
+        default=3,
+        help="cap each program's size ladder (training and trace)",
+    )
+    p.add_argument("--noise", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+
+
 def _add_serving_options(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--machine", default="mc2", choices=[m.name for m in ALL_MACHINES]
@@ -382,6 +571,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serving_options(p_serve)
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_ftrain = sub.add_parser(
+        "fleet-train", help="train + persist one model per fleet machine"
+    )
+    p_ftrain.add_argument("--registry", required=True, help="model registry directory")
+    _add_fleet_options(p_ftrain)
+    p_ftrain.set_defaults(fn=_cmd_fleet_train)
+
+    p_fserve = sub.add_parser(
+        "fleet-serve", help="route one Zipf trace across a fleet of machines"
+    )
+    from .fleet import ROUTING_POLICIES
+
+    p_fserve.add_argument(
+        "--policy", default="least-loaded", choices=ROUTING_POLICIES
+    )
+    p_fserve.add_argument("--requests", type=int, default=200)
+    p_fserve.add_argument("--skew", type=float, default=1.5)
+    p_fserve.add_argument(
+        "--registry", default=None, help="load machines registered here"
+    )
+    p_fserve.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="seed unregistered machines from the most similar registered one",
+    )
+    p_fserve.add_argument("--cache-capacity", type=int, default=512)
+    p_fserve.add_argument(
+        "--threshold",
+        type=float,
+        default=0.3,
+        help="relative regression slack before adaptation triggers",
+    )
+    p_fserve.add_argument(
+        "--no-memoize",
+        action="store_true",
+        help="measure without the memoizing sweep engine",
+    )
+    _add_fleet_options(p_fserve)
+    p_fserve.set_defaults(fn=_cmd_fleet_serve)
 
     return parser
 

@@ -13,6 +13,7 @@ from .features import (
 from .pipeline import TrainedSystem, deploy_and_run, train_system
 from .predictor import (
     MODEL_KINDS,
+    PERSISTABLE_MODEL_KINDS,
     load_model,
     save_model,
     PartitioningModel,
@@ -39,6 +40,7 @@ __all__ = [
     "deploy_and_run",
     "train_system",
     "MODEL_KINDS",
+    "PERSISTABLE_MODEL_KINDS",
     "PartitioningModel",
     "PartitioningScorerModel",
     "PartitioningPredictor",

@@ -36,6 +36,7 @@ __all__ = [
     "save_model",
     "load_model",
     "MODEL_KINDS",
+    "PERSISTABLE_MODEL_KINDS",
     "PartitioningModel",
     "PartitioningScorerModel",
     "make_partitioning_model",
@@ -378,6 +379,11 @@ class PartitioningPredictor:
 # models to JSON (no pickle, versioned) for exactly that workflow.
 
 _MODEL_SCHEMA_VERSION = 1
+
+#: Model kinds :func:`save_model` can serialize.  Tree ensembles are
+#: cheap to refit from a saved :class:`TrainingDatabase` and scorers
+#: carry their training set anyway, so neither is persisted.
+PERSISTABLE_MODEL_KINDS = ("mlp", "knn", "majority")
 
 
 def save_model(model: "PartitioningModel", path) -> None:

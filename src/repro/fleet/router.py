@@ -1,0 +1,323 @@
+"""The fleet router: one request stream, many machines.
+
+The paper trains one model per machine and predicts per (program,
+size); a production deployment owns a *fleet* of heterogeneous
+machines and must decide, per request, which machine serves it —
+HeSP's joint scheduling-partitioning question lifted one level up,
+and HeMT's dispatch tier made explicit.  The router owns N replicas
+(each one machine with its own :class:`TrainedSystem` and
+:class:`PartitioningService`) and places every request via a pluggable
+policy:
+
+* ``least-loaded`` — the replica whose multiplexed timeline frees up
+  first (:attr:`BatchScheduler.makespan_s`), the classic list-scheduling
+  greedy.
+* ``affinity`` — a stable hash of (program, size): every key always
+  lands on the same replica, maximizing that replica's prediction-cache
+  and adaptation locality at the price of load balance.
+* ``predicted`` — ask each replica's model what partitioning it would
+  run and a noise-free cost-model estimate of how long that would take
+  on that machine, then place the request where it is predicted to
+  *finish* first (device availability + predicted duration).  This is
+  the makespan-aware policy: a fast machine that is busy loses to a
+  slower idle one.
+
+Routing is deterministic given the seed: the same trace over the same
+fleet reproduces the same placements, adaptations and stats.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..benchsuite.registry import get_benchmark
+from ..core.features import combined_features
+from ..core.pipeline import train_system
+from ..core.trainer import TrainingConfig
+from ..engine import SweepEngine
+from ..ocl.platform import Platform
+from ..partitioning import Partitioning
+from ..runtime.measurement import Runner
+from ..runtime.scheduler import ExecutionRequest
+from ..serving.service import PartitioningService, ServedResponse, ServiceConfig
+from ..serving.trace import ServingRequest
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "FleetReplica",
+    "FleetResponse",
+    "ReplicaStats",
+    "FleetStats",
+    "FleetRouter",
+]
+
+#: The pluggable placement policies.
+ROUTING_POLICIES = ("least-loaded", "affinity", "predicted")
+
+
+@dataclass
+class FleetReplica:
+    """One machine of the fleet: a service plus routing counters."""
+
+    index: int
+    service: PartitioningService
+    routed: int = 0
+
+    @property
+    def platform(self) -> Platform:
+        return self.service.system.platform
+
+    @property
+    def name(self) -> str:
+        return self.platform.name
+
+    @property
+    def scheduler(self):
+        return self.service.scheduler
+
+
+@dataclass(frozen=True)
+class FleetResponse:
+    """A served request plus where the router placed it."""
+
+    replica_index: int
+    replica_name: str
+    response: ServedResponse
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """One replica's slice of the fleet telemetry."""
+
+    name: str
+    routed: int
+    requests: int
+    adaptations: int
+    refits: int
+    cache_hit_rate: float
+    makespan_s: float
+    throughput_rps: float
+    utilization: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Cross-fleet telemetry of one routing session.
+
+    Replicas run concurrently, so the fleet makespan is the *maximum*
+    over the replicas' multiplexed timelines and fleet throughput is
+    total requests over that span (``inf`` when everything served in
+    zero simulated time, matching the scheduler's sentinel).
+    """
+
+    replicas: tuple[ReplicaStats, ...]
+    requests: int
+    makespan_s: float
+    throughput_rps: float
+    adaptations: int
+    refits: int
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+
+class FleetRouter:
+    """Routes a shared request trace across N partitioning services."""
+
+    def __init__(
+        self,
+        services: Sequence[PartitioningService],
+        policy: str = "least-loaded",
+    ):
+        if not services:
+            raise ValueError("a fleet needs at least one replica")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; choose from {ROUTING_POLICIES}"
+            )
+        names = [s.system.platform.name for s in services]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"replica machine names must be unique, got {names}: cache keys, "
+                "database records and registry entries all key on the name"
+            )
+        self.policy = policy
+        self.replicas = tuple(
+            FleetReplica(index=i, service=s) for i, s in enumerate(services)
+        )
+        # The predicted policy estimates durations on a private noise-free
+        # runner per replica, so probing machines never pollutes the
+        # serving runners' telemetry or noise streams.
+        self._estimators: list[SweepEngine] | None = None
+        # Request plumbing shared across replicas: the problem instance
+        # and feature dict depend only on (program, size), not machine —
+        # peeking N replicas must not build N copies of the arrays.
+        self._exec_requests: dict[tuple[str, int], ExecutionRequest] = {}
+        self._features: dict[tuple[str, int], dict[str, float]] = {}
+        # Peeked predictions, invalidated whenever the replica adapts or
+        # refits (either can change what it would answer).
+        self._peeked: list[dict[tuple[str, int], Partitioning]] = [
+            {} for _ in self.replicas
+        ]
+        self._peek_generations: list[tuple[int, int]] = [
+            (-1, -1) for _ in self.replicas
+        ]
+
+    @classmethod
+    def build(
+        cls,
+        platforms: Sequence[Platform],
+        benchmarks=None,
+        model_kind: str = "knn",
+        training: TrainingConfig = TrainingConfig(repetitions=1),
+        serving: ServiceConfig = ServiceConfig(),
+        policy: str = "least-loaded",
+    ) -> "FleetRouter":
+        """Train one system per platform and wrap them in a router."""
+        services = [
+            PartitioningService(
+                train_system(p, benchmarks, model_kind=model_kind, config=training),
+                serving,
+            )
+            for p in platforms
+        ]
+        return cls(services, policy=policy)
+
+    # -- placement policies ------------------------------------------------
+
+    def _affinity_index(self, request: ServingRequest) -> int:
+        """Stable key → replica hash (process-independent, unlike hash())."""
+        digest = hashlib.sha256(
+            f"{request.program}:{request.size}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % len(self.replicas)
+
+    def _least_loaded_index(self) -> int:
+        return min(
+            range(len(self.replicas)),
+            key=lambda i: (self.replicas[i].scheduler.makespan_s, i),
+        )
+
+    def _plumbing(
+        self, request: ServingRequest
+    ) -> tuple[ExecutionRequest, dict[str, float]]:
+        """Per-key execution request + feature dict, shared fleet-wide."""
+        key = (request.program, request.size)
+        if key not in self._exec_requests:
+            bench = get_benchmark(request.program)
+            # Seed matches what replica 0's service will instantiate, so
+            # the estimator prices exactly the arrays that get served.
+            instance = bench.make_instance(
+                request.size, seed=self.replicas[0].service.config.instance_seed
+            )
+            self._exec_requests[key] = bench.request(instance)
+            self._features[key] = combined_features(bench.compiled(instance), instance)
+        return self._exec_requests[key], self._features[key]
+
+    def _peek(
+        self,
+        replica: FleetReplica,
+        request: ServingRequest,
+        features: dict[str, float],
+    ) -> Partitioning:
+        """Memoized peek_prediction, re-peeked after the replica changes.
+
+        An adaptation pins a validated winner and a refit swaps the
+        model; either changes what the replica would answer, so the
+        memo is keyed to the (refits, adaptations) generation and
+        dropped wholesale when it moves.
+        """
+        i = replica.index
+        generation = (replica.service.stats.refits, replica.service.stats.adaptations)
+        if self._peek_generations[i] != generation:
+            self._peeked[i].clear()
+            self._peek_generations[i] = generation
+        memo = self._peeked[i]
+        key = (request.program, request.size)
+        hit = memo.get(key)
+        if hit is None:
+            hit = replica.service.peek_prediction(request, features=features)
+            memo[key] = hit
+        return hit
+
+    def _predicted_index(self, request: ServingRequest) -> int:
+        if self._estimators is None:
+            self._estimators = [
+                SweepEngine(Runner(r.platform)) for r in self.replicas
+            ]
+        exec_request, features = self._plumbing(request)
+        best_index, best_finish = 0, float("inf")
+        for replica in self.replicas:
+            partitioning = self._peek(replica, request, features)
+            duration = self._estimators[replica.index].time_of(
+                exec_request, partitioning
+            )
+            free = replica.scheduler.device_free_s
+            start = max(free[d] for d in partitioning.active_devices)
+            finish = start + duration
+            if finish < best_finish:
+                best_index, best_finish = replica.index, finish
+        return best_index
+
+    def _route_index(self, request: ServingRequest) -> int:
+        if self.policy == "affinity":
+            return self._affinity_index(request)
+        if self.policy == "predicted":
+            return self._predicted_index(request)
+        return self._least_loaded_index()
+
+    # -- serving -----------------------------------------------------------
+
+    def submit(self, request: ServingRequest) -> FleetResponse:
+        """Place and serve one request; returns the placement + response."""
+        index = self._route_index(request)
+        replica = self.replicas[index]
+        replica.routed += 1
+        response = replica.service.submit(request)
+        return FleetResponse(
+            replica_index=index, replica_name=replica.name, response=response
+        )
+
+    def serve(self, trace: Sequence[ServingRequest]) -> list[FleetResponse]:
+        """Route a whole trace; placement is sequential by design (the
+        least-loaded and predicted policies depend on prior placements)."""
+        return [self.submit(r) for r in trace]
+
+    # -- telemetry ---------------------------------------------------------
+
+    def stats(self) -> FleetStats:
+        """Per-replica utilization and cross-fleet throughput, right now."""
+        per = []
+        for r in self.replicas:
+            sched = r.scheduler
+            stats = r.service.stats
+            per.append(
+                ReplicaStats(
+                    name=r.name,
+                    routed=r.routed,
+                    requests=stats.requests,
+                    adaptations=stats.adaptations,
+                    refits=stats.refits,
+                    cache_hit_rate=r.service.cache.stats.hit_rate,
+                    makespan_s=sched.makespan_s,
+                    throughput_rps=sched.throughput_rps(),
+                    utilization=sched.utilization(),
+                )
+            )
+        requests = sum(p.routed for p in per)
+        makespan = max((p.makespan_s for p in per), default=0.0)
+        if makespan > 0:
+            throughput = requests / makespan
+        else:
+            throughput = float("inf") if requests > 0 else 0.0
+        return FleetStats(
+            replicas=tuple(per),
+            requests=requests,
+            makespan_s=makespan,
+            throughput_rps=throughput,
+            adaptations=sum(p.adaptations for p in per),
+            refits=sum(p.refits for p in per),
+        )

@@ -1,5 +1,15 @@
-"""Target machine configurations (the paper's mc1 and mc2)."""
+"""Target machine configurations (the paper's mc1 and mc2, plus fleets)."""
 
 from .configs import ALL_MACHINES, MC1, MC2, machine_by_name, make_cpu_spec, make_gpu_spec
+from .fleet import FLEET_VARIANTS, fleet_platforms
 
-__all__ = ["ALL_MACHINES", "MC1", "MC2", "machine_by_name", "make_cpu_spec", "make_gpu_spec"]
+__all__ = [
+    "ALL_MACHINES",
+    "MC1",
+    "MC2",
+    "machine_by_name",
+    "make_cpu_spec",
+    "make_gpu_spec",
+    "FLEET_VARIANTS",
+    "fleet_platforms",
+]

@@ -1,0 +1,83 @@
+"""Fleet generation: many simulated machines from the paper's two.
+
+The paper trains one model per machine; the serving north-star is a
+*fleet* of heterogeneous machines answering one shared request stream.
+Real fleets are never uniform — they accumulate hardware generations,
+clock bins and memory configurations — so this module derives an
+arbitrary-size fleet from the paper's mc1/mc2 testbeds by cycling
+through deterministic spec variants: stock machines first, then
+faster-binned, slower-binned and memory-starved editions.
+
+Every platform gets a unique name (``mc2-r1``, ``mc1+-r2``, ...): the
+training database, the prediction-cache keys and the model registry
+all key on the machine name, so two replicas must never share one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..ocl.costmodel import DeviceSpec
+from ..ocl.platform import Platform
+from .configs import ALL_MACHINES
+
+__all__ = ["FLEET_VARIANTS", "fleet_platforms"]
+
+#: (tag, clock scale, memory-bandwidth scale) applied cycle by cycle:
+#: the first ``len(base)`` machines are stock, the next cycle is the
+#: fast bin, and so on.  Scales are deliberately modest so every
+#: variant stays in the regime the paper's cost models were calibrated
+#: for.
+FLEET_VARIANTS: tuple[tuple[str, float, float], ...] = (
+    ("", 1.0, 1.0),  # stock
+    ("+", 1.25, 1.15),  # fast bin: higher clocks, faster memory
+    ("-", 0.8, 0.85),  # slow bin
+    ("m", 1.0, 0.7),  # memory-starved (same compute, throttled DRAM)
+)
+
+
+def _scaled_spec(spec: DeviceSpec, clock_scale: float, mem_scale: float) -> DeviceSpec:
+    return replace(
+        spec,
+        clock_ghz=spec.clock_ghz * clock_scale,
+        mem_bandwidth_gbs=spec.mem_bandwidth_gbs * mem_scale,
+    )
+
+
+def fleet_platforms(
+    count: int, base: Sequence[Platform] = ALL_MACHINES
+) -> tuple[Platform, ...]:
+    """``count`` deterministic machine configurations for a fleet.
+
+    Machine ``i`` is base machine ``i % len(base)`` under variant
+    ``(i // len(base)) % len(FLEET_VARIANTS)``, renamed with the
+    variant tag and a unique replica suffix.  The same ``count`` always
+    produces the same fleet, and a fleet of size N is a prefix of every
+    larger fleet — which is what makes 1→N throughput-scaling runs
+    comparable.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not base:
+        raise ValueError("base must name at least one machine")
+    platforms = []
+    for i in range(count):
+        donor = base[i % len(base)]
+        tag, clock_scale, mem_scale = FLEET_VARIANTS[
+            (i // len(base)) % len(FLEET_VARIANTS)
+        ]
+        specs = tuple(
+            _scaled_spec(s, clock_scale, mem_scale) for s in donor.device_specs
+        )
+        platforms.append(
+            Platform(
+                name=f"{donor.name}{tag}-r{i}",
+                device_specs=specs,
+                description=(
+                    f"{donor.description} [replica {i}"
+                    + (f", variant {tag!r}]" if tag else ", stock]")
+                ),
+            )
+        )
+    return tuple(platforms)

@@ -57,12 +57,17 @@ class Partitioning:
     @classmethod
     def even(cls, num_devices: int, step: int = DEFAULT_STEP_PERCENT) -> "Partitioning":
         """The closest-to-even split representable on the step grid."""
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if step < 1 or 100 % step != 0:
+            raise ValueError(f"step must be a divisor of 100, got {step}")
         base = (100 // num_devices) // step * step
         shares = [base] * num_devices
-        i = 0
-        while sum(shares) < 100:
-            shares[i] += step
-            i = (i + 1) % num_devices
+        # The deficit is a multiple of step (both 100 and base*num_devices
+        # are), so round-robin top-ups land exactly on a 100% sum.
+        deficit = 100 - base * num_devices
+        for i in range(deficit // step):
+            shares[i % num_devices] += step
         return cls(tuple(shares))
 
     @property

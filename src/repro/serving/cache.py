@@ -57,6 +57,15 @@ class PredictionCache:
     def __contains__(self, key: CacheKey) -> bool:
         return key in self._entries
 
+    def peek(self, key: CacheKey) -> Partitioning | None:
+        """Cached partitioning without touching recency or hit/miss stats.
+
+        Introspection path for layers above the service (the fleet
+        router asks every replica what it *would* answer): a peek must
+        not perturb the cache behaviour the replica itself observes.
+        """
+        return self._entries.get(key)
+
     def get(self, key: CacheKey) -> Partitioning | None:
         """Cached partitioning for a key (counts the hit/miss)."""
         entry = self._entries.get(key)

@@ -40,6 +40,7 @@ class BatchScheduler:
     device_free_s: list[float] = field(default_factory=list)
     dispatched: int = 0
     busy_s: list[float] = field(default_factory=list)
+    zero_duration: int = 0
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -65,6 +66,8 @@ class BatchScheduler:
             self.device_free_s[d] = end
             self.busy_s[d] += makespan_s
         self.dispatched += 1
+        if makespan_s == 0.0:
+            self.zero_duration += 1
         return DispatchSlot(start_s=start, end_s=end, device_indices=active)
 
     @property
@@ -73,12 +76,24 @@ class BatchScheduler:
         return max(self.device_free_s)
 
     def throughput_rps(self) -> float:
-        """Requests per simulated second on the multiplexed timeline."""
+        """Requests per simulated second on the multiplexed timeline.
+
+        When every dispatched execution had zero measured duration the
+        span is zero but work *was* served: the sentinel is ``inf``
+        (instantaneous), never 0.0 or NaN.  Zero-duration dispatches
+        are counted in :attr:`zero_duration` either way.
+        """
         span = self.makespan_s
-        return self.dispatched / span if span > 0 else 0.0
+        if span > 0:
+            return self.dispatched / span
+        return float("inf") if self.dispatched > 0 else 0.0
 
     def utilization(self) -> tuple[float, ...]:
-        """Per-device busy fraction of the multiplexed makespan."""
+        """Per-device busy fraction of the multiplexed makespan.
+
+        A zero span (nothing dispatched, or only zero-duration runs)
+        yields all-zero fractions rather than NaN.
+        """
         span = self.makespan_s
         if span <= 0:
             return tuple(0.0 for _ in range(self.num_devices))

@@ -20,11 +20,13 @@ and refits.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..benchsuite.base import Benchmark
 from ..benchsuite.registry import get_benchmark
+from ..core.database import TrainingDatabase
 from ..core.pipeline import TrainedSystem
 from ..engine import SweepEngine
 from ..partitioning import DEFAULT_STEP_PERCENT, Partitioning, neighborhood
@@ -34,6 +36,21 @@ from .dispatch import BatchScheduler, DispatchSlot
 from .trace import ServingRequest
 
 __all__ = ["ServiceConfig", "ServiceStats", "ServedResponse", "PartitioningService"]
+
+
+def _trained_grid_step(database: TrainingDatabase) -> int | None:
+    """The partition-grid step the database's sweeps were measured on.
+
+    The gcd of every share ever swept (training sweeps cover the full
+    ``partition_space``, so for a 10% grid this is exactly 10).  ``None``
+    when the database holds no sweeps yet.
+    """
+    step = 0
+    for record in database:
+        for label in record.timings:
+            for share in Partitioning.from_label(label).shares:
+                step = math.gcd(step, share)
+    return step or None
 
 
 @dataclass(frozen=True)
@@ -81,6 +98,8 @@ class ServiceConfig:
             raise ValueError("refit_interval must be >= 1")
         if self.max_adaptations_per_key < 0:
             raise ValueError("max_adaptations_per_key must be non-negative")
+        if not 1 <= self.adaptation_step <= 100:
+            raise ValueError("adaptation_step must be a percentage in [1, 100]")
 
 
 @dataclass
@@ -113,6 +132,16 @@ class PartitioningService:
     """Serves concurrent launch requests against one trained system."""
 
     def __init__(self, system: TrainedSystem, config: ServiceConfig = ServiceConfig()):
+        trained_step = _trained_grid_step(system.database)
+        if trained_step is not None and config.adaptation_step % trained_step != 0:
+            # An off-grid step would let the local search pin a winner
+            # outside partition_space: its label never matches a model
+            # class after refit, so the adaptation could never be
+            # confirmed (or corrected) by the model again.
+            raise ValueError(
+                f"adaptation_step {config.adaptation_step} is off the trained "
+                f"partition grid (step {trained_step}); use a multiple of it"
+            )
         self.system = system
         self.config = config
         self.cache = PredictionCache(config.cache_capacity)
@@ -156,6 +185,32 @@ class PartitioningService:
         return self.system.runner.time_of(
             exec_request, p, repetitions=self.config.repetitions
         )
+
+    def peek_prediction(
+        self,
+        request: ServingRequest,
+        features: dict[str, float] | None = None,
+    ) -> Partitioning:
+        """The partitioning this service would answer with, right now.
+
+        Resolution order matches :meth:`submit` — cache, then locally
+        validated winners, then the model — but nothing is served: no
+        cache accounting, no dispatch, no database write.  The fleet
+        router uses this to ask every replica's model where a request
+        would run before placing it; it passes ``features`` (which are
+        machine-independent) so N replicas don't each build the
+        problem instance just to answer a peek.
+        """
+        key = self._key(request)
+        cached = self.cache.peek(key)
+        if cached is None:
+            cached = self._validated.get(key)
+        if cached is not None:
+            return cached
+        if features is None:
+            self._execution_request(get_benchmark(request.program), key)
+            features = self._features[key]
+        return self.system.predictor.predict_features(features)
 
     # -- the serving loop -------------------------------------------------
 

@@ -96,6 +96,53 @@ class TestServing:
             main(["replay", "--requests", "1", "--train-programs", "0"])
 
 
+class TestFleet:
+    def test_fleet_serve_reports_summary(self, capsys):
+        assert main(
+            ["fleet-serve", "--machines", "2", "--requests", "15",
+             "--train-programs", "2", "--max-sizes", "1", "--model", "knn"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fleet summary" in out
+        assert "Fleet totals" in out
+        assert "mc1-r0" in out and "mc2-r1" in out
+        assert "fleet throughput (simulated)" in out
+        assert "device util" in out
+
+    def test_fleet_serve_policy_choices(self):
+        with pytest.raises(SystemExit):
+            main(["fleet-serve", "--policy", "round-robin"])
+
+    def test_fleet_train_rejects_unpersistable_model_up_front(self, tmp_path):
+        # Must fail before any training campaign runs, not in save_model.
+        with pytest.raises(SystemExit, match="persist"):
+            main(["fleet-train", "--registry", str(tmp_path / "r"),
+                  "--model", "forest", "--machines", "1"])
+        assert not (tmp_path / "r").exists()
+
+    def test_fleet_train_then_serve_from_registry(self, tmp_path, capsys):
+        registry = tmp_path / "registry"
+        assert main(
+            ["fleet-train", "--registry", str(registry), "--machines", "2",
+             "--train-programs", "2", "--max-sizes", "1", "--model", "knn"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fleet training" in out
+        assert (registry / "mc1-r0" / "model.json").is_file()
+        assert (registry / "mc1-r0" / "database.json").is_file()
+        assert (registry / "mc2-r1" / "meta.json").is_file()
+
+        # A third, unregistered machine warm-starts from the registry.
+        assert main(
+            ["fleet-serve", "--registry", str(registry), "--machines", "3",
+             "--warm-start", "--requests", "10", "--train-programs", "2",
+             "--max-sizes", "1", "--model", "knn", "--policy", "predicted"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("registry") >= 2  # two replicas loaded
+        assert "warm(" in out  # the third was warm-started
+
+
 class TestTrainAndReport:
     def test_train_then_report(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)

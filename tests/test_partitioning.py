@@ -48,6 +48,37 @@ class TestPartitioning:
     def test_even_two_devices(self):
         assert Partitioning.even(2).shares == (50, 50)
 
+    def test_even_rejects_step_not_dividing_100(self):
+        # Regression: even(2, step=30) used to overshoot the 100% sum
+        # and die with a confusing "shares must sum to 100" from
+        # __post_init__; the step is now validated up front.
+        with pytest.raises(ValueError, match="step"):
+            Partitioning.even(2, step=30)
+        with pytest.raises(ValueError, match="step"):
+            Partitioning.even(3, step=0)
+        with pytest.raises(ValueError, match="step"):
+            Partitioning.even(3, step=150)
+
+    def test_even_rejects_nonpositive_device_count(self):
+        with pytest.raises(ValueError, match="num_devices"):
+            Partitioning.even(0)
+
+    def test_even_coarse_steps_terminate_on_grid(self):
+        assert Partitioning.even(3, step=50).shares == (50, 50, 0)
+        assert Partitioning.even(4, step=20).shares == (40, 20, 20, 20)
+        assert Partitioning.even(2, step=100).shares == (100, 0)
+
+    @given(
+        num_devices=st.integers(min_value=1, max_value=8),
+        step=st.sampled_from([1, 2, 4, 5, 10, 20, 25, 50, 100]),
+    )
+    @settings(max_examples=100)
+    def test_even_always_sums_to_100_on_grid(self, num_devices, step):
+        p = Partitioning.even(num_devices, step=step)
+        assert sum(p.shares) == 100
+        assert all(s % step == 0 for s in p.shares)
+        assert max(p.shares) - min(p.shares) <= step
+
     def test_fraction(self):
         p = Partitioning((70, 20, 10))
         assert p.fraction(0) == pytest.approx(0.7)

@@ -56,6 +56,23 @@ class TestEviction:
         assert _key(0) not in cache
         assert _key(1) in cache and _key(2) in cache
 
+    def test_repeated_put_of_existing_key_at_capacity_does_not_evict(self):
+        # Refreshing a resident key while the cache is full must not be
+        # charged as an eviction: the entry count never exceeds capacity.
+        cache = PredictionCache(capacity=2)
+        cache.put(_key(0), _p("100/0/0"))
+        cache.put(_key(1), _p("0/100/0"))
+        for _ in range(3):
+            cache.put(_key(0), _p("0/0/100"))
+        assert cache.stats.evictions == 0
+        assert len(cache) == 2
+        assert _key(0) in cache and _key(1) in cache
+        assert cache.get(_key(0)) == _p("0/0/100")
+        # A genuinely new key at capacity still evicts exactly once.
+        cache.put(_key(2), _p("0/100/0"))
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
     def test_get_refreshes_recency(self):
         cache = PredictionCache(capacity=2)
         cache.put(_key(0), _p("100/0/0"))
@@ -64,6 +81,24 @@ class TestEviction:
         cache.put(_key(2), _p("0/0/100"))
         assert _key(0) in cache
         assert _key(1) not in cache
+
+
+class TestPeek:
+    def test_peek_returns_entry_without_stats(self):
+        cache = PredictionCache(capacity=2)
+        cache.put(_key(0), _p("100/0/0"))
+        assert cache.peek(_key(0)) == _p("100/0/0")
+        assert cache.peek(_key(9)) is None
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_peek_does_not_refresh_recency(self):
+        cache = PredictionCache(capacity=2)
+        cache.put(_key(0), _p("100/0/0"))
+        cache.put(_key(1), _p("0/100/0"))
+        cache.peek(_key(0))  # must NOT promote key 0
+        cache.put(_key(2), _p("0/0/100"))
+        assert _key(0) not in cache
+        assert _key(1) in cache and _key(2) in cache
 
 
 class TestInvalidation:

@@ -1,11 +1,13 @@
 """Tests for the serving layer: traces, dispatch and the service loop."""
 
+import math
+
 import pytest
 
 from repro.benchsuite import get_benchmark
 from repro.core import TrainingConfig, train_system
 from repro.machines import MC2
-from repro.partitioning import Partitioning
+from repro.partitioning import Partitioning, partition_space
 from repro.serving import (
     BatchScheduler,
     PartitioningService,
@@ -81,6 +83,32 @@ class TestBatchScheduler:
         with pytest.raises(ValueError):
             sched.dispatch(Partitioning((100, 0, 0)), 1.0)
 
+    def test_all_zero_duration_runs_report_inf_not_zero(self):
+        # Regression: dispatched > 0 with span == 0 used to report
+        # 0.0 req/s, indistinguishable from an idle scheduler.
+        sched = BatchScheduler(num_devices=2)
+        sched.dispatch(Partitioning((100, 0)), 0.0)
+        sched.dispatch(Partitioning((0, 100)), 0.0)
+        assert sched.dispatched == 2
+        assert sched.zero_duration == 2
+        t = sched.throughput_rps()
+        assert math.isinf(t) and t > 0
+        u = sched.utilization()
+        assert u == (0.0, 0.0)
+        assert not any(math.isnan(x) for x in u)
+
+    def test_idle_scheduler_still_reports_zero(self):
+        sched = BatchScheduler(num_devices=2)
+        assert sched.throughput_rps() == 0.0
+        assert sched.zero_duration == 0
+
+    def test_mixed_zero_duration_runs_are_counted(self):
+        sched = BatchScheduler(num_devices=2)
+        sched.dispatch(Partitioning((100, 0)), 0.0)
+        sched.dispatch(Partitioning((100, 0)), 2.0)
+        assert sched.zero_duration == 1
+        assert sched.throughput_rps() == pytest.approx(1.0)
+
 
 @pytest.fixture(scope="module")
 def small_system():
@@ -155,6 +183,34 @@ class TestPartitioningService:
         assert ("mc2", "mandelbrot", size) in service.cache
         assert service.cache.get(("mc2", "mandelbrot", size)) == response.partitioning
 
+    def test_off_grid_adaptation_step_rejected(self, small_system):
+        # Regression: an off-grid adaptation_step let _adapt pin a
+        # neighborhood() winner outside partition_space, whose label
+        # could never match a model class after a refit.
+        with pytest.raises(ValueError, match="off the trained"):
+            PartitioningService(small_system, ServiceConfig(adaptation_step=15))
+        with pytest.raises(ValueError, match="off the trained"):
+            PartitioningService(small_system, ServiceConfig(adaptation_step=7))
+
+    def test_grid_multiple_adaptation_step_accepted(self, small_system):
+        # A multiple of the trained step keeps every local-search move
+        # on the trained grid.
+        service = PartitioningService(
+            small_system, ServiceConfig(adaptation_step=20, refit_interval=100)
+        )
+        size = get_benchmark("mandelbrot").problem_sizes()[-1]
+        service.submit(_request(0, "mandelbrot", size))
+        grid = {p.label for p in partition_space(3, 10)}
+        record = service.system.database.record_for("mc2", "mandelbrot", size)
+        assert record is not None
+        assert set(record.timings) <= grid
+
+    def test_adaptation_step_range_validated_by_config(self):
+        with pytest.raises(ValueError, match="adaptation_step"):
+            ServiceConfig(adaptation_step=0)
+        with pytest.raises(ValueError, match="adaptation_step"):
+            ServiceConfig(adaptation_step=101)
+
     def test_validated_winner_survives_eviction(self):
         # An adapted key that falls out of the LRU cache must come back
         # from the validated store, not from the (wrong) model.  Uses a
@@ -177,6 +233,36 @@ class TestPartitioningService:
         service.submit(_request(1, "vec_add", warm_size))  # evicts mandelbrot
         again = service.submit(_request(2, "mandelbrot", size))
         assert not again.cache_hit
+        assert again.partitioning == adapted.partitioning
+
+    def test_validated_restore_refills_cache_after_eviction(self):
+        # The _validated restore path must also *re-insert* the winner,
+        # so the key goes back to being a plain cache hit afterwards.
+        system = train_system(
+            MC2,
+            tuple(get_benchmark(n) for n in ("vec_add", "mat_mul")),
+            model_kind="knn",
+            config=TrainingConfig(repetitions=1, max_sizes=2),
+        )
+        service = PartitioningService(
+            system, ServiceConfig(cache_capacity=1, refit_interval=100)
+        )
+        size = get_benchmark("mandelbrot").problem_sizes()[-1]
+        adapted = service.submit(_request(0, "mandelbrot", size))
+        assert adapted.adapted
+        warm_size = get_benchmark("vec_add").problem_sizes()[0]
+        service.submit(_request(1, "vec_add", warm_size))  # evicts mandelbrot
+        evictions_before = service.cache.stats.evictions
+        assert evictions_before >= 1
+        restored = service.submit(_request(2, "mandelbrot", size))
+        assert not restored.cache_hit
+        assert restored.partitioning == adapted.partitioning
+        # The restore put the key back (evicting vec_add in turn) ...
+        assert ("mc2", "mandelbrot", size) in service.cache
+        assert service.cache.stats.evictions == evictions_before + 1
+        # ... so the next request is an ordinary hit on the winner.
+        again = service.submit(_request(3, "mandelbrot", size))
+        assert again.cache_hit
         assert again.partitioning == adapted.partitioning
 
     def test_adaptations_bounded_per_key(self, small_system):
