@@ -9,7 +9,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.benchsuite import get_benchmark
 from repro.machines import MC2
@@ -42,7 +41,11 @@ def test_partition_step_ablation(benchmark, dbs):
                 worst = max(ratios)
                 avg = sum(ratios) / len(ratios)
                 rows.append((machine, f"{step}%", len(
-                    [p for p in partition_space(3, 10) if all(s % step == 0 for s in p.shares)]
+                    [
+                        p
+                        for p in partition_space(3, 10)
+                        if all(s % step == 0 for s in p.shares)
+                    ]
                 ), avg, worst))
         return rows
 

@@ -42,7 +42,8 @@ from repro.engine import SweepEngine
 from repro.machines import MC2
 from repro.partitioning import partition_space
 from repro.runtime import Runner
-from repro.serving import PartitioningService, ServiceConfig, key_universe, zipf_trace
+from repro.serving import PartitioningService, ServiceConfig, key_universe
+from repro.workloads import WorkloadSpec, make_workload
 
 #: Sweep subjects: a streaming kernel, a stencil and an iterated solver —
 #: the chunk-shape mix the training campaign actually sees.
@@ -100,7 +101,10 @@ def bench_serve(quick: bool) -> dict:
         )
 
     keys = key_universe(all_benchmarks(), max_sizes=2)
-    trace = zipf_trace(keys, num_requests, skew=1.5, seed=0)
+    trace = make_workload(
+        WorkloadSpec(family="stationary", num_requests=num_requests, skew=1.5, seed=0),
+        keys,
+    ).requests
 
     service = PartitioningService(make_system(), ServiceConfig(memoize=False))
     t0 = time.perf_counter()
@@ -201,13 +205,24 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     results = {"quick": args.quick}
-    for name, fn in (("sweep", bench_sweep), ("serve", bench_serve), ("predict", bench_predict)):
+    stages = (
+        ("sweep", bench_sweep),
+        ("serve", bench_serve),
+        ("predict", bench_predict),
+    )
+    for name, fn in stages:
         t0 = time.perf_counter()
         results[name] = fn(args.quick)
         print(f"[{name}] done in {time.perf_counter() - t0:.1f}s wall")
 
-    print(f"sweep:   {results['sweep']['speedup']:.1f}x over {results['sweep']['points']} points")
-    print(f"serve:   {results['serve']['speedup']:.1f}x over {results['serve']['requests']} requests")
+    print(
+        f"sweep:   {results['sweep']['speedup']:.1f}x "
+        f"over {results['sweep']['points']} points"
+    )
+    print(
+        f"serve:   {results['serve']['speedup']:.1f}x "
+        f"over {results['serve']['requests']} requests"
+    )
     for kind, entry in results["predict"].items():
         print(f"predict: {entry['speedup']:.1f}x ({kind}, {entry['rows']} rows)")
 

@@ -16,8 +16,8 @@ from repro.serving import (
     ServiceConfig,
     ServingRequest,
     key_universe,
-    zipf_trace,
 )
+from repro.workloads import WorkloadSpec, make_workload
 
 #: Trace shape shared by the throughput benchmarks.
 TRACE_REQUESTS = 200
@@ -42,7 +42,12 @@ def trained_system():
 def test_serving_throughput(benchmark, trained_system):
     """Requests/s through the full service loop on a skewed trace."""
     keys = key_universe(all_benchmarks(), max_sizes=2)
-    trace = zipf_trace(keys, TRACE_REQUESTS, skew=TRACE_SKEW, seed=0)
+    trace = make_workload(
+        WorkloadSpec(
+            family="stationary", num_requests=TRACE_REQUESTS, skew=TRACE_SKEW, seed=0
+        ),
+        keys,
+    ).requests
 
     def replay():
         service = PartitioningService(trained_system, ServiceConfig())

@@ -11,7 +11,9 @@ from repro.experiments import analyze_size_sensitivity, render_size_sensitivity
 
 def test_size_sensitivity(benchmark, dbs):
     def analyze():
-        return analyze_size_sensitivity(dbs["mc1"]) + analyze_size_sensitivity(dbs["mc2"])
+        return analyze_size_sensitivity(dbs["mc1"]) + analyze_size_sensitivity(
+            dbs["mc2"]
+        )
 
     trajectories = benchmark.pedantic(analyze, rounds=1, iterations=1)
     assert len(trajectories) == 46  # 23 programs x 2 machines

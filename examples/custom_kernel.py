@@ -12,7 +12,7 @@ import numpy as np
 
 from repro import MC1, Partitioning, Runner
 from repro.compiler import compile_kernel
-from repro.inspire import FLOAT, INT, Intent, KernelBuilder, const
+from repro.inspire import FLOAT, INT, Intent, KernelBuilder
 from repro.runtime import ExecutionRequest
 
 
@@ -78,12 +78,18 @@ def main() -> None:
     )
     runner = Runner(MC1)
     print(f"\ntimings on {MC1.name}:")
-    for p in (Partitioning((100, 0, 0)), Partitioning((0, 100, 0)), Partitioning((60, 20, 20))):
+    for p in (
+        Partitioning((100, 0, 0)),
+        Partitioning((0, 100, 0)),
+        Partitioning((60, 20, 20)),
+    ):
         print(f"  {p.label:>10}: {runner.time_of(request, p) * 1e3:8.3f} ms")
 
     runner.run(request, Partitioning((60, 20, 20)))
     v = arrays["x"]
-    expected = ((np.float32(2.0) * v + np.float32(0.25)) * v + np.float32(-0.5)) * v + np.float32(1.0)
+    expected = (
+        (np.float32(2.0) * v + np.float32(0.25)) * v + np.float32(-0.5)
+    ) * v + np.float32(1.0)
     assert np.allclose(arrays["y"], expected, rtol=1e-5)
     print("functional check passed")
 

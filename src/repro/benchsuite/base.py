@@ -219,7 +219,9 @@ class Benchmark(abc.ABC):
             got = instance.arrays[name]
             want = expected[name]
             if not np.allclose(got, want, atol=atol, rtol=rtol, equal_nan=True):
-                bad = np.argwhere(~np.isclose(got, want, atol=atol, rtol=rtol, equal_nan=True))
+                bad = np.argwhere(
+                    ~np.isclose(got, want, atol=atol, rtol=rtol, equal_nan=True)
+                )
                 raise AssertionError(
                     f"{self.name}: output {name!r} mismatches reference at "
                     f"{len(bad)} positions (first: {bad[:3].tolist()})"

@@ -165,7 +165,9 @@ class Atax(Benchmark):
     def reference(self, instance: ProblemInstance) -> dict[str, np.ndarray]:
         A = instance.arrays["A"].reshape(-1, int(instance.scalars["ncols"]))
         tmp = instance.arrays["tmp"]
-        return {"y": (A.astype(np.float64).T @ tmp.astype(np.float64)).astype(np.float32)}
+        return {
+            "y": (A.astype(np.float64).T @ tmp.astype(np.float64)).astype(np.float32)
+        }
 
     def execute(self, arrays, scalars, offset, count):
         ncols = int(scalars["ncols"])

@@ -17,7 +17,13 @@ from .vendor import (
     VecAdd,
 )
 
-__all__ = ["BENCHMARK_CLASSES", "all_benchmarks", "get_benchmark", "benchmark_names", "suite_of"]
+__all__ = [
+    "BENCHMARK_CLASSES",
+    "all_benchmarks",
+    "get_benchmark",
+    "benchmark_names",
+    "suite_of",
+]
 
 #: All 23 programs, grouped by origin suite as in the paper's §3.
 BENCHMARK_CLASSES: tuple[type[Benchmark], ...] = (

@@ -16,7 +16,15 @@ from ..inspire import FLOAT, INT, Intent, KernelBuilder, const
 from ..inspire import ast as ir
 from .base import Benchmark, ProblemInstance, Suite
 
-__all__ = ["Hotspot", "KMeans", "NearestNeighbor", "SRAD", "Pathfinder", "BFS", "Backprop"]
+__all__ = [
+    "Hotspot",
+    "KMeans",
+    "NearestNeighbor",
+    "SRAD",
+    "Pathfinder",
+    "BFS",
+    "Backprop",
+]
 
 
 class Hotspot(Benchmark):
@@ -51,8 +59,12 @@ class Hotspot(Benchmark):
         with b.if_else(interior) as (then, otherwise):
             with then:
                 t = b.let("t", b.load(temp, idx))
-                dx = b.let("dx", (b.load(temp, idx - 1) + b.load(temp, idx + 1) - t - t) / rx)
-                dy = b.let("dy", (b.load(temp, idx - w) + b.load(temp, idx + w) - t - t) / ry)
+                dx = b.let(
+                    "dx", (b.load(temp, idx - 1) + b.load(temp, idx + 1) - t - t) / rx
+                )
+                dy = b.let(
+                    "dy", (b.load(temp, idx - w) + b.load(temp, idx + w) - t - t) / ry
+                )
                 dz = b.let("dz", (const(80.0, FLOAT) - t) / rz)
                 delta = b.let("delta", cap * (b.load(power, idx) + dx + dy + dz))
                 b.store(out, idx, t + delta)
@@ -111,7 +123,9 @@ class Hotspot(Benchmark):
     def reference(self, instance: ProblemInstance) -> dict[str, np.ndarray]:
         w = int(instance.scalars["w"])
         h = int(instance.scalars["h"])
-        return {"out": self._step(instance.arrays["temp"], instance.arrays["power"], w, h)}
+        return {
+            "out": self._step(instance.arrays["temp"], instance.arrays["power"], w, h)
+        }
 
     def execute(self, arrays, scalars, offset, count):
         w = int(scalars["w"])
@@ -152,7 +166,8 @@ class KMeans(Benchmark):
                 with b.for_("f", 0, dims) as f:
                     diff = b.let(
                         "diff",
-                        b.load(points, gid * dims + f) - b.load(centroids, c * dims + f),
+                        b.load(points, gid * dims + f)
+                        - b.load(centroids, c * dims + f),
                     )
                     b.assign(d, d + diff * diff)
                 with b.if_(d < best_d):
@@ -311,7 +326,10 @@ class SRAD(Benchmark):
                 cval = b.let(
                     "cval",
                     const(1.0, FLOAT)
-                    / (const(1.0, FLOAT) + (qsqr - q0) / (q0 * (const(1.0, FLOAT) + q0))),
+                    / (
+                        const(1.0, FLOAT)
+                        + (qsqr - q0) / (q0 * (const(1.0, FLOAT) + q0))
+                    ),
                 )
                 b.store(coef, idx, b.clamp(cval, 0.0, 1.0))
             with otherwise:
@@ -359,7 +377,9 @@ class SRAD(Benchmark):
         num = np.float32(0.5) * g2 - np.float32(1.0 / 16.0) * l * l
         den = np.float32(1.0) + np.float32(0.25) * l
         qsqr = num / (den * den)
-        c = np.float32(1.0) / (np.float32(1.0) + (qsqr - np.float32(q0)) / np.float32(q0 * (1.0 + q0)))
+        c = np.float32(1.0) / (
+            np.float32(1.0) + (qsqr - np.float32(q0)) / np.float32(q0 * (1.0 + q0))
+        )
         out[1:-1, 1:-1] = np.clip(c, 0.0, 1.0)
         return out.reshape(-1)
 
@@ -386,7 +406,9 @@ class Pathfinder(Benchmark):
 
     name = "pathfinder"
     suite = Suite.RODINIA
-    description = "DP row relaxation: dst[i] = wall[i] + min(src[i-1], src[i], src[i+1])"
+    description = (
+        "DP row relaxation: dst[i] = wall[i] + min(src[i-1], src[i], src[i+1])"
+    )
 
     def build_kernel(self) -> ir.Kernel:
         b = KernelBuilder(self.name, dim=1)

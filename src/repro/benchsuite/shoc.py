@@ -341,7 +341,9 @@ class MD(Benchmark):
 
     def reference(self, instance: ProblemInstance) -> dict[str, np.ndarray]:
         n = int(instance.scalars["n"])
-        fx, fy, fz = self._forces(instance.arrays, 0, n, float(instance.scalars["cutoff2"]))
+        fx, fy, fz = self._forces(
+            instance.arrays, 0, n, float(instance.scalars["cutoff2"])
+        )
         return {
             "fx": fx.astype(np.float32),
             "fy": fy.astype(np.float32),

@@ -120,7 +120,9 @@ class Saxpy(Benchmark):
         alpha = np.float32(scalars["alpha"])
         hi = min(offset + count, n)
         if hi > offset:
-            arrays["y"][offset:hi] = alpha * arrays["x"][offset:hi] + arrays["y"][offset:hi]
+            arrays["y"][offset:hi] = (
+                alpha * arrays["x"][offset:hi] + arrays["y"][offset:hi]
+            )
 
 
 class DotProduct(Benchmark):
@@ -299,11 +301,13 @@ class BlackScholes(Benchmark):
             # CND(x) = 0.5 * (1 + erf(x / sqrt(2)))
             nd1 = b.let(
                 "nd1",
-                const(0.5, FLOAT) * (const(1.0, FLOAT) + b.erf(d1 * const(self.SQRT1_2, FLOAT))),
+                const(0.5, FLOAT)
+                * (const(1.0, FLOAT) + b.erf(d1 * const(self.SQRT1_2, FLOAT))),
             )
             nd2 = b.let(
                 "nd2",
-                const(0.5, FLOAT) * (const(1.0, FLOAT) + b.erf(d2 * const(self.SQRT1_2, FLOAT))),
+                const(0.5, FLOAT)
+                * (const(1.0, FLOAT) + b.erf(d2 * const(self.SQRT1_2, FLOAT))),
             )
             expr_t = b.let("expr_t", k * b.exp(-r * t))
             c = b.let("c", s * nd1 - expr_t * nd2)
@@ -325,7 +329,11 @@ class BlackScholes(Benchmark):
                 "call": np.zeros(size, dtype=np.float32),
                 "put": np.zeros(size, dtype=np.float32),
             },
-            scalars={"n": size, "riskfree": self.RISKFREE, "volatility": self.VOLATILITY},
+            scalars={
+                "n": size,
+                "riskfree": self.RISKFREE,
+                "volatility": self.VOLATILITY,
+            },
             total_items=size,
             granularity=64,
             output_names=("call", "put"),
@@ -434,7 +442,9 @@ class Mandelbrot(Benchmark):
             output_names=("img",),
         )
 
-    def _iterations(self, idx: np.ndarray, scalars: Mapping[str, float | int]) -> np.ndarray:
+    def _iterations(
+        self, idx: np.ndarray, scalars: Mapping[str, float | int]
+    ) -> np.ndarray:
         w = int(scalars["w"])
         max_iter = int(scalars["max_iter"])
         px = (idx % w).astype(np.float32)

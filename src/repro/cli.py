@@ -7,15 +7,17 @@ Commands:
     run     <program>         — sweep the strategies for one launch
     train   <machine>         — training campaign → JSON database
     report  <db.json> [...]   — full experiment report from databases
-    replay                    — serve a synthetic Zipf trace (cache +
-                                batching + online adaptation)
+    replay                    — serve a synthetic trace (stationary /
+                                phase-shift / flash-crowd / diurnal
+                                workloads, optional platform drift)
     serve                     — serve "program size" requests from a
                                 file or stdin
     fleet-train               — train + persist one model per fleet
                                 machine into a model registry
-    fleet-serve               — route one Zipf trace across a fleet of
+    fleet-serve               — route one trace across a fleet of
                                 machines (least-loaded / affinity /
-                                predicted placement)
+                                predicted placement, drain + re-warm
+                                on sustained degradation)
 """
 
 from __future__ import annotations
@@ -172,6 +174,53 @@ def _build_service(args: argparse.Namespace):
     return benchmarks, train_benchmarks, service
 
 
+def _parse_drift_events(values: list[str]):
+    """``AT:SCALE[:MACHINE[:DEVICE]]`` strings → DriftEvents."""
+    from .workloads import DriftEvent
+
+    events = []
+    for value in values:
+        parts = value.split(":")
+        if not 2 <= len(parts) <= 4:
+            raise SystemExit(
+                f"--drift {value!r}: want AT:SCALE[:MACHINE[:DEVICE]], "
+                "e.g. 100:0.5:mc2:1"
+            )
+        try:
+            events.append(
+                DriftEvent(
+                    at_request=int(parts[0]),
+                    scale=float(parts[1]),
+                    machine=parts[2] if len(parts) > 2 and parts[2] else None,
+                    device_index=int(parts[3]) if len(parts) > 3 else None,
+                )
+            )
+        except ValueError as error:
+            raise SystemExit(f"--drift {value!r}: {error}") from error
+    return tuple(events)
+
+
+def _workload_from_args(args: argparse.Namespace, keys):
+    """Build the WorkloadSpec the serving commands share and generate it."""
+    from .workloads import WorkloadSpec, make_workload
+
+    spec = WorkloadSpec(
+        family=args.workload,
+        num_requests=args.requests,
+        skew=args.skew,
+        seed=args.seed,
+        phases=args.phases,
+        burst_every=args.burst_every,
+        burst_length=args.burst_length,
+        burst_share=args.burst_share,
+        period=args.period,
+        skew_min=args.skew_min,
+        skew_max=args.skew_max,
+        drift_events=_parse_drift_events(args.drift),
+    )
+    return make_workload(spec, keys)
+
+
 def _print_service_summary(service, responses, wall_s: float) -> None:
     stats = service.stats
     cache = service.cache.stats
@@ -200,6 +249,10 @@ def _print_service_summary(service, responses, wall_s: float) -> None:
             f"regressions {stats.regressions})",
         ),
         ("refits", f"{stats.refits}"),
+        (
+            "drift",
+            f"{stats.drift_flags} flags, {stats.drift_escalations} escalations",
+        ),
         ("adaptation gain", f"{stats.improvement_s * 1e3:.3f} ms"),
         ("simulated serial", f"{serialized * 1e3:.3f} ms"),
         ("simulated multiplexed", f"{multiplexed * 1e3:.3f} ms"),
@@ -230,25 +283,46 @@ def _print_service_summary(service, responses, wall_s: float) -> None:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    from .serving import key_universe, zipf_trace
+    from .serving import key_universe
 
     benchmarks, train_benchmarks, service = _build_service(args)
     keys = key_universe(benchmarks, max_sizes=args.max_sizes)
-    trace = zipf_trace(keys, args.requests, skew=args.skew, seed=args.seed)
+    workload = _workload_from_args(args, keys)
     print(
         f"trained on {len(train_benchmarks)}/{len(benchmarks)} programs "
         f"({len(service.system.database)} records, model {args.model}) "
         f"on {args.machine}"
     )
     print(
-        f"replaying {len(trace)} requests over {len(keys)} keys "
-        f"(zipf skew {args.skew}, seed {args.seed})"
+        f"replaying {len(workload)} requests over {len(keys)} keys "
+        f"({args.workload} workload, skew {args.skew}, seed {args.seed}, "
+        f"{len(workload.drift_events)} drift events)"
     )
+    responses = []
     t0 = time.perf_counter()
-    if args.no_batch:
-        responses = service.serve(trace)
-    else:
-        responses = service.submit_many(trace)
+    for events, batch in workload.segments():
+        for event in events:
+            if event.machine is not None and event.machine != args.machine:
+                print(f"!! drift event targets {event.machine!r}, not {args.machine}")
+                continue
+            try:
+                service.system.runner.apply_drift(
+                    event.scale, device_index=event.device_index
+                )
+            except ValueError as error:
+                raise SystemExit(str(error)) from error
+            where = (
+                f"device {event.device_index}"
+                if event.device_index is not None
+                else "all devices"
+            )
+            print(f"-- drift: {where} x{event.scale:g} before request {len(responses)}")
+        if not batch:
+            continue
+        if args.no_batch:
+            responses.extend(service.serve(batch))
+        else:
+            responses.extend(service.submit_many(batch))
     wall_s = time.perf_counter() - t0
     _print_service_summary(service, responses, wall_s)
     return 0
@@ -349,7 +423,7 @@ def _cmd_fleet_train(args: argparse.Namespace) -> int:
 def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     from .fleet import FleetRouter, ModelRegistry
     from .machines import fleet_platforms
-    from .serving import PartitioningService, ServiceConfig, key_universe, zipf_trace
+    from .serving import PartitioningService, ServiceConfig, key_universe
 
     benchmarks, train_benchmarks = _fleet_train_benchmarks(args)
     platforms = fleet_platforms(args.machines)
@@ -388,16 +462,34 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
             source = "trained"
         services.append(PartitioningService(system, service_config))
         sources.append(source)
-    router = FleetRouter(services, policy=args.policy)
+    router = FleetRouter(services, policy=args.policy, registry=registry)
     keys = key_universe(benchmarks, max_sizes=args.max_sizes)
-    trace = zipf_trace(keys, args.requests, skew=args.skew, seed=args.seed)
+    workload = _workload_from_args(args, keys)
     print(
         f"fleet of {len(platforms)} machines (policy {args.policy}); "
-        f"routing {len(trace)} requests over {len(keys)} keys "
-        f"(zipf skew {args.skew}, seed {args.seed})"
+        f"routing {len(workload)} requests over {len(keys)} keys "
+        f"({args.workload} workload, skew {args.skew}, seed {args.seed}, "
+        f"{len(workload.drift_events)} drift events)"
     )
+    served = 0
     t0 = time.perf_counter()
-    router.serve(trace)
+    for events, batch in workload.segments():
+        for event in events:
+            try:
+                hit = router.apply_drift(event)
+            except ValueError as error:
+                raise SystemExit(str(error)) from error
+            where = (
+                f"device {event.device_index}"
+                if event.device_index is not None
+                else "all devices"
+            )
+            print(
+                f"-- drift: {', '.join(hit)} ({where}) x{event.scale:g} "
+                f"before request {served}"
+            )
+        router.serve(batch)
+        served += len(batch)
     wall_s = time.perf_counter() - t0
     _print_fleet_summary(router, sources, wall_s)
     return 0
@@ -413,6 +505,9 @@ def _print_fleet_summary(router, sources, wall_s: float) -> None:
             f"{r.cache_hit_rate * 100.0:.0f}%",
             f"{r.adaptations}",
             f"{r.refits}",
+            f"{r.drift_flags}",
+            f"{r.rewarms}" + (" (draining)" if r.draining else ""),
+            f"{r.health:.2f}",
             f"{r.makespan_s * 1e3:.3f}",
             " ".join(f"{u * 100.0:.0f}%" for u in r.utilization),
         )
@@ -427,6 +522,9 @@ def _print_fleet_summary(router, sources, wall_s: float) -> None:
                 "cache hit",
                 "adapt",
                 "refits",
+                "drift",
+                "rewarms",
+                "health",
                 "makespan (ms)",
                 "device util",
             ],
@@ -439,7 +537,12 @@ def _print_fleet_summary(router, sources, wall_s: float) -> None:
         ("fleet makespan (simulated)", f"{stats.makespan_s * 1e3:.3f} ms"),
         (
             "fleet throughput (simulated)",
-            f"{stats.throughput_rps:.1f} req/s",
+            f"{stats.throughput_rps:.1f} req/s"
+            + (
+                f" ({stats.zero_span_replicas} zero-span replicas)"
+                if stats.zero_span_replicas
+                else ""
+            ),
         ),
         (
             "throughput (wall)",
@@ -447,6 +550,8 @@ def _print_fleet_summary(router, sources, wall_s: float) -> None:
         ),
         ("adaptations", f"{stats.adaptations}"),
         ("refits", f"{stats.refits}"),
+        ("drift flags", f"{stats.drift_flags}"),
+        ("replica rewarms", f"{stats.rewarms}"),
     ]
     print(format_table(["metric", "value"], totals, title="Fleet totals"))
 
@@ -474,6 +579,55 @@ def _add_fleet_options(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument("--noise", type=float, default=0.0)
     p.add_argument("--seed", type=int, default=0)
+
+
+def _add_workload_options(p: argparse.ArgumentParser) -> None:
+    """Options of the trace generator (replay and fleet-serve)."""
+    from .workloads import WORKLOAD_FAMILIES
+
+    p.add_argument(
+        "--workload",
+        default="stationary",
+        choices=WORKLOAD_FAMILIES,
+        help="trace family (see docs/WORKLOADS.md)",
+    )
+    p.add_argument(
+        "--phases",
+        type=int,
+        default=3,
+        help="hot-set rotations (phase-shift family)",
+    )
+    p.add_argument(
+        "--burst-every",
+        type=int,
+        default=50,
+        help="requests between flash-crowd bursts",
+    )
+    p.add_argument(
+        "--burst-length", type=int, default=12, help="requests per burst"
+    )
+    p.add_argument(
+        "--burst-share",
+        type=float,
+        default=0.8,
+        help="traffic share the burst key takes during a burst",
+    )
+    p.add_argument(
+        "--period", type=int, default=100, help="requests per diurnal cycle"
+    )
+    p.add_argument(
+        "--skew-min", type=float, default=0.3, help="diurnal trough skew"
+    )
+    p.add_argument(
+        "--skew-max", type=float, default=2.2, help="diurnal peak skew"
+    )
+    p.add_argument(
+        "--drift",
+        action="append",
+        default=[],
+        metavar="AT:SCALE[:MACHINE[:DEVICE]]",
+        help="platform drift event, e.g. 100:0.5:mc2:1 (repeatable)",
+    )
 
 
 def _add_serving_options(p: argparse.ArgumentParser) -> None:
@@ -527,7 +681,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="time one launch under several strategies")
     p_run.add_argument("program")
-    p_run.add_argument("--machine", default="mc2", choices=[m.name for m in ALL_MACHINES])
+    p_run.add_argument(
+        "--machine", default="mc2", choices=[m.name for m in ALL_MACHINES]
+    )
     p_run.add_argument("--size", type=int, default=None)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument(
@@ -551,7 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.set_defaults(fn=_cmd_report)
 
     p_replay = sub.add_parser(
-        "replay", help="serve a synthetic Zipf request trace (online adaptation)"
+        "replay", help="serve a synthetic request trace (online adaptation)"
     )
     p_replay.add_argument("--requests", type=int, default=200)
     p_replay.add_argument("--skew", type=float, default=1.5)
@@ -561,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve sequentially instead of batching model inference",
     )
     _add_serving_options(p_replay)
+    _add_workload_options(p_replay)
     p_replay.set_defaults(fn=_cmd_replay)
 
     p_serve = sub.add_parser(
@@ -580,7 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ftrain.set_defaults(fn=_cmd_fleet_train)
 
     p_fserve = sub.add_parser(
-        "fleet-serve", help="route one Zipf trace across a fleet of machines"
+        "fleet-serve", help="route one request trace across a fleet of machines"
     )
     from .fleet import ROUTING_POLICIES
 
@@ -610,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure without the memoizing sweep engine",
     )
     _add_fleet_options(p_fserve)
+    _add_workload_options(p_fserve)
     p_fserve.set_defaults(fn=_cmd_fleet_serve)
 
     return parser

@@ -1,8 +1,18 @@
 """Source-to-source compiler: single-device → multi-device programs."""
 
-from .backend import OFFSET_PARAM, MultiDeviceProgram, emit_multi_device, make_offset_kernel
+from .backend import (
+    OFFSET_PARAM,
+    MultiDeviceProgram,
+    emit_multi_device,
+    make_offset_kernel,
+)
 from .frontend import CompiledKernel, compile_kernel
-from .passes import constant_fold, dead_store_elimination, run_default_passes, simplify_algebra
+from .passes import (
+    constant_fold,
+    dead_store_elimination,
+    run_default_passes,
+    simplify_algebra,
+)
 from .splitter import (
     BufferDistribution,
     DeviceChunk,

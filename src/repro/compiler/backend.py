@@ -19,7 +19,12 @@ from ..inspire.types import INT
 from ..inspire.visitors import rewrite_kernel
 from .splitter import DistributionKind, KernelDistribution
 
-__all__ = ["OFFSET_PARAM", "make_offset_kernel", "MultiDeviceProgram", "emit_multi_device"]
+__all__ = [
+    "OFFSET_PARAM",
+    "make_offset_kernel",
+    "MultiDeviceProgram",
+    "emit_multi_device",
+]
 
 #: Name of the injected chunk-offset parameter.
 OFFSET_PARAM = "__chunk_offset"
@@ -84,7 +89,8 @@ def _plan_lines(kernel: ir.Kernel, distribution: KernelDistribution) -> str:
         if p.intent in (ir.ParamIntent.IN, ir.ParamIntent.INOUT):
             if dist.kind is DistributionKind.SPLIT:
                 lines.append(
-                    f"//   clEnqueueWriteBuffer(q[d], {p.name}, slice(offset_d, count_d))"
+                    f"//   clEnqueueWriteBuffer(q[d], {p.name}, "
+                    "slice(offset_d, count_d))"
                 )
             elif dist.kind is DistributionKind.HALO:
                 lines.append(
@@ -109,7 +115,8 @@ def _plan_lines(kernel: ir.Kernel, distribution: KernelDistribution) -> str:
                 )
             else:
                 lines.append(
-                    f"//   clEnqueueReadBuffer(q[d], {p.name}, slice(offset_d, count_d))"
+                    f"//   clEnqueueReadBuffer(q[d], {p.name}, "
+                    "slice(offset_d, count_d))"
                 )
     lines.append("// clFinish(q[d]) for all d; makespan = max over devices")
     return "\n".join(lines)

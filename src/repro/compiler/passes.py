@@ -14,7 +14,12 @@ from ..inspire import ast as ir
 from ..inspire.types import BOOL, ScalarType, is_floating
 from ..inspire.visitors import rewrite_kernel, walk
 
-__all__ = ["constant_fold", "simplify_algebra", "run_default_passes", "dead_store_elimination"]
+__all__ = [
+    "constant_fold",
+    "simplify_algebra",
+    "run_default_passes",
+    "dead_store_elimination",
+]
 
 
 def _const_value(e: ir.Expr) -> float | int | bool | None:

@@ -84,9 +84,13 @@ class BufferDistribution:
         return cls(DistributionKind.SPLIT, elements_per_item=elements_per_item)
 
     @classmethod
-    def with_halo(cls, halo: int, elements_per_item: float = 1.0) -> "BufferDistribution":
+    def with_halo(
+        cls, halo: int, elements_per_item: float = 1.0
+    ) -> "BufferDistribution":
         """Slice plus a boundary halo of ``halo`` elements per side."""
-        return cls(DistributionKind.HALO, halo=halo, elements_per_item=elements_per_item)
+        return cls(
+            DistributionKind.HALO, halo=halo, elements_per_item=elements_per_item
+        )
 
     @classmethod
     def full(cls) -> "BufferDistribution":

@@ -22,7 +22,12 @@ from .predictor import (
     make_classifier,
     make_partitioning_model,
 )
-from .trainer import TrainingConfig, build_record, generate_training_data, sweep_partitionings
+from .trainer import (
+    TrainingConfig,
+    build_record,
+    generate_training_data,
+    sweep_partitionings,
+)
 
 __all__ = [
     "TrainingDatabase",

@@ -93,7 +93,9 @@ class PartitioningModel:
     #: from-scratch schedule).
     INCREMENTAL_EPOCHS = 80
 
-    def refit(self, db: TrainingDatabase, incremental: bool = True) -> "PartitioningModel":
+    def refit(
+        self, db: TrainingDatabase, incremental: bool = True
+    ) -> "PartitioningModel":
         """Re-train after the database changed (online adaptation path).
 
         ``incremental=True`` keeps the fitted feature statistics (the

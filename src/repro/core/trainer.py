@@ -19,7 +19,12 @@ from ..runtime.measurement import Runner
 from .database import TrainingDatabase, TrainingRecord
 from .features import combined_features
 
-__all__ = ["TrainingConfig", "sweep_partitionings", "build_record", "generate_training_data"]
+__all__ = [
+    "TrainingConfig",
+    "sweep_partitionings",
+    "build_record",
+    "generate_training_data",
+]
 
 
 @dataclass(frozen=True)

@@ -84,6 +84,7 @@ class SweepEngine:
         self._meta: dict[int, _RequestMeta] = {}
         self._kernel_s: dict[tuple[int, int, int], float] = {}
         self._pinned: dict[int, ExecutionRequest] = {}
+        self._drift_generation = runner.drift_generation
 
     def reset(self) -> None:
         """Drop all cached tapes and plans (between campaigns)."""
@@ -224,6 +225,16 @@ class SweepEngine:
                 f"runner has {len(self.runner.devices)} devices"
             )
         self.stats.compositions += 1
+        # Platform drift rescales device cost models; every cached
+        # duration (tape, kernel time, finished result) is priced on the
+        # pre-drift hardware and must be dropped.  Plans and request
+        # metadata are duration-free and survive.
+        generation = self.runner.drift_generation
+        if generation != self._drift_generation:
+            self._results.clear()
+            self._tapes.clear()
+            self._kernel_s.clear()
+            self._drift_generation = generation
         rid = self._request_id(request)
         result_key = (rid, partitioning.shares)
         if self._deterministic:

@@ -32,7 +32,9 @@ def full_report(
     for machine_name in db.machines():
         platform = machine_by_name(machine_name)
         figure1_results.append(
-            run_figure1(platform, db=db.for_machine(machine_name), model_kind=model_kind)
+            run_figure1(
+                platform, db=db.for_machine(machine_name), model_kind=model_kind
+            )
         )
     sections.append(render_figure1(figure1_results))
     sections.append(render_size_sensitivity(analyze_size_sensitivity(db)))

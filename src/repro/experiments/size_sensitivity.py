@@ -65,7 +65,12 @@ def render_size_sensitivity(trajectories: list[SizeSensitivity]) -> str:
             )
         )
     table = format_table(
-        ["machine", "program", "#optima", "oracle partitioning by size (CPU/GPU0/GPU1)"],
+        [
+            "machine",
+            "program",
+            "#optima",
+            "oracle partitioning by size (CPU/GPU0/GPU1)",
+        ],
         rows,
         title="Size sensitivity of the optimal task partitioning (E3)",
     )

@@ -16,6 +16,7 @@ from .router import (
     FleetResponse,
     FleetRouter,
     FleetStats,
+    HealthConfig,
     ReplicaStats,
 )
 
@@ -27,5 +28,6 @@ __all__ = [
     "FleetResponse",
     "FleetRouter",
     "FleetStats",
+    "HealthConfig",
     "ReplicaStats",
 ]

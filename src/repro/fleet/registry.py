@@ -129,10 +129,16 @@ class ModelRegistry:
             )
         return meta
 
-    def load(
-        self, platform: Platform, noise_sigma: float = 0.0, seed: int = 0
-    ) -> TrainedSystem:
-        """Rebuild a deployable system for a registered machine."""
+    def load_snapshot(
+        self, platform: Platform
+    ) -> tuple[PartitioningPredictor, TrainingDatabase]:
+        """The registered predictor + database, without a runner.
+
+        The fleet re-warm path rolls a live replica's model and
+        database back to this snapshot while keeping the replica's own
+        (possibly drifted) runner — building a throwaway runner per
+        re-warm would be waste.
+        """
         if not self.has(platform.name):
             raise LookupError(
                 f"machine {platform.name!r} is not registered under {self.root}"
@@ -141,7 +147,13 @@ class ModelRegistry:
         directory = self._dir(platform.name)
         model = load_model(directory / "model.json")
         database = TrainingDatabase.load(directory / "database.json")
-        predictor = PartitioningPredictor(model, platform.name)
+        return PartitioningPredictor(model, platform.name), database
+
+    def load(
+        self, platform: Platform, noise_sigma: float = 0.0, seed: int = 0
+    ) -> TrainedSystem:
+        """Rebuild a deployable system for a registered machine."""
+        predictor, database = self.load_snapshot(platform)
         runner = Runner(platform, noise_sigma=noise_sigma, seed=seed + 1)
         return TrainedSystem(platform, predictor, database, runner)
 

@@ -22,6 +22,15 @@ policy:
   the makespan-aware policy: a fast machine that is busy loses to a
   slower idle one.
 
+The router also owns replica *health*: a per-replica EWMA of the
+measured/predicted makespan ratio across everything it serves.  A
+replica whose smoothed ratio stays degraded — its hardware drifted and
+its service could not repair the gap — is **drained** (taken out of
+placement for a cooldown) and **re-warmed**: its model and database
+roll back to the registry snapshot when one exists, otherwise the
+model refits on the full observation history, and every cached
+decision restarts cold.
+
 Routing is deterministic given the seed: the same trace over the same
 fleet reproduces the same placements, adaptations and stats.
 """
@@ -29,8 +38,9 @@ fleet reproduces the same placements, adaptations and stats.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..benchsuite.registry import get_benchmark
 from ..core.features import combined_features
@@ -44,8 +54,13 @@ from ..runtime.scheduler import ExecutionRequest
 from ..serving.service import PartitioningService, ServedResponse, ServiceConfig
 from ..serving.trace import ServingRequest
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..workloads.spec import DriftEvent
+    from .registry import ModelRegistry
+
 __all__ = [
     "ROUTING_POLICIES",
+    "HealthConfig",
     "FleetReplica",
     "FleetResponse",
     "ReplicaStats",
@@ -57,6 +72,49 @@ __all__ = [
 ROUTING_POLICIES = ("least-loaded", "affinity", "predicted")
 
 
+@dataclass(frozen=True)
+class HealthConfig:
+    """Knobs of the router's per-replica degradation tracking.
+
+    Attributes:
+        enabled: track health and drain/re-warm degraded replicas.
+        alpha: EWMA smoothing of the replica's measured/estimate ratio.
+        threshold: sustained relative degradation before a drain (0.5 =
+            smoothed ratio above 1.5).  Deliberately slacker than the
+            service-level drift threshold: the replica gets to repair
+            itself key by key first, and only a gap its own adaptation
+            could not close costs it a drain.
+        min_observations: served responses before a replica may drain.
+        cooldown: placements the drained replica sits out before
+            rejoining the rotation (and before it may drain again).
+    """
+
+    enabled: bool = True
+    alpha: float = 0.3
+    threshold: float = 0.5
+    min_observations: int = 8
+    cooldown: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+
+@dataclass
+class _ReplicaHealth:
+    """Router-side health state of one replica."""
+
+    ewma: float = 1.0
+    observations: int = 0
+    draining: int = 0
+
+
 @dataclass
 class FleetReplica:
     """One machine of the fleet: a service plus routing counters."""
@@ -64,6 +122,7 @@ class FleetReplica:
     index: int
     service: PartitioningService
     routed: int = 0
+    rewarms: int = 0
 
     @property
     def platform(self) -> Platform:
@@ -100,6 +159,10 @@ class ReplicaStats:
     makespan_s: float
     throughput_rps: float
     utilization: tuple[float, ...]
+    drift_flags: int = 0
+    rewarms: int = 0
+    health: float = 1.0
+    draining: bool = False
 
 
 @dataclass(frozen=True)
@@ -108,8 +171,13 @@ class FleetStats:
 
     Replicas run concurrently, so the fleet makespan is the *maximum*
     over the replicas' multiplexed timelines and fleet throughput is
-    total requests over that span (``inf`` when everything served in
-    zero simulated time, matching the scheduler's sentinel).
+    total requests over that span.  Per-replica schedulers report an
+    ``inf`` throughput sentinel when everything they served took zero
+    simulated time; the *aggregate* never propagates it — replicas in
+    that state are counted in :attr:`zero_span_replicas` and the fleet
+    throughput stays finite (0.0 when no simulated time elapsed at
+    all), so downstream arithmetic (speedup ratios, JSON baselines)
+    cannot be poisoned by a leaked ``inf``.
     """
 
     replicas: tuple[ReplicaStats, ...]
@@ -118,6 +186,9 @@ class FleetStats:
     throughput_rps: float
     adaptations: int
     refits: int
+    drift_flags: int = 0
+    rewarms: int = 0
+    zero_span_replicas: int = 0
 
     @property
     def num_replicas(self) -> int:
@@ -131,6 +202,8 @@ class FleetRouter:
         self,
         services: Sequence[PartitioningService],
         policy: str = "least-loaded",
+        registry: "ModelRegistry | None" = None,
+        health: HealthConfig = HealthConfig(),
     ):
         if not services:
             raise ValueError("a fleet needs at least one replica")
@@ -145,9 +218,12 @@ class FleetRouter:
                 "database records and registry entries all key on the name"
             )
         self.policy = policy
+        self.registry = registry
+        self.health = health
         self.replicas = tuple(
             FleetReplica(index=i, service=s) for i, s in enumerate(services)
         )
+        self._health = [_ReplicaHealth() for _ in self.replicas]
         # The predicted policy estimates durations on a private noise-free
         # runner per replica, so probing machines never pollutes the
         # serving runners' telemetry or noise streams.
@@ -175,6 +251,8 @@ class FleetRouter:
         training: TrainingConfig = TrainingConfig(repetitions=1),
         serving: ServiceConfig = ServiceConfig(),
         policy: str = "least-loaded",
+        registry: "ModelRegistry | None" = None,
+        health: HealthConfig = HealthConfig(),
     ) -> "FleetRouter":
         """Train one system per platform and wrap them in a router."""
         services = [
@@ -184,20 +262,40 @@ class FleetRouter:
             )
             for p in platforms
         ]
-        return cls(services, policy=policy)
+        return cls(services, policy=policy, registry=registry, health=health)
 
     # -- placement policies ------------------------------------------------
+
+    def _candidates(self) -> tuple[int, ...]:
+        """Replica indices currently in rotation.
+
+        Draining replicas are excluded; when *every* replica is
+        draining the traffic must still land somewhere, so the full
+        fleet becomes eligible again.
+        """
+        up = tuple(
+            i for i in range(len(self.replicas)) if self._health[i].draining == 0
+        )
+        return up or tuple(range(len(self.replicas)))
 
     def _affinity_index(self, request: ServingRequest) -> int:
         """Stable key → replica hash (process-independent, unlike hash())."""
         digest = hashlib.sha256(
             f"{request.program}:{request.size}".encode()
         ).digest()
-        return int.from_bytes(digest[:8], "big") % len(self.replicas)
+        base = int.from_bytes(digest[:8], "big")
+        candidates = self._candidates()
+        # Linear probe from the home slot: while a replica drains its
+        # keys spill to the next one, and return home afterwards.
+        for offset in range(len(self.replicas)):
+            index = (base + offset) % len(self.replicas)
+            if index in candidates:
+                return index
+        return base % len(self.replicas)  # pragma: no cover - candidates never empty
 
     def _least_loaded_index(self) -> int:
         return min(
-            range(len(self.replicas)),
+            self._candidates(),
             key=lambda i: (self.replicas[i].scheduler.makespan_s, i),
         )
 
@@ -231,7 +329,13 @@ class FleetRouter:
         dropped wholesale when it moves.
         """
         i = replica.index
-        generation = (replica.service.stats.refits, replica.service.stats.adaptations)
+        stats = replica.service.stats
+        generation = (
+            stats.refits,
+            stats.adaptations,
+            stats.drift_flags,
+            stats.rewarms,
+        )
         if self._peek_generations[i] != generation:
             self._peeked[i].clear()
             self._peek_generations[i] = generation
@@ -243,14 +347,20 @@ class FleetRouter:
             memo[key] = hit
         return hit
 
-    def _predicted_index(self, request: ServingRequest) -> int:
+    def _ensure_estimators(self) -> list[SweepEngine]:
         if self._estimators is None:
             self._estimators = [
                 SweepEngine(Runner(r.platform)) for r in self.replicas
             ]
+        return self._estimators
+
+    def _predicted_index(self, request: ServingRequest) -> int:
+        self._ensure_estimators()
         exec_request, features = self._plumbing(request)
-        best_index, best_finish = 0, float("inf")
-        for replica in self.replicas:
+        candidates = self._candidates()
+        best_index, best_finish = candidates[0], float("inf")
+        for index in candidates:
+            replica = self.replicas[index]
             partitioning = self._peek(replica, request, features)
             duration = self._estimators[replica.index].time_of(
                 exec_request, partitioning
@@ -269,14 +379,110 @@ class FleetRouter:
             return self._predicted_index(request)
         return self._least_loaded_index()
 
+    # -- replica health ----------------------------------------------------
+
+    def _observe_health(self, replica: FleetReplica, response: ServedResponse) -> None:
+        """Fold one served response into the replica's health EWMA.
+
+        Deliberately *one-sided*, unlike the service's two-sided
+        per-key :class:`~repro.serving.drift.DriftDetector`: a key
+        whose device sped up deserves a re-search (the optimum moved),
+        but a replica that got *faster* than predicted must never be
+        drained — drains are for machines underdelivering on their
+        promises, and the per-key detector already refreshes the fast
+        replica's decisions in place.
+        """
+        estimate = response.estimate_s
+        if estimate is None or estimate <= 0:
+            return
+        ratio = response.measured_s / estimate
+        state = self._health[replica.index]
+        state.ewma = (
+            self.health.alpha * ratio + (1.0 - self.health.alpha) * state.ewma
+        )
+        state.observations += 1
+        if (
+            state.draining == 0
+            and state.observations >= self.health.min_observations
+            and state.ewma > 1.0 + self.health.threshold
+        ):
+            self._drain(replica)
+
+    def _drain(self, replica: FleetReplica) -> None:
+        """Take a degraded replica out of rotation and re-warm it."""
+        state = self._health[replica.index]
+        state.draining = self.health.cooldown
+        state.ewma = 1.0
+        state.observations = 0
+        self.rewarm_replica(replica.index)
+
+    def rewarm_replica(self, index: int) -> None:
+        """Re-warm one replica: registry rollback or in-place refit.
+
+        With a registered snapshot the replica's model *and* database
+        roll back to the last known-good state (online observations
+        made on the pre-drift hardware are discarded wholesale);
+        without one the model refits on everything observed so far.
+        Either way the replica's serving state restarts cold — see
+        :meth:`PartitioningService.rewarm`.
+        """
+        replica = self.replicas[index]
+        if self.registry is not None and self.registry.has(replica.name):
+            predictor, database = self.registry.load_snapshot(replica.platform)
+            replica.service.rewarm(predictor=predictor, database=database)
+        else:
+            replica.service.rewarm()
+        replica.rewarms += 1
+
+    def apply_drift(self, event: "DriftEvent") -> tuple[str, ...]:
+        """Apply one platform drift event; returns the machines hit.
+
+        Matches replicas by machine name (``event.machine is None``
+        drifts the whole fleet) and rescales both the serving runner
+        and the predicted policy's private estimator runner, so
+        placement prices the post-drift hardware the requests will
+        actually run on.  Estimators are created on the spot when the
+        predicted policy has not routed yet — a drift event before the
+        first placement must not be lost on them.
+        """
+        estimators = (
+            self._ensure_estimators() if self.policy == "predicted" else None
+        )
+        hit = []
+        for replica in self.replicas:
+            if event.machine is not None and replica.name != event.machine:
+                continue
+            replica.service.system.runner.apply_drift(
+                event.scale, device_index=event.device_index
+            )
+            if estimators is not None:
+                estimators[replica.index].runner.apply_drift(
+                    event.scale, device_index=event.device_index
+                )
+            hit.append(replica.name)
+        if not hit:
+            raise ValueError(
+                f"drift event names unknown machine {event.machine!r}; "
+                f"fleet has {[r.name for r in self.replicas]}"
+            )
+        return tuple(hit)
+
     # -- serving -----------------------------------------------------------
 
     def submit(self, request: ServingRequest) -> FleetResponse:
         """Place and serve one request; returns the placement + response."""
+        if self.health.enabled:
+            # Placement is the fleet's clock: each routed request moves
+            # every draining replica one step closer to rejoining.
+            for state in self._health:
+                if state.draining > 0:
+                    state.draining -= 1
         index = self._route_index(request)
         replica = self.replicas[index]
         replica.routed += 1
         response = replica.service.submit(request)
+        if self.health.enabled:
+            self._observe_health(replica, response)
         return FleetResponse(
             replica_index=index, replica_name=replica.name, response=response
         )
@@ -294,6 +500,7 @@ class FleetRouter:
         for r in self.replicas:
             sched = r.scheduler
             stats = r.service.stats
+            health = self._health[r.index]
             per.append(
                 ReplicaStats(
                     name=r.name,
@@ -305,14 +512,21 @@ class FleetRouter:
                     makespan_s=sched.makespan_s,
                     throughput_rps=sched.throughput_rps(),
                     utilization=sched.utilization(),
+                    drift_flags=stats.drift_flags,
+                    rewarms=r.rewarms,
+                    health=health.ewma,
+                    draining=health.draining > 0,
                 )
             )
         requests = sum(p.routed for p in per)
         makespan = max((p.makespan_s for p in per), default=0.0)
-        if makespan > 0:
-            throughput = requests / makespan
-        else:
-            throughput = float("inf") if requests > 0 else 0.0
+        # Regression guard: the per-replica scheduler reports an ``inf``
+        # sentinel for served-in-zero-time; summing/aggregating that
+        # into the fleet number poisons speedup ratios and JSON
+        # baselines downstream.  The aggregate stays finite and the
+        # sentinel cases are surfaced as a count instead.
+        zero_span = sum(1 for p in per if math.isinf(p.throughput_rps))
+        throughput = requests / makespan if makespan > 0 else 0.0
         return FleetStats(
             replicas=tuple(per),
             requests=requests,
@@ -320,4 +534,7 @@ class FleetRouter:
             throughput_rps=throughput,
             adaptations=sum(p.adaptations for p in per),
             refits=sum(p.refits for p in per),
+            drift_flags=sum(p.drift_flags for p in per),
+            rewarms=sum(p.rewarms for p in per),
+            zero_span_replicas=zero_span,
         )

@@ -62,9 +62,26 @@ __all__ = [
     "analyze_kernel",
     "classify_index",
     "DEFAULT_TRIP_COUNT",
+    "Barrier",
+    "BinOp",
+    "Block",
+    "Call",
+    "Cast",
+    "Const",
+    "For",
+    "If",
     "Kernel",
     "KernelParam",
+    "Load",
     "ParamIntent",
+    "Select",
+    "Stmt",
+    "Store",
+    "UnOp",
+    "Var",
+    "While",
+    "WorkItemFn",
+    "WorkItemQuery",
     "KernelBuilder",
     "E",
     "Intent",

@@ -191,7 +191,8 @@ class _LinearForm:
             nonlinear=self.nonlinear,
         )
         out.coeffs = {
-            name: (None if c is None or k is None else c * k) for name, c in self.coeffs.items()
+            name: (None if c is None or k is None else c * k)
+            for name, c in self.coeffs.items()
         }
         return out
 
@@ -294,11 +295,15 @@ def classify_index(
     if gid_coeff in (None, 0.0):
         # No dependence on gid0: either a pure broadcast or a loop sweep.
         loop_coeffs = [
-            c for k, c in form.coeffs.items() if k not in (_LinearForm.GID0, _LinearForm.GID1)
+            c
+            for k, c in form.coeffs.items()
+            if k not in (_LinearForm.GID0, _LinearForm.GID1)
         ]
         gid1 = form.coeffs.get(_LinearForm.GID1)
         if gid1 not in (None, 0.0) and _LinearForm.GID1 in form.coeffs:
-            return AccessPattern.STRIDED if abs(gid1) != 1.0 else AccessPattern.COALESCED
+            return (
+                AccessPattern.STRIDED if abs(gid1) != 1.0 else AccessPattern.COALESCED
+            )
         if loop_coeffs:
             return AccessPattern.BROADCAST
         return AccessPattern.BROADCAST
@@ -426,7 +431,9 @@ class KernelAnalysis:
             defs=_single_assignment_map(self.kernel),
             loop_vars=_loop_var_names(self.kernel),
         )
-        _count_block(self.kernel.body, env, weight=1.0, divergent=False, out=counts, ctx=ctx)
+        _count_block(
+            self.kernel.body, env, weight=1.0, divergent=False, out=counts, ctx=ctx
+        )
         cache[key] = counts
         return counts.scaled(1.0)
 
@@ -491,7 +498,9 @@ def _count_expr(expr: ir.Expr, weight: float, divergent: bool, out: OpCounts) ->
     if isinstance(expr, ir.BinOp):
         _count_expr(expr.lhs, weight, divergent, out)
         _count_expr(expr.rhs, weight, divergent, out)
-        if isinstance(expr.lhs.type, VectorType) or isinstance(expr.rhs.type, VectorType):
+        if isinstance(expr.lhs.type, VectorType) or isinstance(
+            expr.rhs.type, VectorType
+        ):
             out.vector_ops += weight
         elif _is_float_op(expr.lhs.type) or _is_float_op(expr.rhs.type):
             out.float_ops += weight
@@ -583,9 +592,9 @@ def branch_diverges(
     """
     if isinstance(cond, ir.BinOp):
         if cond.op in ir.LOGICAL_OPS:
-            return branch_diverges(cond.lhs, uniform, defs, loop_vars) or branch_diverges(
-                cond.rhs, uniform, defs, loop_vars
-            )
+            return branch_diverges(
+                cond.lhs, uniform, defs, loop_vars
+            ) or branch_diverges(cond.rhs, uniform, defs, loop_vars)
         if cond.op in ir.COMPARISON_OPS:
             return not (
                 _is_affine_guard_operand(cond.lhs, uniform, defs, loop_vars)
@@ -669,7 +678,9 @@ def _count_stmt(
     elif isinstance(stmt, ir.If):
         _count_expr(stmt.cond, weight, divergent, out)
         out.branches += weight
-        div = divergent or branch_diverges(stmt.cond, ctx.uniform, ctx.defs, ctx.loop_vars)
+        div = divergent or branch_diverges(
+            stmt.cond, ctx.uniform, ctx.defs, ctx.loop_vars
+        )
         # Expected execution: both arms weighted by a 50% taken-probability
         # unless an arm is empty (the common boundary-guard shape).
         has_else = bool(stmt.else_body.stmts)
@@ -692,7 +703,9 @@ def _count_stmt(
         out.branches += weight * stmt.expected_trips
         # Data-dependent trip counts diverge by nature (work items exit
         # the loop at different iterations — e.g. Mandelbrot escape).
-        div = divergent or branch_diverges(stmt.cond, ctx.uniform, ctx.defs, ctx.loop_vars)
+        div = divergent or branch_diverges(
+            stmt.cond, ctx.uniform, ctx.defs, ctx.loop_vars
+        )
         _count_expr(stmt.cond, weight * stmt.expected_trips, div, out)
         _count_block(stmt.body, env, weight * stmt.expected_trips, div, out, ctx)
     elif isinstance(stmt, ir.Barrier):
@@ -707,13 +720,15 @@ def _collect_structure(
     for stmt in block.stmts:
         if isinstance(stmt, ir.For):
             state["loop_count"] = state["loop_count"] + 1  # type: ignore[operator]
-            state["max_depth"] = max(state["max_depth"], depth + 1)  # type: ignore[call-overload]
+            depth_now = depth + 1
+            state["max_depth"] = max(state["max_depth"], depth_now)  # type: ignore[call-overload]
             if _try_eval(stmt.end, {}) is None:
                 state["size_dep"] = True
             _collect_structure(stmt.body, depth + 1, state)
         elif isinstance(stmt, ir.While):
             state["loop_count"] = state["loop_count"] + 1  # type: ignore[operator]
-            state["max_depth"] = max(state["max_depth"], depth + 1)  # type: ignore[call-overload]
+            depth_now = depth + 1
+            state["max_depth"] = max(state["max_depth"], depth_now)  # type: ignore[call-overload]
             state["size_dep"] = True
             _collect_structure(stmt.body, depth + 1, state)
         elif isinstance(stmt, ir.If):

@@ -116,7 +116,20 @@ BUILTIN_FUNCTIONS: dict[str, int] = {
 #: These map to the GPU special-function unit and are weighted separately
 #: in the device cost model.
 TRANSCENDENTAL_FUNCTIONS = frozenset(
-    {"sqrt", "rsqrt", "exp", "log", "log2", "sin", "cos", "tan", "atan", "atan2", "pow", "erf"}
+    {
+        "sqrt",
+        "rsqrt",
+        "exp",
+        "log",
+        "log2",
+        "sin",
+        "cos",
+        "tan",
+        "atan",
+        "atan2",
+        "pow",
+        "erf",
+    }
 )
 
 

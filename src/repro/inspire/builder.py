@@ -49,7 +49,9 @@ def _const_for(value: int | float | bool, like: Type | None = None) -> ir.Const:
         return ir.Const(value, BOOL)
     if isinstance(value, int):
         if like is not None and is_floating(like):
-            return ir.Const(float(value), like if isinstance(like, ScalarType) else FLOAT)
+            return ir.Const(
+                float(value), like if isinstance(like, ScalarType) else FLOAT
+            )
         return ir.Const(value, INT)
     if isinstance(value, float):
         if like is not None and isinstance(like, ScalarType) and like.floating:
@@ -199,7 +201,8 @@ def _call(func: str, *args: Operand, result: Type | None = None) -> E:
         raise TypeError(f"{func} expects {arity} args, got {len(args)}")
     nodes = tuple(as_expr(a) for a in args)
     if result is None:
-        if func in ir.TRANSCENDENTAL_FUNCTIONS or func in {"fabs", "fmin", "fmax", "floor", "ceil", "mad", "mix", "clamp"}:
+        simple = {"fabs", "fmin", "fmax", "floor", "ceil", "mad", "mix", "clamp"}
+        if func in ir.TRANSCENDENTAL_FUNCTIONS or func in simple:
             result = FLOAT
             for n in nodes:
                 result = promote(result, n.type)
@@ -377,7 +380,9 @@ class KernelBuilder:
         var_ty = ty if ty is not None else v.type
         declares = name not in self._declared
         var = ir.Var(name, var_ty)
-        self._emit(ir.Assign(var, v if ty is None else ir.Cast(v, var_ty), declares=declares))
+        self._emit(
+            ir.Assign(var, v if ty is None else ir.Cast(v, var_ty), declares=declares)
+        )
         self._declared.add(name)
         return E(var)
 
@@ -410,7 +415,9 @@ class KernelBuilder:
         if not isinstance(node, ir.Var) or not isinstance(node.type, BufferType):
             raise TypeError("atomic target must be a buffer parameter")
         self._emit(
-            ir.AtomicUpdate(node, as_expr(index), as_expr(value, like=node.type.element), op="add")
+            ir.AtomicUpdate(
+                node, as_expr(index), as_expr(value, like=node.type.element), op="add"
+            )
         )
 
     def barrier(self) -> None:
@@ -433,7 +440,9 @@ class KernelBuilder:
         then_stmts: list[ir.Stmt] = []
         else_stmts: list[ir.Stmt] = []
         yield _Arm(self, then_stmts), _Arm(self, else_stmts)
-        self._emit(ir.If(cond.node, ir.Block(tuple(then_stmts)), ir.Block(tuple(else_stmts))))
+        self._emit(
+            ir.If(cond.node, ir.Block(tuple(then_stmts)), ir.Block(tuple(else_stmts)))
+        )
 
     @contextlib.contextmanager
     def for_(

@@ -31,8 +31,12 @@ _BUILTINS = {
     "sqrt": lambda x: math.sqrt(x) if x >= 0 else float("nan"),
     "rsqrt": lambda x: 1.0 / math.sqrt(x) if x > 0 else float("inf"),
     "exp": math.exp,
-    "log": lambda x: math.log(x) if x > 0 else float("-inf") if x == 0 else float("nan"),
-    "log2": lambda x: math.log2(x) if x > 0 else float("-inf") if x == 0 else float("nan"),
+    "log": lambda x: (
+        math.log(x) if x > 0 else float("-inf") if x == 0 else float("nan")
+    ),
+    "log2": lambda x: (
+        math.log2(x) if x > 0 else float("-inf") if x == 0 else float("nan")
+    ),
     "sin": math.sin,
     "cos": math.cos,
     "tan": math.tan,
@@ -129,7 +133,11 @@ def _eval(expr: ir.Expr, st: _WorkItemState) -> float | int | bool:
         raise InterpreterError(f"unknown unary op {expr.op!r}")
     if isinstance(expr, ir.Select):
         return _coerce(
-            _eval(expr.if_true, st) if _eval(expr.cond, st) else _eval(expr.if_false, st),
+            (
+                _eval(expr.if_true, st)
+                if _eval(expr.cond, st)
+                else _eval(expr.if_false, st)
+            ),
             expr,
         )
     if isinstance(expr, ir.Call):
@@ -180,7 +188,13 @@ def _eval(expr: ir.Expr, st: _WorkItemState) -> float | int | bool:
             r = a * b  # type: ignore[operator]
         elif op == "/":
             if floating:
-                r = float(a) / float(b) if b != 0 else math.copysign(float("inf"), float(a)) if a else float("nan")  # type: ignore[arg-type]
+                r = (  # type: ignore[arg-type]
+                    float(a) / float(b)
+                    if b != 0
+                    else math.copysign(float("inf"), float(a))
+                    if a
+                    else float("nan")
+                )
             else:
                 if b == 0:
                     raise InterpreterError("integer division by zero")
@@ -189,7 +203,11 @@ def _eval(expr: ir.Expr, st: _WorkItemState) -> float | int | bool:
         elif op == "%":
             if b == 0:
                 raise InterpreterError("integer modulo by zero")
-            r = int(math.fmod(float(a), float(b))) if not floating else math.fmod(float(a), float(b))  # type: ignore[arg-type]
+            r = (  # type: ignore[arg-type]
+                int(math.fmod(float(a), float(b)))
+                if not floating
+                else math.fmod(float(a), float(b))
+            )
         else:
             raise InterpreterError(f"unknown operator {op!r}")
         return _coerce(r, expr)
@@ -203,7 +221,8 @@ def _exec_block(block: ir.Block, st: _WorkItemState) -> None:
 
 def _exec_stmt(stmt: ir.Stmt, st: _WorkItemState) -> None:
     if isinstance(stmt, ir.Assign):
-        st.locals[stmt.var.name] = _coerce(_eval(stmt.value, st), stmt.var.type)  # type: ignore[arg-type]
+        value = _eval(stmt.value, st)
+        st.locals[stmt.var.name] = _coerce(value, stmt.var.type)  # type: ignore[arg-type]
     elif isinstance(stmt, ir.Store):
         arr = st.buffers.get(stmt.buffer.name)
         if arr is None:

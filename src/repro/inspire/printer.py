@@ -88,12 +88,14 @@ def _print_stmt(stmt: ir.Stmt, indent: int, lines: list[str]) -> None:
         lines.append(f"{pad}{prefix}{stmt.var.name} = {print_expr(stmt.value)};")
     elif isinstance(stmt, ir.Store):
         lines.append(
-            f"{pad}{stmt.buffer.name}[{print_expr(stmt.index)}] = {print_expr(stmt.value)};"
+            f"{pad}{stmt.buffer.name}[{print_expr(stmt.index)}] = "
+            f"{print_expr(stmt.value)};"
         )
     elif isinstance(stmt, ir.AtomicUpdate):
         fn = {"add": "atomic_add", "min": "atomic_min", "max": "atomic_max"}[stmt.op]
         lines.append(
-            f"{pad}{fn}(&{stmt.buffer.name}[{print_expr(stmt.index)}], {print_expr(stmt.value)});"
+            f"{pad}{fn}(&{stmt.buffer.name}[{print_expr(stmt.index)}], "
+            f"{print_expr(stmt.value)});"
         )
     elif isinstance(stmt, ir.Block):
         for s in stmt.stmts:

@@ -70,7 +70,8 @@ def _check_stmt(
             env.setdefault(stmt.var.name, None)
         elif stmt.var.name not in declared:
             raise ValidationError(
-                f"kernel {kernel.name}: assignment to undeclared local {stmt.var.name!r}"
+                f"kernel {kernel.name}: assignment to undeclared local "
+                f"{stmt.var.name!r}"
             )
     elif isinstance(stmt, ir.Store):
         _check_buffer_access(kernel, stmt.buffer, env, write=True)
@@ -81,7 +82,9 @@ def _check_stmt(
         _check_expr(kernel, stmt.index, env, declared)
         _check_expr(kernel, stmt.value, env, declared)
         if stmt.op not in ("add", "min", "max"):
-            raise ValidationError(f"kernel {kernel.name}: unknown atomic op {stmt.op!r}")
+            raise ValidationError(
+                f"kernel {kernel.name}: unknown atomic op {stmt.op!r}"
+            )
     elif isinstance(stmt, ir.Block):
         _check_block(kernel, stmt, env, declared)
     elif isinstance(stmt, ir.If):
@@ -101,12 +104,16 @@ def _check_stmt(
         if stmt.cond.type is not BOOL:
             raise ValidationError(f"kernel {kernel.name}: while-condition is not bool")
         if stmt.expected_trips <= 0:
-            raise ValidationError(f"kernel {kernel.name}: expected_trips must be positive")
+            raise ValidationError(
+                f"kernel {kernel.name}: expected_trips must be positive"
+            )
         _check_block(kernel, stmt.body, env, declared)
     elif isinstance(stmt, ir.Barrier):
         pass
     else:
-        raise ValidationError(f"kernel {kernel.name}: unknown statement {type(stmt).__name__}")
+        raise ValidationError(
+            f"kernel {kernel.name}: unknown statement {type(stmt).__name__}"
+        )
 
 
 def _check_buffer_access(
@@ -149,7 +156,8 @@ def _check_expr(
     if isinstance(expr, ir.WorkItemQuery):
         if not 0 <= expr.dim < kernel.dim:
             raise ValidationError(
-                f"kernel {kernel.name}: {expr.fn.value}({expr.dim}) exceeds dim {kernel.dim}"
+                f"kernel {kernel.name}: {expr.fn.value}({expr.dim}) exceeds "
+                f"dim {kernel.dim}"
             )
         return
     if isinstance(expr, ir.Load):
@@ -174,7 +182,9 @@ def _check_expr(
         return
     if isinstance(expr, ir.Call):
         if expr.func not in ir.BUILTIN_FUNCTIONS:
-            raise ValidationError(f"kernel {kernel.name}: unknown builtin {expr.func!r}")
+            raise ValidationError(
+                f"kernel {kernel.name}: unknown builtin {expr.func!r}"
+            )
         if len(expr.args) != ir.BUILTIN_FUNCTIONS[expr.func]:
             raise ValidationError(
                 f"kernel {kernel.name}: {expr.func} arity mismatch"
@@ -186,4 +196,6 @@ def _check_expr(
         for c in expr.children():
             _check_expr(kernel, c, env, declared)  # type: ignore[arg-type]
         return
-    raise ValidationError(f"kernel {kernel.name}: unknown expression {type(expr).__name__}")
+    raise ValidationError(
+        f"kernel {kernel.name}: unknown expression {type(expr).__name__}"
+    )

@@ -11,7 +11,14 @@ from typing import Callable, Iterator, TypeVar
 
 from . import ast as ir
 
-__all__ = ["walk", "walk_exprs", "walk_stmts", "rewrite_expr", "rewrite_kernel", "count_nodes"]
+__all__ = [
+    "walk",
+    "walk_exprs",
+    "walk_stmts",
+    "rewrite_expr",
+    "rewrite_kernel",
+    "count_nodes",
+]
 
 N = TypeVar("N", bound=ir.Node)
 
@@ -58,11 +65,15 @@ def rewrite_expr(expr: ir.Expr, fn: ExprRewriter) -> ir.Expr:
     """
     rebuilt: ir.Expr
     if isinstance(expr, ir.BinOp):
-        rebuilt = ir.BinOp(expr.op, rewrite_expr(expr.lhs, fn), rewrite_expr(expr.rhs, fn), expr.type)
+        rebuilt = ir.BinOp(
+            expr.op, rewrite_expr(expr.lhs, fn), rewrite_expr(expr.rhs, fn), expr.type
+        )
     elif isinstance(expr, ir.UnOp):
         rebuilt = ir.UnOp(expr.op, rewrite_expr(expr.operand, fn), expr.type)
     elif isinstance(expr, ir.Call):
-        rebuilt = ir.Call(expr.func, tuple(rewrite_expr(a, fn) for a in expr.args), expr.type)
+        rebuilt = ir.Call(
+            expr.func, tuple(rewrite_expr(a, fn) for a in expr.args), expr.type
+        )
     elif isinstance(expr, ir.Cast):
         rebuilt = ir.Cast(rewrite_expr(expr.expr, fn), expr.type)
     elif isinstance(expr, ir.Select):
@@ -84,10 +95,15 @@ def _rewrite_stmt(stmt: ir.Stmt, fn: ExprRewriter) -> ir.Stmt:
     if isinstance(stmt, ir.Assign):
         return ir.Assign(stmt.var, rewrite_expr(stmt.value, fn), declares=stmt.declares)
     if isinstance(stmt, ir.Store):
-        return ir.Store(stmt.buffer, rewrite_expr(stmt.index, fn), rewrite_expr(stmt.value, fn))
+        return ir.Store(
+            stmt.buffer, rewrite_expr(stmt.index, fn), rewrite_expr(stmt.value, fn)
+        )
     if isinstance(stmt, ir.AtomicUpdate):
         return ir.AtomicUpdate(
-            stmt.buffer, rewrite_expr(stmt.index, fn), rewrite_expr(stmt.value, fn), op=stmt.op
+            stmt.buffer,
+            rewrite_expr(stmt.index, fn),
+            rewrite_expr(stmt.value, fn),
+            op=stmt.op,
         )
     if isinstance(stmt, ir.Block):
         return ir.Block(tuple(_rewrite_stmt(s, fn) for s in stmt.stmts))

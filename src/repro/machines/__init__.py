@@ -1,6 +1,13 @@
 """Target machine configurations (the paper's mc1 and mc2, plus fleets)."""
 
-from .configs import ALL_MACHINES, MC1, MC2, machine_by_name, make_cpu_spec, make_gpu_spec
+from .configs import (
+    ALL_MACHINES,
+    MC1,
+    MC2,
+    machine_by_name,
+    make_cpu_spec,
+    make_gpu_spec,
+)
 from .fleet import FLEET_VARIANTS, fleet_platforms
 
 __all__ = [

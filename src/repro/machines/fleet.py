@@ -15,10 +15,8 @@ all key on the machine name, so two replicas must never share one.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Sequence
 
-from ..ocl.costmodel import DeviceSpec
 from ..ocl.platform import Platform
 from .configs import ALL_MACHINES
 
@@ -35,14 +33,6 @@ FLEET_VARIANTS: tuple[tuple[str, float, float], ...] = (
     ("-", 0.8, 0.85),  # slow bin
     ("m", 1.0, 0.7),  # memory-starved (same compute, throttled DRAM)
 )
-
-
-def _scaled_spec(spec: DeviceSpec, clock_scale: float, mem_scale: float) -> DeviceSpec:
-    return replace(
-        spec,
-        clock_ghz=spec.clock_ghz * clock_scale,
-        mem_bandwidth_gbs=spec.mem_bandwidth_gbs * mem_scale,
-    )
 
 
 def fleet_platforms(
@@ -68,7 +58,7 @@ def fleet_platforms(
             (i // len(base)) % len(FLEET_VARIANTS)
         ]
         specs = tuple(
-            _scaled_spec(s, clock_scale, mem_scale) for s in donor.device_specs
+            s.scaled(clock_scale, mem_scale) for s in donor.device_specs
         )
         platforms.append(
             Platform(

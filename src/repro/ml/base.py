@@ -21,7 +21,9 @@ __all__ = [
 ]
 
 
-def check_Xy(X: np.ndarray, y: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray | None]:
+def check_Xy(
+    X: np.ndarray, y: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray | None]:
     """Validate and canonicalize a feature matrix (and labels)."""
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2:

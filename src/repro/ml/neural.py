@@ -204,10 +204,14 @@ class MLPClassifier(Classifier):
                     mb[i] = beta1 * mb[i] + (1 - beta1) * gb[i]
                     vb[i] = beta2 * vb[i] + (1 - beta2) * gb[i] ** 2
                     self._weights[i] -= (
-                        self.learning_rate * (mW[i] / corr1) / (np.sqrt(vW[i] / corr2) + eps)
+                        self.learning_rate
+                        * (mW[i] / corr1)
+                        / (np.sqrt(vW[i] / corr2) + eps)
                     )
                     self._biases[i] -= (
-                        self.learning_rate * (mb[i] / corr1) / (np.sqrt(vb[i] / corr2) + eps)
+                        self.learning_rate
+                        * (mb[i] / corr1)
+                        / (np.sqrt(vb[i] / corr2) + eps)
                     )
             epoch_loss /= n
             self.loss_curve_.append(epoch_loss)
@@ -351,10 +355,14 @@ class MLPRegressor:
                     mb[i] = beta1 * mb[i] + (1 - beta1) * gb
                     vb[i] = beta2 * vb[i] + (1 - beta2) * gb**2
                     self._weights[i] -= (
-                        self.learning_rate * (mW[i] / corr1) / (np.sqrt(vW[i] / corr2) + eps)
+                        self.learning_rate
+                        * (mW[i] / corr1)
+                        / (np.sqrt(vW[i] / corr2) + eps)
                     )
                     self._biases[i] -= (
-                        self.learning_rate * (mb[i] / corr1) / (np.sqrt(vb[i] / corr2) + eps)
+                        self.learning_rate
+                        * (mb[i] / corr1)
+                        / (np.sqrt(vb[i] / corr2) + eps)
                     )
             epoch_loss /= n
             self.loss_curve_.append(epoch_loss)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..inspire.analysis import AccessPattern, KernelAnalysis, OpCounts
 
@@ -135,6 +135,23 @@ class DeviceSpec:
         """True when the device shares host memory (no PCIe transfers)."""
         return self.pcie_bandwidth_gbs <= 0.0
 
+    def scaled(self, clock_scale: float, mem_scale: float) -> "DeviceSpec":
+        """This spec with its throughput factors rescaled.
+
+        Clock and memory bandwidth are the two knobs real fleets drift
+        on (frequency bins, thermal throttling, co-tenant contention);
+        fixed overheads (launch latency, PCIe latency) stay put, which
+        is what makes drift *shape*-changing rather than a uniform
+        slowdown — the optimal partitioning moves.
+        """
+        if clock_scale <= 0 or mem_scale <= 0:
+            raise ValueError("scale factors must be positive")
+        return replace(
+            self,
+            clock_ghz=self.clock_ghz * clock_scale,
+            mem_bandwidth_gbs=self.mem_bandwidth_gbs * mem_scale,
+        )
+
 
 #: Bandwidth efficiency per access pattern.  Broadcast loads are served
 #: from cache, hence the > 1 relief factors.
@@ -207,7 +224,9 @@ class DeviceCostModel:
         # architectural surcharge only beyond the first flop-equivalent.
         return max(base, 1.0)
 
-    def memory_time_s(self, counts: OpCounts, analysis: KernelAnalysis, items: float) -> float:
+    def memory_time_s(
+        self, counts: OpCounts, analysis: KernelAnalysis, items: float
+    ) -> float:
         """Global-memory traffic time for ``items`` work items."""
         spec = self.spec
         bw = spec.mem_bandwidth_gbs * 1e9
@@ -260,7 +279,9 @@ class DeviceCostModel:
 
     # -- convenience -------------------------------------------------------------
 
-    def single_item_ops(self, analysis: KernelAnalysis, scalar_args: dict[str, float] | None = None) -> float:
+    def single_item_ops(
+        self, analysis: KernelAnalysis, scalar_args: dict[str, float] | None = None
+    ) -> float:
         """Weighted per-item op count (used as a runtime feature)."""
         return self.weighted_ops(analysis.op_counts(scalar_args))
 

@@ -34,6 +34,8 @@ class Device:
         self.cost_model = DeviceCostModel(spec)
         self.noise = noise
         self._clock_s = 0.0
+        self.throughput_scale = 1.0
+        self.drift_generation = 0
 
     @property
     def name(self) -> str:
@@ -59,6 +61,24 @@ class Device:
     def reset_clock(self, to_s: float = 0.0) -> None:
         """Rewind the timeline (between independent measurements)."""
         self._clock_s = to_s
+
+    def apply_drift(self, scale: float) -> None:
+        """Rescale this device's effective throughput mid-campaign.
+
+        Models runtime platform drift — thermal throttling, co-tenant
+        contention, a frequency-bin change — by rescaling the spec's
+        clock and memory bandwidth by ``scale`` (< 1 slows the device
+        down, > 1 speeds it up) and rebuilding the cost model.  Scales
+        compose multiplicatively across calls; :attr:`drift_generation`
+        increments so duration caches layered above (the sweep engine)
+        can detect that their cached timings went stale.
+        """
+        if not scale > 0:
+            raise ValueError("drift scale must be positive")
+        self.spec = self.spec.scaled(scale, scale)
+        self.cost_model = DeviceCostModel(self.spec)
+        self.throughput_scale *= scale
+        self.drift_generation += 1
 
     def occupy(self, duration_s: float, label: str) -> tuple[float, float]:
         """Advance the timeline by ``duration_s``; returns (start, end).

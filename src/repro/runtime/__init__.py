@@ -2,8 +2,20 @@
 
 from .measurement import MeasuredRun, Runner, SessionStats
 from .plan import PlannedCommand, command_duration_s, plan_device_commands
-from .scheduler import ExecutionRequest, ExecutionResult, ExecutorFn, execute_partitioned
-from .strategies import StrategyFn, all_gpus, cpu_only, even_split, gpu_only, oracle_search
+from .scheduler import (
+    ExecutionRequest,
+    ExecutionResult,
+    ExecutorFn,
+    execute_partitioned,
+)
+from .strategies import (
+    StrategyFn,
+    all_gpus,
+    cpu_only,
+    even_split,
+    gpu_only,
+    oracle_search,
+)
 
 __all__ = [
     "MeasuredRun",

@@ -92,6 +92,35 @@ class Runner:
         self.stats = SessionStats()
         return closed
 
+    def apply_drift(self, scale: float, device_index: int | None = None) -> None:
+        """Rescale device throughput mid-session (platform drift).
+
+        ``device_index=None`` drifts every device (machine-wide
+        contention); otherwise only the named device drifts, which is
+        what shifts the *optimal* partitioning rather than just the
+        absolute timings.  Future measurements price against the
+        drifted cost models; nothing already measured is rewritten.
+        """
+        if device_index is None:
+            targets = self.devices
+        else:
+            # Explicit range check: a negative index must not silently
+            # wrap around to the wrong device, and an out-of-range one
+            # must fail as a validation error, not a bare IndexError.
+            if not 0 <= device_index < len(self.devices):
+                raise ValueError(
+                    f"device_index {device_index} out of range for "
+                    f"{self.platform.name} ({len(self.devices)} devices)"
+                )
+            targets = (self.devices[device_index],)
+        for device in targets:
+            device.apply_drift(scale)
+
+    @property
+    def drift_generation(self) -> tuple[int, ...]:
+        """Per-device drift counters (cache-staleness fingerprint)."""
+        return tuple(d.drift_generation for d in self.devices)
+
     def run(
         self,
         request: ExecutionRequest,

@@ -29,7 +29,9 @@ __all__ = ["ExecutorFn", "ExecutionRequest", "ExecutionResult", "execute_partiti
 #: Functional payload: (arrays, scalars, item_offset, item_count) -> None.
 #: Must write only outputs derivable from work items in
 #: [item_offset, item_offset + item_count).
-ExecutorFn = Callable[[dict[str, np.ndarray], Mapping[str, float | int], int, int], None]
+ExecutorFn = Callable[
+    [dict[str, np.ndarray], Mapping[str, float | int], int, int], None
+]
 
 
 @dataclass(frozen=True)
@@ -98,10 +100,12 @@ class ExecutionResult:
 _REDUCE_IDENTITY = {
     "sum": lambda dtype: np.zeros(1, dtype=dtype)[0],
     "min": lambda dtype: np.array(
-        np.inf if np.issubdtype(dtype, np.floating) else np.iinfo(dtype).max, dtype=dtype
+        np.inf if np.issubdtype(dtype, np.floating) else np.iinfo(dtype).max,
+        dtype=dtype,
     )[()],
     "max": lambda dtype: np.array(
-        -np.inf if np.issubdtype(dtype, np.floating) else np.iinfo(dtype).min, dtype=dtype
+        -np.inf if np.issubdtype(dtype, np.floating) else np.iinfo(dtype).min,
+        dtype=dtype,
     )[()],
 }
 
@@ -143,7 +147,9 @@ def execute_partitioned(
 
     context.reset_timelines()
     scalar_args = {k: float(v) for k, v in request.scalars.items()}
-    itemsizes = {name: int(np.asarray(a).itemsize) for name, a in request.arrays.items()}
+    itemsizes = {
+        name: int(np.asarray(a).itemsize) for name, a in request.arrays.items()
+    }
 
     # Private copies for reduction-merged outputs, one per active device.
     reduced_names = [

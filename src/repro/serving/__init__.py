@@ -8,12 +8,14 @@ that closes the train→predict→execute loop with online adaptation.
 
 from .cache import CacheKey, CacheStats, PredictionCache
 from .dispatch import BatchScheduler, DispatchSlot
+from .drift import DriftDetector
 from .service import PartitioningService, ServedResponse, ServiceConfig, ServiceStats
 from .trace import ServingRequest, key_universe, zipf_trace
 
 __all__ = [
     "CacheKey",
     "CacheStats",
+    "DriftDetector",
     "PredictionCache",
     "BatchScheduler",
     "DispatchSlot",

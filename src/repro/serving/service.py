@@ -12,6 +12,12 @@ Ties the trained system into a long-running loop à la HeSP/HeMT:
    set arrives), re-search the local partition-space neighbourhood,
    pin the locally-validated winner, and periodically refit the model
    incrementally on the augmented database.
+5. **Detect drift** — a sliding-window EWMA detector
+   (:mod:`repro.serving.drift`) watches measured vs. predicted makespan
+   per key; sustained disagreement invalidates the key's stale cache
+   entry, restores its adaptation budget and re-baselines its estimate,
+   and a burst of flags across keys escalates to a full cache flush +
+   refit (the platform itself drifted, not one key).
 
 The service is deterministic given its seed: the same trace against the
 same trained system reproduces the same cache behaviour, adaptations
@@ -21,18 +27,20 @@ and refits.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..benchsuite.base import Benchmark
 from ..benchsuite.registry import get_benchmark
 from ..core.database import TrainingDatabase
 from ..core.pipeline import TrainedSystem
+from ..core.predictor import PartitioningPredictor
 from ..engine import SweepEngine
 from ..partitioning import DEFAULT_STEP_PERCENT, Partitioning, neighborhood
 from ..runtime.scheduler import ExecutionRequest
 from .cache import CacheKey, PredictionCache
 from .dispatch import BatchScheduler, DispatchSlot
+from .drift import DriftDetector
 from .trace import ServingRequest
 
 __all__ = ["ServiceConfig", "ServiceStats", "ServedResponse", "PartitioningService"]
@@ -78,6 +86,23 @@ class ServiceConfig:
             searches compose cached per-device timelines instead of
             re-simulating).  ``False`` is the unmemoized pre-engine
             path, kept for benchmarking the engine against it.
+        detect_drift: run the sliding-window EWMA drift detector.
+            ``False`` falls back to the single-run regression check
+            alone (and is the frozen-model baseline in the drift
+            benchmark).
+        drift_window: sliding window (in observations) the escalation
+            check looks at.
+        drift_alpha: EWMA smoothing of the per-key measured/estimate
+            ratio (1.0 = last observation only).
+        drift_threshold: sustained relative slack before a key is
+            flagged as drifted (0.3 = smoothed ratio above 1.3).
+        drift_min_observations: observations of a key before it may
+            flag (one noisy run is not drift).
+        drift_cooldown: observations a flagged key sits out before it
+            can flag again (bounds search storms on noisy keys).
+        drift_escalation: flags inside the window that escalate to
+            platform-level drift — full cache invalidation, pinned
+            winners dropped, model refit.  0 disables escalation.
     """
 
     cache_capacity: int = 512
@@ -90,6 +115,13 @@ class ServiceConfig:
     incremental_refit: bool = True
     instance_seed: int = 0
     memoize: bool = True
+    detect_drift: bool = True
+    drift_window: int = 32
+    drift_alpha: float = 0.4
+    drift_threshold: float = 0.3
+    drift_min_observations: int = 3
+    drift_cooldown: int = 8
+    drift_escalation: int = 8
 
     def __post_init__(self) -> None:
         if self.regression_threshold < 0:
@@ -100,6 +132,18 @@ class ServiceConfig:
             raise ValueError("max_adaptations_per_key must be non-negative")
         if not 1 <= self.adaptation_step <= 100:
             raise ValueError("adaptation_step must be a percentage in [1, 100]")
+        if self.drift_window < 1:
+            raise ValueError("drift_window must be >= 1")
+        if not 0.0 < self.drift_alpha <= 1.0:
+            raise ValueError("drift_alpha must be in (0, 1]")
+        if self.drift_threshold < 0:
+            raise ValueError("drift_threshold must be non-negative")
+        if self.drift_min_observations < 1:
+            raise ValueError("drift_min_observations must be >= 1")
+        if self.drift_cooldown < 0:
+            raise ValueError("drift_cooldown must be non-negative")
+        if self.drift_escalation < 0:
+            raise ValueError("drift_escalation must be non-negative")
 
 
 @dataclass
@@ -112,6 +156,9 @@ class ServiceStats:
     regressions: int = 0
     cold_validations: int = 0
     improvement_s: float = 0.0
+    drift_flags: int = 0
+    drift_escalations: int = 0
+    rewarms: int = 0
 
 
 @dataclass(frozen=True)
@@ -148,8 +195,24 @@ class PartitioningService:
         self.scheduler = BatchScheduler(system.platform.num_devices)
         self.stats = ServiceStats()
         self.engine = SweepEngine(system.runner) if config.memoize else None
+        self.detector = (
+            DriftDetector(
+                window=config.drift_window,
+                alpha=config.drift_alpha,
+                threshold=config.drift_threshold,
+                min_observations=config.drift_min_observations,
+                cooldown=config.drift_cooldown,
+            )
+            if config.detect_drift
+            else None
+        )
         self._validated: dict[CacheKey, Partitioning] = {}
         self._adaptations_by_key: dict[CacheKey, int] = {}
+        # Post-drift estimate re-baselines: the database's best_time is
+        # a *pre-drift* minimum the hardware may no longer reach, so a
+        # flagged key's estimate is pinned to the best time measured on
+        # the drifted hardware instead.
+        self._drift_estimates: dict[CacheKey, float] = {}
         self._pending_refit = 0
         # Per-key memoization of the expensive request plumbing: problem
         # instances, execution requests and feature dicts are identical
@@ -174,6 +237,9 @@ class PartitioningService:
         return self._requests[key]
 
     def _estimate(self, key: CacheKey) -> float | None:
+        override = self._drift_estimates.get(key)
+        if override is not None:
+            return override
         record = self.system.database.record_for(*key)
         return record.best_time if record is not None else None
 
@@ -255,13 +321,38 @@ class PartitioningService:
         if regressed:
             self.stats.regressions += 1
 
+        drifted = False
+        if self.detector is not None and estimate is not None:
+            drifted = self.detector.observe(key, measured, estimate)
+        if drifted:
+            # Sustained disagreement: every decision made for this key
+            # on the old evidence is suspect.  Drop the cached answer
+            # and the pinned winner, and restore the adaptation budget
+            # so the re-search below is allowed to run.
+            self.stats.drift_flags += 1
+            self.cache.invalidate(key)
+            self._validated.pop(key, None)
+            self._adaptations_by_key.pop(key, None)
+
         adapted = False
         improvement = 0.0
         timings = {partitioning.label: measured}
-        if self._should_search(key, cold, regressed):
+        if self._should_search(key, cold, regressed or drifted):
             adapted, improvement, partitioning = self._adapt(
                 key, exec_request, partitioning, measured, timings, cold
             )
+        if drifted:
+            # Re-baseline against the drifted hardware: the freshest
+            # measured best is the estimate future requests are judged
+            # by (the database minimum may be unreachable now), and the
+            # search winner goes back in the cache either way.
+            self._drift_estimates[key] = min(timings.values())
+            self.cache.put(key, partitioning)
+            if (
+                self.config.drift_escalation > 0
+                and self.detector.flags_in_window() >= self.config.drift_escalation
+            ):
+                self._escalate()
 
         # Every measured run — adapted or not — lands in the database.
         self.system.database.merge_timings(
@@ -384,3 +475,59 @@ class PartitioningService:
             self.cache.put(key, partitioning)
         self._pending_refit = 0
         self.stats.refits += 1
+
+    def _escalate(self) -> None:
+        """Platform-level drift: too many keys flagged inside the window.
+
+        When disagreement is spread across the traffic rather than
+        confined to one key, the *hardware* (or the whole popularity
+        regime) moved — key-by-key firefighting would re-search the
+        entire working set one flag at a time.  Drop every pinned
+        winner and spent budget, refit on everything observed so far
+        and restart detection from a clean slate.  Post-drift estimate
+        baselines survive: they were measured on the new hardware.
+        """
+        self.stats.drift_escalations += 1
+        self._validated.clear()
+        self._adaptations_by_key.clear()
+        self.detector.reset()
+        self.refit_now()
+
+    def rewarm(
+        self,
+        predictor: PartitioningPredictor | None = None,
+        database: TrainingDatabase | None = None,
+    ) -> None:
+        """Reset every online decision; optionally swap in fresh state.
+
+        The fleet router drains a persistently degraded replica and
+        re-warms it through here — with a registry-loaded predictor and
+        database when available (roll back to the last known-good
+        snapshot), otherwise by refitting the current model on the full
+        observation history.  Either way the prediction cache, pinned
+        winners, adaptation budgets and detector state all restart
+        cold; the scheduler timeline and runner telemetry carry on.
+        Post-drift estimate baselines *survive*, exactly as they do
+        across an escalation: a model rollback does not roll back the
+        hardware, and reverting to pre-drift database minima the
+        drifted machine can never reach would re-trip the health check
+        and thrash the replica through endless drain/re-warm cycles.
+        """
+        if database is not None:
+            self.system.database = database
+        if predictor is not None:
+            self.system.predictor = predictor
+        else:
+            # Refit after any database swap: a model fitted on the
+            # discarded history would disagree with the rolled-back
+            # records it serves against.
+            self.system.predictor.refit(
+                self.system.database, incremental=self.config.incremental_refit
+            )
+        self.cache.invalidate()
+        self._validated.clear()
+        self._adaptations_by_key.clear()
+        self._pending_refit = 0
+        if self.detector is not None:
+            self.detector.reset()
+        self.stats.rewarms += 1

@@ -60,5 +60,7 @@ def format_series(
     """Render one figure series as ``name: (x, y) ...`` pairs."""
     if len(xs) != len(ys):
         raise ValueError("xs and ys must have equal length")
-    pairs = ", ".join(f"({_fmt_cell(x, ndigits)}, {y:.{ndigits}f})" for x, y in zip(xs, ys))
+    pairs = ", ".join(
+        f"({_fmt_cell(x, ndigits)}, {y:.{ndigits}f})" for x, y in zip(xs, ys)
+    )
     return f"{name}: {pairs}"

@@ -1,0 +1,22 @@
+"""Workload diversity: non-stationary request streams and platform drift.
+
+The serving layers used to drive one stationary Zipf stream at a fixed
+platform — the only regime where a cached prediction never goes stale.
+This package generates the streams production actually sees: rotating
+hot sets, flash crowds, diurnal concentration ramps, and platform drift
+events that rescale a machine's device throughput mid-serve.  One
+:class:`WorkloadSpec` describes a scenario; :func:`make_workload` turns
+it into the concrete trace every consumer (``serve``, ``fleet-serve``,
+the benchmarks) plays back.
+"""
+
+from .generators import Workload, make_workload
+from .spec import WORKLOAD_FAMILIES, DriftEvent, WorkloadSpec
+
+__all__ = [
+    "WORKLOAD_FAMILIES",
+    "DriftEvent",
+    "WorkloadSpec",
+    "Workload",
+    "make_workload",
+]

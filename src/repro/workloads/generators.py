@@ -1,0 +1,206 @@
+"""Trace generators: :class:`WorkloadSpec` → concrete request stream.
+
+Every family is deterministic given the spec: identical specs always
+produce identical traces, and every random choice flows through a
+seed derived from (family, knobs, master seed) so families do not
+share — or perturb — each other's streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..serving.trace import ServingRequest, zipf_trace
+from ..util.rng import rng_for
+from .spec import DriftEvent, WorkloadSpec
+
+__all__ = ["Workload", "make_workload"]
+
+#: Quantization of the diurnal skew ramp: weights are recomputed per
+#: bucket, not per request, bounding the generator at O(buckets × keys).
+_DIURNAL_BUCKETS = 16
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated trace: the requests plus the drift schedule.
+
+    The request stream and the platform drift events are one timeline;
+    :meth:`items` yields them interleaved in serving order, and
+    :meth:`segments` groups the requests between drift points for
+    consumers that serve in batches (``submit_many``).
+    """
+
+    spec: WorkloadSpec
+    requests: tuple[ServingRequest, ...]
+    drift_events: tuple[DriftEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def items(self) -> Iterator[DriftEvent | ServingRequest]:
+        """Drift events and requests, interleaved in serving order.
+
+        Every event fires *before* the request sharing its index;
+        events at or past the end of the trace fire after the last
+        request.
+        """
+        pending = list(self.drift_events)
+        for i, request in enumerate(self.requests):
+            while pending and pending[0].at_request <= i:
+                yield pending.pop(0)
+            yield request
+        yield from pending
+
+    def segments(
+        self,
+    ) -> Iterator[tuple[tuple[DriftEvent, ...], tuple[ServingRequest, ...]]]:
+        """(events to apply, following request batch) pairs, in order.
+
+        The batch-serving consumers apply each segment's events and
+        then hand the whole batch to ``submit_many``; a trace with no
+        drift is one segment.  Trailing events (at or past the end of
+        the trace) arrive with an empty batch.
+        """
+        header: list[DriftEvent] = []
+        batch: list[ServingRequest] = []
+        for item in self.items():
+            if isinstance(item, DriftEvent):
+                if batch:
+                    yield tuple(header), tuple(batch)
+                    header, batch = [], []
+                header.append(item)
+            else:
+                batch.append(item)
+        if header or batch:
+            yield tuple(header), tuple(batch)
+
+
+def _zipf_weights(count: int, skew: float) -> np.ndarray:
+    """Normalized Zipf mass over ``count`` ranks (skew 0 = uniform)."""
+    weights = 1.0 / np.arange(1, count + 1, dtype=np.float64) ** skew
+    return weights / weights.sum()
+
+
+def _requests(
+    ranked: Sequence[tuple[str, int]], draws: np.ndarray, start_id: int
+) -> list[ServingRequest]:
+    return [
+        ServingRequest(
+            request_id=start_id + i, program=ranked[j][0], size=ranked[j][1]
+        )
+        for i, j in enumerate(draws)
+    ]
+
+
+def _phase_shift_trace(
+    spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
+) -> tuple[ServingRequest, ...]:
+    """Hot set rotates: each phase reshuffles the key-to-rank mapping."""
+    weights = _zipf_weights(len(keys), spec.skew)
+    requests: list[ServingRequest] = []
+    base, remainder = divmod(spec.num_requests, spec.phases)
+    for phase in range(spec.phases):
+        length = base + (1 if phase < remainder else 0)
+        if length == 0:
+            continue
+        rng = rng_for(
+            "workload-phase", phase, len(keys), spec.skew, base_seed=spec.seed
+        )
+        ranked = list(keys)
+        rng.shuffle(ranked)
+        draws = rng.choice(len(ranked), size=length, p=weights)
+        requests.extend(_requests(ranked, draws, start_id=len(requests)))
+    return tuple(requests)
+
+
+def _flash_crowd_trace(
+    spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
+) -> tuple[ServingRequest, ...]:
+    """Stationary base stream with periodic single-key traffic spikes.
+
+    Each burst promotes one key from the unpopular tail of the ranking
+    to ``burst_share`` of the traffic for ``burst_length`` requests —
+    the worst case for a prediction cache, because the spiking key has
+    no warm entry and (if outside the training set) no good model
+    answer either.
+    """
+    rng = rng_for(
+        "workload-flash", len(keys), spec.skew, spec.burst_every, base_seed=spec.seed
+    )
+    ranked = list(keys)
+    rng.shuffle(ranked)
+    weights = _zipf_weights(len(ranked), spec.skew)
+    base_draws = rng.choice(len(ranked), size=spec.num_requests, p=weights)
+    burst_flips = rng.random(spec.num_requests)
+    draws = base_draws.copy()
+    tail_start = len(ranked) // 2
+    for start in range(spec.burst_every, spec.num_requests, spec.burst_every):
+        # One tail key per burst; int() draw is deterministic from rng.
+        burst_key = int(rng.integers(tail_start, len(ranked)))
+        stop = min(start + spec.burst_length, spec.num_requests)
+        for i in range(start, stop):
+            if burst_flips[i] < spec.burst_share:
+                draws[i] = burst_key
+    return tuple(_requests(ranked, draws, start_id=0))
+
+
+def _diurnal_trace(
+    spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
+) -> tuple[ServingRequest, ...]:
+    """Skew ramps sinusoidally between trough and peak concentration.
+
+    The ranking is fixed (the same keys stay popular); what cycles is
+    how *concentrated* the traffic is — near-uniform at the trough
+    (cache-hostile, every key luke-warm) and sharply skewed at the
+    peak.  The ramp starts at the trough.
+    """
+    rng = rng_for(
+        "workload-diurnal", len(keys), spec.period, base_seed=spec.seed
+    )
+    ranked = list(keys)
+    rng.shuffle(ranked)
+    indices = np.arange(spec.num_requests)
+    # 0 at the trough, 1 at the peak, period-cyclic.
+    ramp = 0.5 - 0.5 * np.cos(2.0 * np.pi * indices / spec.period)
+    buckets = np.minimum(
+        (ramp * _DIURNAL_BUCKETS).astype(int), _DIURNAL_BUCKETS - 1
+    )
+    draws = np.zeros(spec.num_requests, dtype=int)
+    for bucket in range(_DIURNAL_BUCKETS):
+        positions = np.nonzero(buckets == bucket)[0]
+        if positions.size == 0:
+            continue
+        centre = (bucket + 0.5) / _DIURNAL_BUCKETS
+        skew = spec.skew_min + (spec.skew_max - spec.skew_min) * centre
+        weights = _zipf_weights(len(ranked), skew)
+        draws[positions] = rng.choice(len(ranked), size=positions.size, p=weights)
+    return tuple(_requests(ranked, draws, start_id=0))
+
+
+def make_workload(
+    spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
+) -> Workload:
+    """Generate the request stream a spec describes over a key universe.
+
+    The ``stationary`` family reproduces :func:`repro.serving.zipf_trace`
+    bit for bit — existing replay/scaling baselines keep their traces.
+    """
+    if not keys:
+        raise ValueError("empty key universe")
+    if spec.family == "stationary":
+        requests = zipf_trace(
+            keys, spec.num_requests, skew=spec.skew, seed=spec.seed
+        )
+    elif spec.family == "phase-shift":
+        requests = _phase_shift_trace(spec, keys)
+    elif spec.family == "flash-crowd":
+        requests = _flash_crowd_trace(spec, keys)
+    else:
+        requests = _diurnal_trace(spec, keys)
+    return Workload(
+        spec=spec, requests=requests, drift_events=spec.drift_events
+    )

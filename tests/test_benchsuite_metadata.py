@@ -1,6 +1,5 @@
 """Structural checks over the whole suite: registry, ladders, geometry."""
 
-import numpy as np
 import pytest
 
 from repro.benchsuite import (
@@ -129,7 +128,14 @@ class TestInstanceGeometry:
             for b in all_benchmarks()
             if b.make_instance(b.problem_sizes()[0], seed=0).iterations > 1
         }
-        assert {"hotspot", "srad", "stencil2d", "kmeans", "black_scholes", "nbody"} <= iterative
+        assert {
+            "hotspot",
+            "srad",
+            "stencil2d",
+            "kmeans",
+            "black_scholes",
+            "nbody",
+        } <= iterative
 
     def test_refresh_buffers_exist(self):
         for b in all_benchmarks():

@@ -9,7 +9,7 @@ Three-way agreement is required for every program:
 import numpy as np
 import pytest
 
-from repro.benchsuite import all_benchmarks, benchmark_names, get_benchmark
+from repro.benchsuite import benchmark_names, get_benchmark
 from repro.inspire import run_kernel
 from tests.conftest import TINY_SIZES
 
@@ -28,7 +28,8 @@ def _global_size(bench, inst):
 
 @pytest.mark.parametrize("name", benchmark_names())
 def test_interpreter_matches_reference(name):
-    bench, inst = get_benchmark(name), get_benchmark(name).make_instance(TINY_SIZES[name], seed=1)
+    bench = get_benchmark(name)
+    inst = bench.make_instance(TINY_SIZES[name], seed=1)
     expected = bench.reference(inst)
     run_kernel(
         bench.compiled(inst).kernel,
@@ -99,5 +100,6 @@ def test_instances_deterministic_in_seed(name):
     assert any(
         not np.array_equal(a.arrays[k], c.arrays[k])
         for k in a.arrays
-        if a.arrays[k].size > 1 and not np.array_equal(a.arrays[k], np.zeros_like(a.arrays[k]))
+        if a.arrays[k].size > 1
+        and not np.array_equal(a.arrays[k], np.zeros_like(a.arrays[k]))
     ) or name == "mandelbrot"  # mandelbrot has no random inputs

@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.compiler import OFFSET_PARAM, compile_kernel, make_offset_kernel
-from repro.inspire import FLOAT, INT, Intent, KernelBuilder, run_kernel, validate_kernel
+from repro.inspire import INT, Intent, KernelBuilder, run_kernel, validate_kernel
 
 
 class TestOffsetKernel:
@@ -22,7 +22,9 @@ class TestOffsetKernel:
         y1 = np.ones(n, dtype=np.float32)
         y2 = np.ones(n, dtype=np.float32)
         # Original: work items 5..11 via interpreter offset.
-        run_kernel(saxpy_kernel, (6,), {"x": x, "y": y1}, {"a": 3.0, "n": n}, offset=(5,))
+        run_kernel(
+            saxpy_kernel, (6,), {"x": x, "y": y1}, {"a": 3.0, "n": n}, offset=(5,)
+        )
         # Multi-device form: plain range + explicit offset argument.
         run_kernel(
             offset_kernel,

@@ -139,7 +139,9 @@ class TestPlanChunks:
         assert chunks[1].buffer_ranges["inp"] == (0, 0)
 
     def test_elements_per_item_scaling(self):
-        dist = KernelDistribution({"mat": BufferDistribution.split(elements_per_item=8)})
+        dist = KernelDistribution(
+            {"mat": BufferDistribution.split(elements_per_item=8)}
+        )
         chunks = plan_chunks(10, Partitioning((50, 50, 0)), dist, {"mat": 80})
         assert chunks[0].buffer_ranges["mat"] == (0, 40)
         assert chunks[1].buffer_ranges["mat"] == (40, 40)

@@ -67,7 +67,9 @@ class TestTrainer:
     def test_noise_changes_timings_but_not_structure(self):
         cfg = TrainingConfig(repetitions=3, max_sizes=1, noise_sigma=0.05, seed=5)
         db = generate_training_data(MC2, SMALL_SUITE[:1], cfg)
-        clean = generate_training_data(MC2, SMALL_SUITE[:1], TrainingConfig(max_sizes=1))
+        clean = generate_training_data(
+            MC2, SMALL_SUITE[:1], TrainingConfig(max_sizes=1)
+        )
         assert db.records[0].timings != clean.records[0].timings
 
 
@@ -176,7 +178,9 @@ class TestPipeline:
                          exclude_program=SMALL_SUITE[0].name)
 
     def test_system_prediction_in_space(self):
-        system = train_system(MC2, SMALL_SUITE[:3], model_kind="knn", config=FAST_CONFIG)
+        system = train_system(
+            MC2, SMALL_SUITE[:3], model_kind="knn", config=FAST_CONFIG
+        )
         bench = SMALL_SUITE[0]
         inst = bench.make_instance(bench.problem_sizes()[1], seed=0)
         p = system.predict(bench, inst)

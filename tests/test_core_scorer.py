@@ -89,7 +89,9 @@ class TestScorerModel:
         assert len(scores) == len(space)
 
     def test_factory_dispatch(self):
-        assert isinstance(make_partitioning_model("knn-scorer"), PartitioningScorerModel)
+        assert isinstance(
+            make_partitioning_model("knn-scorer"), PartitioningScorerModel
+        )
         assert isinstance(make_partitioning_model("mlp"), PartitioningModel)
         with pytest.raises(ValueError):
             make_partitioning_model("quantum")

@@ -82,7 +82,9 @@ class TestSizeSensitivity:
 
     def test_paper_claim_optima_change_with_size(self, dbs):
         """E3: most programs change their optimum along the ladder."""
-        trajs = analyze_size_sensitivity(dbs["mc1"]) + analyze_size_sensitivity(dbs["mc2"])
+        trajs = analyze_size_sensitivity(dbs["mc1"]) + analyze_size_sensitivity(
+            dbs["mc2"]
+        )
         changing = sum(1 for t in trajs if t.changes_with_size)
         assert changing >= len(trajs) // 2
 
@@ -137,7 +139,9 @@ class TestNoiseRobustness:
     def test_oracle_labels_mostly_stable_under_small_noise(self):
         clean = generate_training_data(MC2, SUITE[:3], TrainingConfig(max_sizes=3))
         noisy = generate_training_data(
-            MC2, SUITE[:3], TrainingConfig(repetitions=5, noise_sigma=0.02, seed=3, max_sizes=3)
+            MC2,
+            SUITE[:3],
+            TrainingConfig(repetitions=5, noise_sigma=0.02, seed=3, max_sizes=3),
         )
         agree = sum(
             1

@@ -221,7 +221,10 @@ class TestModelRegistry:
         assert registry.has(platform.name)
         loaded = registry.load(platform)
         assert len(loaded.database) == len(system.database)
-        assert [p.label for p in loaded.predictor.model.predict_many(loaded.database)] == [
+        loaded_labels = [
+            p.label for p in loaded.predictor.model.predict_many(loaded.database)
+        ]
+        assert loaded_labels == [
             p.label for p in system.predictor.model.predict_many(system.database)
         ]
 

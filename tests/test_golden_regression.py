@@ -82,4 +82,6 @@ class TestBaselineGolden:
         t_cpu = runner.time_of(req, cpu_only(machine))
         t_gpu = runner.time_of(req, gpu_only(machine))
         actual = "cpu" if t_cpu <= t_gpu else "gpu"
-        assert actual == winner, f"{program}@{size} on {machine.name}: {t_cpu} vs {t_gpu}"
+        assert actual == winner, (
+            f"{program}@{size} on {machine.name}: {t_cpu} vs {t_gpu}"
+        )

@@ -211,7 +211,8 @@ class TestDivergence:
                 b.assign(acc, acc + b.load(a, gid * chunk + i))
         b.store(c, gid, acc)
         an = analyze_kernel(b.finish())
-        assert an.op_counts({"chunk": 16, "n": 100}).divergence_fraction == pytest.approx(0.0)
+        counts = an.op_counts({"chunk": 16, "n": 100})
+        assert counts.divergence_fraction == pytest.approx(0.0)
 
 
 class TestStructure:

@@ -213,7 +213,10 @@ class TestNumericSemantics:
         with pytest.raises(InterpreterError):
             run_kernel(b.finish(), (1,), {"y": np.zeros(1, np.int32)}, {"n": 3})
 
-    @given(st.floats(min_value=0.01, max_value=100.0), st.floats(min_value=0.01, max_value=100.0))
+    @given(
+        st.floats(min_value=0.01, max_value=100.0),
+        st.floats(min_value=0.01, max_value=100.0),
+    )
     @settings(max_examples=50, deadline=None)
     def test_property_math_matches_numpy(self, a, b_val):
         b = KernelBuilder("math", dim=1)
@@ -225,6 +228,7 @@ class TestNumericSemantics:
         run_kernel(b.finish(), (1,), {"y": y}, {"a": a, "b": b_val})
         a32, b32 = np.float32(a), np.float32(b_val)
         expected = np.float32(np.sqrt(a32)) + np.float32(
-            np.float32(np.log(b32)) * np.float32(np.exp(np.float32(-a32 / np.float32(50.0))))
+            np.float32(np.log(b32))
+            * np.float32(np.exp(np.float32(-a32 / np.float32(50.0))))
         )
         assert y[0] == pytest.approx(expected, rel=1e-5)

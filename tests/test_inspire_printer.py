@@ -69,7 +69,10 @@ class TestKernels:
     def test_guard_and_body(self, saxpy_kernel):
         src = print_kernel(saxpy_kernel)
         assert "if (get_global_id(0) < n) {" in src
-        assert "y[get_global_id(0)] = a * x[get_global_id(0)] + y[get_global_id(0)];" in src
+        assert (
+            "y[get_global_id(0)] = a * x[get_global_id(0)] + y[get_global_id(0)];"
+            in src
+        )
 
     def test_for_loop_rendering(self):
         b = KernelBuilder("k")

@@ -7,7 +7,6 @@ from repro.inspire import (
     FLOAT,
     INT,
     Intent,
-    KernelBuilder,
     ValidationError,
     validate_kernel,
 )

@@ -4,7 +4,13 @@ import pytest
 
 from repro.inspire import FLOAT, INT, Intent, KernelBuilder, const, count_nodes
 from repro.inspire import ast as ir
-from repro.inspire.visitors import rewrite_expr, rewrite_kernel, walk, walk_exprs, walk_stmts
+from repro.inspire.visitors import (
+    rewrite_expr,
+    rewrite_kernel,
+    walk,
+    walk_exprs,
+    walk_stmts,
+)
 
 
 @pytest.fixture
@@ -76,7 +82,9 @@ class TestRewrite:
         # Redirect loads of "a" to a shifted index.
         def shift(e: ir.Expr):
             if isinstance(e, ir.Load):
-                return ir.Load(e.buffer, ir.BinOp("+", e.index, ir.Const(1, INT), INT), e.type)
+                return ir.Load(
+                    e.buffer, ir.BinOp("+", e.index, ir.Const(1, INT), INT), e.type
+                )
             return None
 
         out = rewrite_kernel(kernel, shift)

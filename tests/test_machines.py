@@ -75,7 +75,10 @@ class TestArchitecturalNarrative:
 
     def test_gpu_transcendental_advantage(self):
         for m in ALL_MACHINES:
-            assert m.device_specs[1].transcendental_cost < m.device_specs[0].transcendental_cost
+            assert (
+                m.device_specs[1].transcendental_cost
+                < m.device_specs[0].transcendental_cost
+            )
 
 
 class TestEmergentBehaviour:

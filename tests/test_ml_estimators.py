@@ -208,7 +208,9 @@ class TestKNNSpecifics:
 
 class TestMetrics:
     def test_accuracy(self):
-        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(2 / 3)
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(
+            2 / 3
+        )
 
     def test_accuracy_empty_rejected(self):
         with pytest.raises(ValueError):

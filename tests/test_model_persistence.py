@@ -1,6 +1,5 @@
 """Tests for offline model persistence (train once, deploy later)."""
 
-import numpy as np
 import pytest
 
 from repro.benchsuite import get_benchmark
@@ -58,6 +57,8 @@ def test_schema_version_checked(db, tmp_path):
     model = PartitioningModel("majority").fit(db)
     path = tmp_path / "m.json"
     save_model(model, path)
-    path.write_text(path.read_text().replace('"schema_version": 1', '"schema_version": 9'))
+    path.write_text(
+        path.read_text().replace('"schema_version": 1', '"schema_version": 9')
+    )
     with pytest.raises(ValueError, match="schema"):
         load_model(path)

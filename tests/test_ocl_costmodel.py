@@ -4,7 +4,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.inspire import FLOAT, INT, AccessPattern, Intent, KernelBuilder, analyze_kernel, const
+from repro.inspire import (
+    FLOAT,
+    INT,
+    AccessPattern,
+    Intent,
+    KernelBuilder,
+    analyze_kernel,
+    const,
+)
 from repro.machines import make_cpu_spec, make_gpu_spec
 from repro.ocl import DeviceCostModel, DeviceKind, DeviceSpec, TransferDirection
 
@@ -50,7 +58,9 @@ class TestDeviceSpec:
 
     def test_invalid_spec_rejected(self):
         with pytest.raises(ValueError):
-            DeviceSpec("bad", DeviceKind.CPU, compute_units=0, clock_ghz=1.0, lanes_per_unit=1)
+            DeviceSpec(
+                "bad", DeviceKind.CPU, compute_units=0, clock_ghz=1.0, lanes_per_unit=1
+            )
         with pytest.raises(ValueError):
             DeviceSpec(
                 "bad", DeviceKind.CPU, compute_units=1, clock_ghz=1.0,
@@ -60,7 +70,10 @@ class TestDeviceSpec:
     def test_access_efficiency_defaults_merged(self):
         spec = _gpu()
         assert AccessPattern.COALESCED in spec.access_efficiency
-        assert spec.access_efficiency[AccessPattern.INDIRECT] < spec.access_efficiency[AccessPattern.COALESCED]
+        assert (
+            spec.access_efficiency[AccessPattern.INDIRECT]
+            < spec.access_efficiency[AccessPattern.COALESCED]
+        )
 
 
 class TestKernelTime:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.inspire import FLOAT, INT, Intent, KernelBuilder, analyze_kernel
+from repro.inspire import FLOAT, Intent, KernelBuilder, analyze_kernel
 from repro.machines import MC2, make_gpu_spec
 from repro.ocl import (
     Buffer,
@@ -96,7 +96,9 @@ class TestQueue:
         ctx = Context(MC2.create_devices())
         q = ctx.queues[0]
         hits = []
-        launch = KernelLaunch("k", _analysis(), items=4, functional=lambda: hits.append(1))
+        launch = KernelLaunch(
+            "k", _analysis(), items=4, functional=lambda: hits.append(1)
+        )
         q.enqueue_kernel(launch)
         assert hits == [1]
 
@@ -104,7 +106,9 @@ class TestQueue:
         ctx = Context(MC2.create_devices())
         q = ctx.queues[0]
         hits = []
-        q.enqueue_kernel(KernelLaunch("k", _analysis(), items=0, functional=lambda: hits.append(1)))
+        q.enqueue_kernel(
+            KernelLaunch("k", _analysis(), items=0, functional=lambda: hits.append(1))
+        )
         assert hits == []
 
     def test_negative_items_rejected(self):

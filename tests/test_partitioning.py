@@ -278,7 +278,9 @@ class TestSplitItemsGranuleHandout:
         p = partition_space(3, 10)[shares_idx]
         chunks = split_items(total, p, granularity)
         zero_count_active = [
-            i for i in p.active_devices if chunks[i][1] == 0 and i != p.active_devices[-1]
+            i
+            for i in p.active_devices
+            if chunks[i][1] == 0 and i != p.active_devices[-1]
         ]
         for i in zero_count_active:
             floor_granules = int(total * p.shares[i] / 100.0) // granularity

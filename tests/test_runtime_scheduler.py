@@ -5,9 +5,8 @@ import pytest
 
 from repro.benchsuite import get_benchmark
 from repro.machines import MC1, MC2
-from repro.partitioning import Partitioning, partition_space
+from repro.partitioning import Partitioning
 from repro.runtime import ExecutionRequest, Runner, execute_partitioned
-from tests.conftest import TINY_SIZES
 
 # A representative cross-section: streaming, 2D split, reduce-merge,
 # halo stencil, indirect, INOUT.
@@ -100,7 +99,9 @@ class TestTimingSemantics:
         bench = get_benchmark("vec_add")
         inst = bench.make_instance(1 << 16, seed=0)
         runner = Runner(MC2)
-        res = runner.run(bench.request(inst), Partitioning((0, 100, 0)), functional=False)
+        res = runner.run(
+            bench.request(inst), Partitioning((0, 100, 0)), functional=False
+        )
         busy = res.result.device_busy_s
         assert busy[1] > 0 and busy[0] == 0 and busy[2] == 0
 
@@ -108,7 +109,9 @@ class TestTimingSemantics:
         bench = get_benchmark("vec_add")
         inst = bench.make_instance(1 << 16, seed=0)
         runner = Runner(MC2)
-        res = runner.run(bench.request(inst), Partitioning((40, 30, 30)), functional=False)
+        res = runner.run(
+            bench.request(inst), Partitioning((40, 30, 30)), functional=False
+        )
         assert res.result.makespan_s == pytest.approx(max(res.result.device_busy_s))
 
     def test_timing_independent_of_functional(self):
@@ -126,7 +129,9 @@ class TestTimingSemantics:
         bench = get_benchmark("vec_add")
         inst = bench.make_instance(1 << 16, seed=0)
         runner = Runner(MC2)
-        res = runner.run(bench.request(inst), Partitioning((0, 100, 0)), functional=False)
+        res = runner.run(
+            bench.request(inst), Partitioning((0, 100, 0)), functional=False
+        )
         kinds = {e.kind for e in res.result.events}
         assert CommandKind.WRITE_BUFFER in kinds
         assert CommandKind.READ_BUFFER in kinds
@@ -135,7 +140,9 @@ class TestTimingSemantics:
         bench = get_benchmark("vec_add")
         inst = bench.make_instance(1 << 16, seed=0)
         runner = Runner(MC2)
-        res = runner.run(bench.request(inst), Partitioning((100, 0, 0)), functional=False)
+        res = runner.run(
+            bench.request(inst), Partitioning((100, 0, 0)), functional=False
+        )
         transfer_time = sum(
             e.duration_s for e in res.result.events if e.kind.value != "ndrange_kernel"
         )
@@ -166,10 +173,18 @@ class TestTimingSemantics:
         bench = get_benchmark("hotspot")
         inst = bench.make_instance(128, seed=0)
         runner = Runner(MC2)
-        res_one = runner.run(bench.request(inst), Partitioning((0, 100, 0)), functional=False)
-        res_two = runner.run(bench.request(inst), Partitioning((0, 50, 50)), functional=False)
-        writes_one = sum(1 for e in res_one.result.events if e.kind.value == "write_buffer")
-        writes_two = sum(1 for e in res_two.result.events if e.kind.value == "write_buffer")
+        res_one = runner.run(
+            bench.request(inst), Partitioning((0, 100, 0)), functional=False
+        )
+        res_two = runner.run(
+            bench.request(inst), Partitioning((0, 50, 50)), functional=False
+        )
+        writes_one = sum(
+            1 for e in res_one.result.events if e.kind.value == "write_buffer"
+        )
+        writes_two = sum(
+            1 for e in res_two.result.events if e.kind.value == "write_buffer"
+        )
         assert writes_two > 2 * writes_one
 
 

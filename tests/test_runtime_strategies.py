@@ -3,7 +3,7 @@
 import pytest
 
 from repro.machines import MC1, MC2
-from repro.partitioning import Partitioning, partition_space
+from repro.partitioning import Partitioning
 from repro.runtime import all_gpus, cpu_only, even_split, gpu_only, oracle_search
 
 
@@ -49,7 +49,9 @@ class TestOracleSearch:
         target = Partitioning((30, 40, 30))
 
         def run(p):
-            return 1.0 if p == target else 2.0 + sum(abs(a - b) for a, b in zip(p.shares, target.shares))
+            if p == target:
+                return 1.0
+            return 2.0 + sum(abs(a - b) for a, b in zip(p.shares, target.shares))
 
         best, t = oracle_search(run)
         assert best == target
@@ -57,7 +59,9 @@ class TestOracleSearch:
 
     def test_searches_full_space(self):
         seen = []
-        best, _ = oracle_search(lambda p: float(len(seen)) if seen.append(p) is None else 0.0)
+        best, _ = oracle_search(
+            lambda p: float(len(seen)) if seen.append(p) is None else 0.0
+        )
         assert len(seen) == 66
 
     def test_custom_space(self):

@@ -1,0 +1,208 @@
+"""Tests for the workload diversity engine (repro.workloads)."""
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.serving import key_universe, zipf_trace
+from repro.workloads import (
+    WORKLOAD_FAMILIES,
+    DriftEvent,
+    WorkloadSpec,
+    make_workload,
+)
+
+
+def _keys(programs=("vec_add", "mat_mul", "saxpy"), max_sizes=3):
+    return key_universe(
+        tuple(get_benchmark(n) for n in programs), max_sizes=max_sizes
+    )
+
+
+def _counts(requests):
+    counts: dict[tuple[str, int], int] = {}
+    for r in requests:
+        counts[r.key] = counts.get(r.key, 0) + 1
+    return counts
+
+
+class TestSpecValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="family"):
+            WorkloadSpec(family="bursty")
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_requests=-1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(skew=0.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(phases=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(burst_every=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(burst_share=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(period=1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(skew_min=-0.1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(skew_min=2.0, skew_max=1.0)
+
+    def test_drift_event_validation(self):
+        with pytest.raises(ValueError):
+            DriftEvent(at_request=-1, scale=0.5)
+        with pytest.raises(ValueError):
+            DriftEvent(at_request=0, scale=0.0)
+
+    def test_drift_events_sorted_by_position(self):
+        spec = WorkloadSpec(
+            drift_events=(
+                DriftEvent(at_request=90, scale=2.0),
+                DriftEvent(at_request=10, scale=0.5),
+            )
+        )
+        assert [e.at_request for e in spec.drift_events] == [10, 90]
+
+    def test_families_constant_is_exhaustive(self):
+        assert set(WORKLOAD_FAMILIES) == {
+            "stationary",
+            "phase-shift",
+            "flash-crowd",
+            "diurnal",
+        }
+
+
+class TestGenerators:
+    def test_empty_key_universe_rejected(self):
+        with pytest.raises(ValueError, match="key universe"):
+            make_workload(WorkloadSpec(), ())
+
+    def test_stationary_reproduces_zipf_trace(self):
+        # Scaling baselines and replay runs keep their exact streams.
+        keys = _keys()
+        spec = WorkloadSpec(family="stationary", num_requests=64, skew=1.3, seed=9)
+        workload = make_workload(spec, keys)
+        assert workload.requests == zipf_trace(keys, 64, skew=1.3, seed=9)
+
+    @pytest.mark.parametrize("family", WORKLOAD_FAMILIES)
+    def test_every_family_is_deterministic_with_sequential_ids(self, family):
+        keys = _keys()
+        spec = WorkloadSpec(family=family, num_requests=77, seed=4)
+        a = make_workload(spec, keys)
+        b = make_workload(spec, keys)
+        assert a.requests == b.requests
+        assert [r.request_id for r in a.requests] == list(range(77))
+        assert all(r.key in keys for r in a.requests)
+
+    def test_phase_shift_rotates_the_hot_set(self):
+        keys = _keys(max_sizes=4)
+        workload = make_workload(
+            WorkloadSpec(family="phase-shift", num_requests=300, phases=3, seed=0),
+            keys,
+        )
+        tops = [
+            max(_counts(workload.requests[i : i + 100]).items(), key=lambda kv: kv[1])
+            for i in (0, 100, 200)
+        ]
+        # At least one rotation changes which key dominates.
+        assert len({key for key, _count in tops}) > 1
+
+    def test_flash_crowd_burst_dominates_its_window(self):
+        spec = WorkloadSpec(
+            family="flash-crowd",
+            num_requests=200,
+            burst_every=50,
+            burst_length=12,
+            burst_share=0.9,
+            seed=1,
+        )
+        workload = make_workload(spec, _keys())
+        window = _counts(workload.requests[50:62])
+        top_key, top_count = max(window.items(), key=lambda kv: kv[1])
+        assert top_count >= 8  # ~90% of a 12-request burst
+        # The burst key is a tail key, not the stationary head.
+        base_head, _ = max(
+            _counts(workload.requests[:50]).items(), key=lambda kv: kv[1]
+        )
+        assert top_key != base_head
+
+    def test_diurnal_peak_concentrates_traffic(self):
+        spec = WorkloadSpec(
+            family="diurnal",
+            num_requests=2000,
+            period=200,
+            skew_min=0.05,
+            skew_max=3.0,
+            seed=2,
+        )
+        workload = make_workload(spec, _keys(max_sizes=4))
+        # Trough windows are the first/last quarter of each cycle;
+        # peaks the middle.  Compare top-1 traffic share.
+        trough, peak = [], []
+        for i, r in enumerate(workload.requests):
+            phase = (i % 200) / 200.0
+            (peak if 0.25 <= phase < 0.75 else trough).append(r)
+        trough_top = max(_counts(trough).values()) / len(trough)
+        peak_top = max(_counts(peak).values()) / len(peak)
+        assert peak_top > 2 * trough_top
+
+    def test_items_interleaves_drift_events(self):
+        keys = _keys()
+        events = (
+            DriftEvent(at_request=0, scale=0.5),
+            DriftEvent(at_request=3, scale=2.0),
+            DriftEvent(at_request=99, scale=0.9),
+        )
+        workload = make_workload(
+            WorkloadSpec(num_requests=5, drift_events=events), keys
+        )
+        items = list(workload.items())
+        assert isinstance(items[0], DriftEvent)
+        assert isinstance(items[4], DriftEvent) and items[4].scale == 2.0
+        assert isinstance(items[-1], DriftEvent)  # past-the-end event trails
+        assert len(items) == 8
+
+    def test_segments_group_batches_between_events(self):
+        keys = _keys()
+        events = (
+            DriftEvent(at_request=2, scale=0.5),
+            DriftEvent(at_request=2, scale=0.8),
+            DriftEvent(at_request=77, scale=2.0),
+        )
+        workload = make_workload(
+            WorkloadSpec(num_requests=6, drift_events=events), keys
+        )
+        segments = list(workload.segments())
+        assert [len(batch) for _events, batch in segments] == [2, 4, 0]
+        assert len(segments[1][0]) == 2  # both events fire before request 2
+        assert segments[2][0][0].scale == 2.0
+        assert len(workload) == 6
+
+
+class TestZipfTraceEdgeCases:
+    """Edge cases of the underlying Zipf primitive (satellite coverage)."""
+
+    def test_near_zero_skew_is_roughly_uniform(self):
+        keys = _keys(max_sizes=3)
+        trace = zipf_trace(keys, 3000, skew=1e-6, seed=0)
+        counts = _counts(trace)
+        assert set(counts) == set(keys)  # every key drawn
+        expected = 3000 / len(keys)
+        assert max(counts.values()) < 1.5 * expected
+        assert min(counts.values()) > 0.5 * expected
+
+    def test_single_key_universe(self):
+        keys = (("vec_add", 4096),)
+        trace = zipf_trace(keys, 25, skew=2.0, seed=3)
+        assert len(trace) == 25
+        assert all(r.key == keys[0] for r in trace)
+        assert [r.request_id for r in trace] == list(range(25))
+
+    def test_deterministic_per_seed_and_distinct_across_seeds(self):
+        keys = _keys()
+        assert zipf_trace(keys, 40, seed=11) == zipf_trace(keys, 40, seed=11)
+        traces = {zipf_trace(keys, 40, seed=s) for s in range(5)}
+        assert len(traces) == 5  # different seeds shuffle differently
+
+    def test_zero_requests_is_empty(self):
+        assert zipf_trace(_keys(), 0) == ()
