@@ -20,9 +20,15 @@ the frozen one over the post-drift portion of the trace — adaptation
 has to pay for itself in served latency, not just in counters.
 Everything is deterministic given ``--seed``.
 
+With ``--check-against`` the measured gains are compared to a committed
+baseline (simulated time is hardware-independent, so the numbers are
+stable across CI runners) and the run fails on a >``--max-regression``
+drop — the same regression guard ``bench_fleet.py`` applies.
+
 Usage:
     PYTHONPATH=src python benchmarks/bench_drift.py [--quick]
         [--output BENCH_drift.json] [--min-gain 1.0]
+        [--check-against benchmarks/BENCH_drift_baseline.json]
 """
 
 from __future__ import annotations
@@ -138,6 +144,26 @@ def run_pair(args) -> dict:
     }
 
 
+def check_against(doc: dict, baseline_path: Path, max_regression: float) -> list[str]:
+    """Failures when the adaptive gains regressed vs the committed baseline.
+
+    Gains are ratios (frozen/adaptive), so the check divides rather
+    than subtracts: a gain below ``baseline / max_regression`` fails.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for metric in ("post_drift_gain", "overall_gain"):
+        ref = baseline.get(metric)
+        if ref is None:
+            continue
+        if doc[metric] < ref / max_regression:
+            failures.append(
+                f"{metric} {doc[metric]:.3f}x < baseline "
+                f"{ref:.3f}x / {max_regression:g}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
@@ -155,6 +181,12 @@ def main(argv=None) -> int:
         help="required frozen/adaptive post-drift makespan ratio",
     )
     parser.add_argument("--output", default="BENCH_drift.json")
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline JSON; exit non-zero on >--max-regression gain drop",
+    )
+    parser.add_argument("--max-regression", type=float, default=1.5)
     args = parser.parse_args(argv)
 
     doc = run_pair(args)
@@ -171,14 +203,22 @@ def main(argv=None) -> int:
     )
     print(f"overall gain: {doc['overall_gain']:.2f}x")
 
+    failures = []
     if doc["post_drift_gain"] <= args.min_gain:
-        print(
-            f"FAIL: adaptive serving did not beat the frozen cache "
-            f"post-drift ({doc['post_drift_gain']:.3f}x <= {args.min_gain:g}x)",
-            file=sys.stderr,
+        failures.append(
+            f"adaptive serving did not beat the frozen cache "
+            f"post-drift ({doc['post_drift_gain']:.3f}x <= {args.min_gain:g}x)"
         )
-        return 1
-    return 0
+    if args.check_against:
+        baseline_failures = check_against(
+            doc, Path(args.check_against), args.max_regression
+        )
+        if not baseline_failures:
+            print(f"perf check ok against {args.check_against}")
+        failures.extend(baseline_failures)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Energy vs makespan: the Pareto front of one kernel, per platform.
+
+Sweeps every 10%-grid partitioning of the suite's `black_scholes`
+benchmark on both simulated machines, measuring simulated seconds AND
+simulated joules (idle power over the makespan included), then prints
+the per-objective winners and the (makespan, energy) Pareto front.
+
+The point the energy subsystem exists to make: the fastest split is
+rarely the most frugal one — pulling work onto the power-hungry CPU to
+shave microseconds costs joules, and the exploitable gap between the
+two objectives grows with problem size.
+"""
+
+from repro import MC1, MC2, Runner, SweepEngine, pareto_front
+from repro.benchsuite import get_benchmark
+from repro.partitioning import partition_space
+
+
+def main() -> None:
+    bench = get_benchmark("black_scholes")
+    size = bench.problem_sizes()[-1]
+    instance = bench.make_instance(size, seed=0)
+
+    for platform in (MC1, MC2):
+        engine = SweepEngine(Runner(platform))
+        space = partition_space(platform.num_devices, 10)
+        timings, energies = engine.sweep_with_energy(bench.request(instance), space)
+
+        t_best = min(timings, key=lambda k: (timings[k], k))
+        e_best = min(energies, key=lambda k: (energies[k], k))
+        front = pareto_front(timings, energies)
+
+        print(f"\n{bench.name} @ size {size} on {platform.name}")
+        print(
+            f"  makespan-optimal: {t_best:>10}  "
+            f"{timings[t_best] * 1e3:8.3f} ms  {energies[t_best]:7.3f} J"
+        )
+        print(
+            f"  energy-optimal:   {e_best:>10}  "
+            f"{timings[e_best] * 1e3:8.3f} ms  {energies[e_best]:7.3f} J"
+        )
+        saving = 1.0 - energies[e_best] / energies[t_best]
+        slowdown = timings[e_best] / timings[t_best]
+        print(f"  trade-off: {saving:.1%} energy saved at {slowdown:.2f}x makespan")
+        print(f"  Pareto front ({len(front)} points, fast -> frugal):")
+        for label in front:
+            print(
+                f"    {label:>10}  {timings[label] * 1e3:8.3f} ms  "
+                f"{energies[label]:7.3f} J"
+            )
+
+
+if __name__ == "__main__":
+    main()

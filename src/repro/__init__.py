@@ -15,6 +15,8 @@ substrate:
   command planning, default strategies and measurement harness;
 * :mod:`repro.engine` — the memoized sweep/measurement engine (the
   training and adaptation hot path);
+* :mod:`repro.energy` — device power models, the energy meter and the
+  multi-objective layer (makespan / energy / EDP / power-capped);
 * :mod:`repro.ml` — from-scratch NumPy classifiers (MLP and friends);
 * :mod:`repro.benchsuite` — the 23-program evaluation suite;
 * :mod:`repro.core` — the contribution: feature assembly, training
@@ -42,6 +44,13 @@ from .core import (
     evaluate_lopo,
     generate_training_data,
     train_system,
+)
+from .energy import (
+    DevicePowerModel,
+    EnergyMeter,
+    Objective,
+    PowerSpec,
+    pareto_front,
 )
 from .engine import SweepEngine
 from .machines import ALL_MACHINES, MC1, MC2, machine_by_name
@@ -74,6 +83,11 @@ __all__ = [
     "ServiceConfig",
     "Runner",
     "SweepEngine",
+    "DevicePowerModel",
+    "EnergyMeter",
+    "Objective",
+    "PowerSpec",
+    "pareto_front",
     "cpu_only",
     "gpu_only",
     "even_split",

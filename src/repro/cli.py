@@ -7,6 +7,8 @@ Commands:
     run     <program>         — sweep the strategies for one launch
     train   <machine>         — training campaign → JSON database
     report  <db.json> [...]   — full experiment report from databases
+    energy-sweep <program>    — makespan-vs-energy sweep: per-objective
+                                winners and the Pareto front per size
     replay                    — serve a synthetic trace (stationary /
                                 phase-shift / flash-crowd / diurnal
                                 workloads, optional platform drift)
@@ -16,8 +18,13 @@ Commands:
                                 machine into a model registry
     fleet-serve               — route one trace across a fleet of
                                 machines (least-loaded / affinity /
-                                predicted placement, drain + re-warm
-                                on sustained degradation)
+                                predicted / energy placement, drain +
+                                re-warm on sustained degradation)
+
+The serving commands optimize makespan by default; ``--objective
+energy|edp`` retargets the model, the regression checks and the local
+search, and ``--power-cap WATTS`` serves under an average-power budget
+(see docs/ENERGY.md).
 """
 
 from __future__ import annotations
@@ -140,6 +147,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _training_objective(args: argparse.Namespace):
+    """The objective the predictor trains on for a serving command.
+
+    ``energy-capped-makespan`` is a serve-time constraint (the cap is
+    enforced per request), so its models train on plain makespan.
+    """
+    from .energy import MODEL_OBJECTIVES, Objective, coerce_objective
+
+    objective = coerce_objective(args.objective)
+    return objective if objective in MODEL_OBJECTIVES else Objective.MAKESPAN
+
+
 def _build_service(args: argparse.Namespace):
     """Train a system and wrap it in a PartitioningService (serve/replay)."""
     from .serving import PartitioningService, ServiceConfig
@@ -160,17 +179,26 @@ def _build_service(args: argparse.Namespace):
         max_sizes=args.max_sizes,
     )
     system = train_system(
-        platform, train_benchmarks, model_kind=args.model, config=config
+        platform,
+        train_benchmarks,
+        model_kind=args.model,
+        config=config,
+        objective=_training_objective(args),
     )
-    service = PartitioningService(
-        system,
-        ServiceConfig(
-            cache_capacity=args.cache_capacity,
-            regression_threshold=args.threshold,
-            instance_seed=args.seed,
-            memoize=not args.no_memoize,
-        ),
-    )
+    try:
+        service = PartitioningService(
+            system,
+            ServiceConfig(
+                cache_capacity=args.cache_capacity,
+                regression_threshold=args.threshold,
+                instance_seed=args.seed,
+                memoize=not args.no_memoize,
+                objective=args.objective,
+                power_cap_w=args.power_cap,
+            ),
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
     return benchmarks, train_benchmarks, service
 
 
@@ -221,6 +249,18 @@ def _workload_from_args(args: argparse.Namespace, keys):
     return make_workload(spec, keys)
 
 
+def _objective_quantity(service, value: float) -> str:
+    """Format an objective-cost delta with its objective's unit."""
+    from .energy import Objective
+
+    objective = service.config.objective
+    if objective is Objective.ENERGY:
+        return f"{value:.3f} J"
+    if objective is Objective.EDP:
+        return f"{value:.6f} J*s"
+    return f"{value * 1e3:.3f} ms"
+
+
 def _print_service_summary(service, responses, wall_s: float) -> None:
     stats = service.stats
     cache = service.cache.stats
@@ -231,6 +271,7 @@ def _print_service_summary(service, responses, wall_s: float) -> None:
     served_executions = stats.requests * service.config.repetitions
     probes = runner_stats.executions - served_executions
     rows = [
+        ("objective", service.config.objective.value),
         ("requests", f"{stats.requests}"),
         (
             "executions",
@@ -253,7 +294,7 @@ def _print_service_summary(service, responses, wall_s: float) -> None:
             "drift",
             f"{stats.drift_flags} flags, {stats.drift_escalations} escalations",
         ),
-        ("adaptation gain", f"{stats.improvement_s * 1e3:.3f} ms"),
+        ("adaptation gain", _objective_quantity(service, stats.improvement_s)),
         ("simulated serial", f"{serialized * 1e3:.3f} ms"),
         ("simulated multiplexed", f"{multiplexed * 1e3:.3f} ms"),
         (
@@ -269,7 +310,25 @@ def _print_service_summary(service, responses, wall_s: float) -> None:
             "device utilization",
             " ".join(f"{u * 100.0:.0f}%" for u in sched.utilization()),
         ),
+        ("served energy", f"{stats.energy_j:.3f} J"),
+        (
+            # Joules over the *serial* served seconds: each run's energy
+            # charges platform idle over its own makespan, so dividing
+            # by the compressed multiplexed span would overstate the
+            # draw (and could contradict the cap row below).
+            "avg power (served)",
+            f"{stats.energy_j / serialized:.1f} W" if serialized > 0 else "n/a",
+        ),
     ]
+    if service.config.power_cap_w is not None:
+        rows.append(
+            (
+                "power cap",
+                f"{service.config.power_cap_w:g} W "
+                f"({stats.power_capped} capped, "
+                f"{stats.power_cap_violations} violations)",
+            )
+        )
     if service.engine is not None:
         es = service.engine.stats
         rows.append(
@@ -439,6 +498,8 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         regression_threshold=args.threshold,
         instance_seed=args.seed,
         memoize=not args.no_memoize,
+        objective=args.objective,
+        power_cap_w=args.power_cap,
     )
     services, sources = [], []
     for platform in platforms:
@@ -457,10 +518,17 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
             source = f"warm({donor})"
         else:
             system = train_system(
-                platform, train_benchmarks, model_kind=args.model, config=config
+                platform,
+                train_benchmarks,
+                model_kind=args.model,
+                config=config,
+                objective=_training_objective(args),
             )
             source = "trained"
-        services.append(PartitioningService(system, service_config))
+        try:
+            services.append(PartitioningService(system, service_config))
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
         sources.append(source)
     router = FleetRouter(services, policy=args.policy, registry=registry)
     keys = key_universe(benchmarks, max_sizes=args.max_sizes)
@@ -509,6 +577,8 @@ def _print_fleet_summary(router, sources, wall_s: float) -> None:
             f"{r.rewarms}" + (" (draining)" if r.draining else ""),
             f"{r.health:.2f}",
             f"{r.makespan_s * 1e3:.3f}",
+            f"{r.energy_j:.3f}",
+            f"{r.avg_power_w:.0f}",
             " ".join(f"{u * 100.0:.0f}%" for u in r.utilization),
         )
         for r, source in zip(stats.replicas, sources)
@@ -526,6 +596,8 @@ def _print_fleet_summary(router, sources, wall_s: float) -> None:
                 "rewarms",
                 "health",
                 "makespan (ms)",
+                "energy (J)",
+                "power (W)",
                 "device util",
             ],
             rows,
@@ -552,6 +624,8 @@ def _print_fleet_summary(router, sources, wall_s: float) -> None:
         ("refits", f"{stats.refits}"),
         ("drift flags", f"{stats.drift_flags}"),
         ("replica rewarms", f"{stats.rewarms}"),
+        ("fleet energy", f"{stats.energy_j:.3f} J"),
+        ("fleet avg power", f"{stats.avg_power_w:.1f} W"),
     ]
     print(format_table(["metric", "value"], totals, title="Fleet totals"))
 
@@ -661,6 +735,86 @@ def _add_serving_options(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="measure without the memoizing sweep engine (A/B baseline)",
     )
+    _add_objective_options(p)
+
+
+def _add_objective_options(p: argparse.ArgumentParser) -> None:
+    """Options of the energy-aware serving commands."""
+    from .energy import Objective
+
+    p.add_argument(
+        "--objective",
+        default=Objective.MAKESPAN.value,
+        choices=[o.value for o in Objective],
+        help="what the model and the adaptation loop optimize",
+    )
+    p.add_argument(
+        "--power-cap",
+        type=float,
+        default=None,
+        metavar="WATTS",
+        help="average-power budget per served launch (docs/ENERGY.md)",
+    )
+
+
+def _cmd_energy_sweep(args: argparse.Namespace) -> int:
+    from .energy import Objective, best_label, pareto_front
+    from .engine import SweepEngine
+    from .partitioning import partition_space
+
+    bench = get_benchmark(args.program)
+    platforms = (
+        [machine_by_name(args.machine)] if args.machine else list(ALL_MACHINES)
+    )
+    sizes = bench.problem_sizes()
+    if args.size is not None:
+        sizes = [args.size]
+    elif args.max_sizes is not None:
+        sizes = sizes[: args.max_sizes]
+    for platform in platforms:
+        engine = SweepEngine(Runner(platform))
+        space = partition_space(platform.num_devices, args.step)
+        rows = []
+        for size in sizes:
+            instance = bench.make_instance(size, seed=args.seed)
+            timings, energies = engine.sweep_with_energy(
+                bench.request(instance), space
+            )
+            engine.reset()
+            t_best = best_label(timings, energies, Objective.MAKESPAN)
+            e_best = best_label(timings, energies, Objective.ENERGY)
+            edp_best = best_label(timings, energies, Objective.EDP)
+            front = pareto_front(timings, energies)
+            rows.append(
+                (
+                    size,
+                    f"{t_best} ({timings[t_best] * 1e3:.3f} ms)",
+                    f"{e_best} ({energies[e_best]:.3f} J)",
+                    edp_best,
+                    f"{1.0 - energies[e_best] / energies[t_best]:.1%}",
+                    f"{timings[e_best] / timings[t_best]:.2f}x",
+                    len(front),
+                )
+            )
+        print(
+            format_table(
+                [
+                    "size",
+                    Objective.MAKESPAN.value + "-best",
+                    Objective.ENERGY.value + "-best",
+                    "edp-best",
+                    "energy saved",
+                    "slowdown",
+                    "pareto",
+                ],
+                rows,
+                title=(
+                    f"{bench.name} on {platform.name} "
+                    f"({args.step}% grid, energy vs makespan)"
+                ),
+            )
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -705,6 +859,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("databases", nargs="+")
     p_report.add_argument("--model", default="mlp")
     p_report.set_defaults(fn=_cmd_report)
+
+    p_esweep = sub.add_parser(
+        "energy-sweep",
+        help="makespan-vs-energy sweep: per-objective winners + Pareto front",
+    )
+    p_esweep.add_argument("program")
+    p_esweep.add_argument(
+        "--machine",
+        default=None,
+        choices=[m.name for m in ALL_MACHINES],
+        help="one platform (default: all)",
+    )
+    p_esweep.add_argument("--size", type=int, default=None)
+    p_esweep.add_argument(
+        "--max-sizes", type=int, default=None, help="cap the size ladder"
+    )
+    p_esweep.add_argument("--step", type=int, default=10)
+    p_esweep.add_argument("--seed", type=int, default=0)
+    p_esweep.set_defaults(fn=_cmd_energy_sweep)
 
     p_replay = sub.add_parser(
         "replay", help="serve a synthetic request trace (online adaptation)"
@@ -768,6 +941,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fleet_options(p_fserve)
     _add_workload_options(p_fserve)
+    _add_objective_options(p_fserve)
     p_fserve.set_defaults(fn=_cmd_fleet_serve)
 
     return parser

@@ -9,12 +9,18 @@ that store with JSON persistence and matrix extraction for the ML layer.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..energy.objectives import (
+    Objective,
+    best_label as objective_best_label,
+    objective_cost,
+    pareto_front,
+)
 from ..partitioning import Partitioning
 from .features import FEATURE_SCHEMA_VERSION, feature_vector
 
@@ -32,6 +38,9 @@ class TrainingRecord:
         features: combined static + runtime feature dict.
         timings: partitioning label → measured seconds (the full sweep).
         best_label: label of the fastest partitioning (the oracle).
+        energies: partitioning label → measured joules (idle power
+            included).  Empty on legacy databases recorded before the
+            energy subsystem; energy-aware objectives require it.
     """
 
     machine: str
@@ -40,10 +49,14 @@ class TrainingRecord:
     features: dict[str, float]
     timings: dict[str, float]
     best_label: str
+    energies: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.best_label not in self.timings:
             raise ValueError(f"best label {self.best_label!r} not among timings")
+        stray = set(self.energies) - set(self.timings)
+        if stray:
+            raise ValueError(f"energies name unswept partitionings: {sorted(stray)}")
 
     @property
     def best_time(self) -> float:
@@ -57,6 +70,41 @@ class TrainingRecord:
         """Measured time of one partitioning from the sweep."""
         return self.timings[partitioning.label]
 
+    def energy_of(self, partitioning: Partitioning) -> float:
+        """Measured joules of one partitioning from the sweep."""
+        return self.energies[partitioning.label]
+
+    def best_label_for(
+        self, objective: Objective, power_cap_w: float | None = None
+    ) -> str:
+        """The sweep's oracle label under an objective.
+
+        ``MAKESPAN`` without a power cap is exactly :attr:`best_label`;
+        every other combination argmins the objective's scalar cost
+        over the sweep (see :func:`repro.energy.objectives.best_label`).
+        """
+        if objective is Objective.MAKESPAN and power_cap_w is None:
+            return self.best_label
+        return objective_best_label(
+            self.timings, self.energies, objective, power_cap_w=power_cap_w
+        )
+
+    def best_cost_for(
+        self, objective: Objective, power_cap_w: float | None = None
+    ) -> float:
+        """Scalar cost of the objective-best label in the sweep."""
+        label = self.best_label_for(objective, power_cap_w=power_cap_w)
+        return objective_cost(
+            objective,
+            self.timings[label],
+            self.energies.get(label, 0.0),
+            power_cap_w=power_cap_w,
+        )
+
+    def pareto_labels(self) -> tuple[str, ...]:
+        """The (makespan, energy) Pareto front of this sweep."""
+        return pareto_front(self.timings, self.energies)
+
     @classmethod
     def from_timings(
         cls,
@@ -65,12 +113,21 @@ class TrainingRecord:
         size: int,
         features: dict[str, float],
         timings: dict[str, float],
+        energies: dict[str, float] | None = None,
     ) -> "TrainingRecord":
         """Build a record, deriving the oracle label from the sweep."""
         if not timings:
             raise ValueError("empty timing sweep")
         best = min(timings, key=lambda k: timings[k])
-        return cls(machine, program, size, dict(features), dict(timings), best)
+        return cls(
+            machine,
+            program,
+            size,
+            dict(features),
+            dict(timings),
+            best,
+            dict(energies) if energies else {},
+        )
 
 
 class TrainingDatabase:
@@ -131,20 +188,27 @@ class TrainingDatabase:
         size: int,
         features: dict[str, float],
         timings: dict[str, float],
+        energies: dict[str, float] | None = None,
     ) -> TrainingRecord:
         """Merge online measurements into the key's sweep (creating it).
 
         Unlike the offline trainer, an online run measures only a few
         partitionings per launch; merging grows the key's partial sweep
         over time and re-derives the oracle label from everything seen
-        so far.  Returns the updated record.
+        so far.  Energy measurements merge alongside the timings when
+        provided.  Returns the updated record.
         """
         if not timings:
             raise ValueError("empty timing sweep")
         existing = self.record_for(machine, program, size)
         merged = dict(existing.timings) if existing is not None else {}
         merged.update(timings)
-        record = TrainingRecord.from_timings(machine, program, size, features, merged)
+        merged_energy = dict(existing.energies) if existing is not None else {}
+        if energies:
+            merged_energy.update(energies)
+        record = TrainingRecord.from_timings(
+            machine, program, size, features, merged, energies=merged_energy
+        )
         self.upsert(record)
         return record
 
@@ -203,19 +267,25 @@ class TrainingDatabase:
         return names
 
     def matrices(
-        self, names: tuple[str, ...] | None = None
+        self,
+        names: tuple[str, ...] | None = None,
+        objective: Objective = Objective.MAKESPAN,
     ) -> tuple[np.ndarray, np.ndarray, list[str]]:
         """(X, y_labels, groups): features, oracle labels, program names.
 
         ``y_labels`` are partitioning *labels* (strings) — the encoder in
-        the predictor maps them to class indices.
+        the predictor maps them to class indices.  ``objective`` picks
+        which oracle each record contributes: the makespan-fastest label
+        (the paper's formulation) or the energy/EDP argmin of the same
+        sweep — training a per-objective model costs no new
+        measurements, only a different labelling.
         """
         if not self.records:
             raise ValueError("empty database")
         if names is None:
             names = self.feature_names()
         X = np.stack([feature_vector(r.features, names) for r in self.records])
-        y = np.array([r.best_label for r in self.records])
+        y = np.array([r.best_label_for(objective) for r in self.records])
         groups = [r.program for r in self.records]
         return X, y, groups
 
@@ -246,6 +316,8 @@ class TrainingDatabase:
                 features={k: float(v) for k, v in r["features"].items()},
                 timings={k: float(v) for k, v in r["timings"].items()},
                 best_label=r["best_label"],
+                # Absent on databases saved before the energy subsystem.
+                energies={k: float(v) for k, v in r.get("energies", {}).items()},
             )
             for r in doc["records"]
         ]

@@ -10,6 +10,7 @@ from dataclasses import dataclass
 
 from ..benchsuite.base import Benchmark, ProblemInstance
 from ..benchsuite.registry import all_benchmarks
+from ..energy.objectives import Objective
 from ..ocl.platform import Platform
 from ..runtime.measurement import MeasuredRun, Runner
 from ..partitioning import Partitioning
@@ -51,11 +52,15 @@ def train_system(
     model_kind: str = "mlp",
     config: TrainingConfig = TrainingConfig(),
     exclude_program: str | None = None,
+    objective: "Objective | str" = Objective.MAKESPAN,
 ) -> TrainedSystem:
     """Run the full offline phase and return a deployable system.
 
     ``exclude_program`` supports the paper's evaluation protocol: train
     on every benchmark except the one you intend to deploy on.
+    ``objective`` selects what the model optimizes (makespan, energy or
+    EDP) — the campaign measures both axes either way, so switching
+    objectives relabels the same sweeps rather than re-measuring.
     """
     if benchmarks is None:
         benchmarks = all_benchmarks()
@@ -64,7 +69,9 @@ def train_system(
         if not benchmarks:
             raise ValueError("excluding the only benchmark leaves nothing to train on")
     db = generate_training_data(platform, benchmarks, config)
-    model = make_partitioning_model(model_kind, seed=config.seed).fit(db)
+    model = make_partitioning_model(
+        model_kind, seed=config.seed, objective=objective
+    ).fit(db)
     predictor = PartitioningPredictor(model, platform.name)
     runner = Runner(platform, noise_sigma=config.noise_sigma, seed=config.seed + 1)
     return TrainedSystem(platform, predictor, db, runner)

@@ -21,6 +21,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..benchsuite.base import Benchmark, ProblemInstance
+from ..energy.objectives import MODEL_OBJECTIVES, Objective, coerce_objective
 from ..ml.base import Classifier, MajorityClassifier
 from ..ml.forest import RandomForestClassifier
 from ..ml.knn import KNeighborsClassifier
@@ -71,18 +72,34 @@ class PartitioningModel:
     labels — matching the paper's classification formulation.
     """
 
-    def __init__(self, kind: str = "mlp", seed: int = 0):
+    def __init__(
+        self,
+        kind: str = "mlp",
+        seed: int = 0,
+        objective: "Objective | str" = Objective.MAKESPAN,
+    ):
         self.kind = kind
         self.seed = seed
+        self.objective = coerce_objective(objective)
+        if self.objective not in MODEL_OBJECTIVES:
+            raise ValueError(
+                f"models train on {[o.value for o in MODEL_OBJECTIVES]}; "
+                f"{self.objective.value!r} is a serve-time constraint"
+            )
         self.scaler = StandardScaler()
         self.classifier = make_classifier(kind, seed)
         self.feature_names_: tuple[str, ...] | None = None
         self._fitted = False
 
     def fit(self, db: TrainingDatabase) -> "PartitioningModel":
-        """Train on a database (typically one machine's records)."""
+        """Train on a database (typically one machine's records).
+
+        The oracle label of each record is derived under this model's
+        objective — the same sweep trains a makespan, energy or EDP
+        predictor, only the labelling differs.
+        """
         names = db.feature_names()
-        X, y, _groups = db.matrices(names)
+        X, y, _groups = db.matrices(names, objective=self.objective)
         Xs = self.scaler.fit_transform(X)
         self.classifier.fit(Xs, y)
         self.feature_names_ = names
@@ -108,7 +125,7 @@ class PartitioningModel:
         """
         if not incremental or not self._fitted or self.feature_names_ is None:
             return self.fit(db)
-        X, y, _groups = db.matrices(self.feature_names_)
+        X, y, _groups = db.matrices(self.feature_names_, objective=self.objective)
         Xs = self.scaler.transform(X)
         if isinstance(self.classifier, MLPClassifier):
             try:
@@ -151,10 +168,12 @@ class PartitioningModel:
         return [Partitioning.from_label(str(l)) for l in labels]
 
     def accuracy_on(self, db: TrainingDatabase) -> float:
-        """Exact-label accuracy against the oracle labels."""
+        """Exact-label accuracy against this objective's oracle labels."""
         predictions = self.predict_many(db)
         hits = sum(
-            1 for p, r in zip(predictions, db.records) if p.label == r.best_label
+            1
+            for p, r in zip(predictions, db.records)
+            if p.label == r.best_label_for(self.objective)
         )
         return hits / len(db.records)
 
@@ -171,7 +190,13 @@ class PartitioningScorerModel:
     log relative time of the candidate; prediction scans all 66 points.
     """
 
-    def __init__(self, kind: str = "knn-scorer", seed: int = 0, k: int = 5):
+    def __init__(
+        self,
+        kind: str = "knn-scorer",
+        seed: int = 0,
+        k: int = 5,
+        objective: "Objective | str" = Objective.MAKESPAN,
+    ):
         if kind not in ("knn-scorer", "mlp-scorer"):
             raise ValueError(f"unknown scorer kind {kind!r}")
         if k < 1:
@@ -179,6 +204,12 @@ class PartitioningScorerModel:
         self.kind = kind
         self.seed = seed
         self.k = k
+        self.objective = coerce_objective(objective)
+        if self.objective not in MODEL_OBJECTIVES:
+            raise ValueError(
+                f"scorers train on {[o.value for o in MODEL_OBJECTIVES]}; "
+                f"{self.objective.value!r} is a serve-time constraint"
+            )
         self.scaler = StandardScaler()
         self.feature_names_: tuple[str, ...] | None = None
         self._labels: tuple[str, ...] = ()
@@ -201,6 +232,26 @@ class PartitioningScorerModel:
             )
         return self._shares
 
+    def _objective_costs(self, record) -> dict[str, float]:
+        """Per-label scalar cost of one record under this objective."""
+        from ..energy.objectives import objective_cost
+
+        if self.objective is Objective.MAKESPAN:
+            return dict(record.timings)
+        missing = set(record.timings) - set(record.energies)
+        if missing:
+            raise ValueError(
+                f"objective {self.objective.value!r} needs energy sweeps; "
+                f"record {record.program}@{record.size} has none for "
+                f"{sorted(missing)[:3]}..."
+            )
+        return {
+            label: objective_cost(
+                self.objective, record.timings[label], record.energies[label]
+            )
+            for label in record.timings
+        }
+
     def fit(self, db: TrainingDatabase) -> "PartitioningScorerModel":
         names = db.feature_names()
         X, _y, _groups = db.matrices(names)
@@ -210,8 +261,9 @@ class PartitioningScorerModel:
         for i, r in enumerate(db.records):
             if tuple(sorted(r.timings)) != labels:
                 raise ValueError("inconsistent partitioning sweeps across records")
-            best = r.best_time
-            rel[i] = [r.timings[l] / best for l in labels]
+            costs = self._objective_costs(r)
+            best = min(costs.values())
+            rel[i] = [costs[l] / best for l in labels]
         if labels != self._labels:
             self._shares = None  # candidate set changed: re-derive lazily
         self.feature_names_ = names
@@ -315,16 +367,25 @@ class PartitioningScorerModel:
     def accuracy_on(self, db: TrainingDatabase) -> float:
         predictions = self.predict_many(db)
         hits = sum(
-            1 for p, r in zip(predictions, db.records) if p.label == r.best_label
+            1
+            for p, r in zip(predictions, db.records)
+            if p.label == r.best_label_for(self.objective)
         )
         return hits / len(db.records)
 
 
-def make_partitioning_model(kind: str, seed: int = 0):
-    """Factory over both model shapes (classifiers and scorers)."""
+def make_partitioning_model(
+    kind: str, seed: int = 0, objective: "Objective | str" = Objective.MAKESPAN
+):
+    """Factory over both model shapes (classifiers and scorers).
+
+    ``objective`` selects what the model optimizes: the oracle labels
+    (classifiers) or the relative-cost targets (scorers) are derived
+    from the sweeps under that objective at fit time.
+    """
     if kind in ("knn-scorer", "mlp-scorer"):
-        return PartitioningScorerModel(kind, seed=seed)
-    return PartitioningModel(kind, seed=seed)
+        return PartitioningScorerModel(kind, seed=seed, objective=objective)
+    return PartitioningModel(kind, seed=seed, objective=objective)
 
 
 class PartitioningPredictor:
@@ -339,6 +400,11 @@ class PartitioningPredictor:
     def __init__(self, model: PartitioningModel, machine_name: str):
         self.model = model
         self.machine_name = machine_name
+
+    @property
+    def objective(self) -> Objective:
+        """What the underlying model optimizes (set at construction)."""
+        return self.model.objective
 
     def features_for(
         self, bench: Benchmark, instance: ProblemInstance
@@ -405,6 +471,7 @@ def save_model(model: "PartitioningModel", path) -> None:
         "schema_version": _MODEL_SCHEMA_VERSION,
         "kind": model.kind,
         "seed": model.seed,
+        "objective": model.objective.value,
         "feature_names": list(model.feature_names_),
         "scaler": {
             "mean": model.scaler.mean_.tolist(),
@@ -444,7 +511,12 @@ def load_model(path) -> "PartitioningModel":
     version = doc.get("schema_version")
     if version != _MODEL_SCHEMA_VERSION:
         raise ValueError(f"model schema {version} != supported {_MODEL_SCHEMA_VERSION}")
-    model = PartitioningModel(doc["kind"], seed=doc["seed"])
+    model = PartitioningModel(
+        doc["kind"],
+        seed=doc["seed"],
+        # Models saved before the energy subsystem optimized makespan.
+        objective=doc.get("objective", Objective.MAKESPAN.value),
+    )
     model.feature_names_ = tuple(doc["feature_names"])
     model.scaler.mean_ = np.asarray(doc["scaler"]["mean"], dtype=np.float64)
     model.scaler.scale_ = np.asarray(doc["scaler"]["scale"], dtype=np.float64)

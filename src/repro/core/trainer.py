@@ -22,6 +22,7 @@ from .features import combined_features
 __all__ = [
     "TrainingConfig",
     "sweep_partitionings",
+    "sweep_measurements",
     "build_record",
     "generate_training_data",
 ]
@@ -69,10 +70,30 @@ def sweep_partitionings(
     per record shares nothing, which is why the campaign loop resets
     its engine between records instead of accumulating pinned arrays.
     """
+    timings, _energies = sweep_measurements(
+        runner, bench, instance, space, repetitions=repetitions, engine=engine
+    )
+    return timings
+
+
+def sweep_measurements(
+    runner: Runner,
+    bench: Benchmark,
+    instance: ProblemInstance,
+    space: Sequence[Partitioning],
+    repetitions: int = 1,
+    engine: SweepEngine | None = None,
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Measure every partitioning; returns (label → seconds, label → joules).
+
+    The energy-aware sibling of :func:`sweep_partitionings` — one
+    composed measurement prices both axes, so recording energy costs
+    the campaign nothing extra.
+    """
     if engine is None:
         engine = SweepEngine(runner)
     request = bench.request(instance)
-    return engine.sweep(request, space, repetitions=repetitions)
+    return engine.sweep_with_energy(request, space, repetitions=repetitions)
 
 
 def build_record(
@@ -91,7 +112,7 @@ def build_record(
         expected = bench.reference(check)
         runner.run(bench.request(check), space[0], functional=True)
         bench.verify(check, atol=1e-2, rtol=1e-2, expected=expected)
-    timings = sweep_partitionings(
+    timings, energies = sweep_measurements(
         runner, bench, instance, space, repetitions=config.repetitions, engine=engine
     )
     return TrainingRecord.from_timings(
@@ -100,6 +121,7 @@ def build_record(
         size=instance.size,
         features=features,
         timings=timings,
+        energies=energies,
     )
 
 

@@ -1,0 +1,102 @@
+"""The energy meter: per-device timelines → joules.
+
+The runtime scheduler and the sweep engine both produce per-device
+timelines (which commands ran, for how long); the meter prices those
+timelines against the devices' :class:`~repro.energy.power.DevicePowerModel`
+and folds in idle power over the launch makespan — race-to-idle
+accounting, where every device of the platform draws at least its idle
+watts until the slowest one finishes.  This is what makes energy a
+genuinely different objective from makespan: a partitioning that adds
+a device may finish sooner yet cost more joules, because the extra
+device's dynamic draw exceeds the idle time it saved everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..ocl.events import CommandKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..inspire.analysis import KernelAnalysis
+    from ..ocl.device import Device
+    from ..runtime.plan import PlannedCommand
+
+__all__ = ["EnergyBreakdown", "EnergyMeter"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules of one partitioned launch, idle power included."""
+
+    device_energy_j: tuple[float, ...]
+    dynamic_j: float
+    idle_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.dynamic_j + self.idle_j
+
+    def average_power_w(self, makespan_s: float) -> float:
+        """Platform draw averaged over the launch (0 for a zero span)."""
+        return self.total_j / makespan_s if makespan_s > 0 else 0.0
+
+
+class EnergyMeter:
+    """Prices command timelines on one device set into joules."""
+
+    def __init__(self, devices: Sequence["Device"]):
+        self.devices = list(devices)
+
+    def command_power_w(
+        self,
+        device: "Device",
+        command: "PlannedCommand",
+        analysis: "KernelAnalysis",
+        scalar_args: dict[str, float],
+    ) -> float:
+        """Average dynamic watts one planned command draws on a device.
+
+        The companion of :func:`~repro.runtime.plan.command_duration_s`:
+        duration × this is the command's dynamic energy, and scaling
+        the duration (measurement noise) scales the energy with it —
+        jitter stretches the draw, it does not change the wattage.
+        """
+        power = device.power_model
+        if command.kind in (CommandKind.WRITE_BUFFER, CommandKind.READ_BUFFER):
+            return power.transfer_power_w()
+        if command.kind is CommandKind.NDRANGE_KERNEL:
+            breakdown = device.cost_model.kernel_time(
+                analysis, command.items, scalar_args
+            )
+            return power.kernel_power_w(breakdown)
+        raise ValueError(f"unpriceable command kind {command.kind}")
+
+    def finalize(
+        self, dynamic_j: Sequence[float], makespan_s: float
+    ) -> EnergyBreakdown:
+        """Total joules given per-device dynamic energy and the makespan.
+
+        Every device — active in the launch or not — pays idle watts
+        over the full makespan; its dynamic energy rides on top.
+        """
+        if len(dynamic_j) != len(self.devices):
+            raise ValueError(
+                f"got dynamic energy for {len(dynamic_j)} devices, "
+                f"meter covers {len(self.devices)}"
+            )
+        per_device = tuple(
+            dyn + device.power_model.idle_w * makespan_s
+            for dyn, device in zip(dynamic_j, self.devices)
+        )
+        idle = sum(d.power_model.idle_w for d in self.devices) * makespan_s
+        return EnergyBreakdown(
+            device_energy_j=per_device,
+            dynamic_j=float(sum(dynamic_j)),
+            idle_j=idle,
+        )
+
+    def platform_idle_w(self) -> float:
+        """Floor on average power: every device's idle draw, summed."""
+        return sum(d.power_model.idle_w for d in self.devices)

@@ -1,0 +1,152 @@
+"""Analytic device power model: watts for every phase the cost model times.
+
+The timing side (:mod:`repro.ocl.costmodel`) prices *when* a command
+finishes; this module prices *what it draws* while running.  Power is
+derived from the same :class:`~repro.ocl.costmodel.DeviceSpec` the cost
+model reads, so the two stay consistent by construction:
+
+* **idle watts** — leakage + board baseline, drawn from power-on to the
+  end of the launch regardless of activity (race-to-idle accounting).
+* **compute watts** — switching power while ALUs are busy, proportional
+  to peak throughput via a per-architecture energy-per-flop constant
+  (2012-era parts: CPUs spend ~an order of magnitude more energy per
+  flop than GPUs, which is exactly why energy-optimal and
+  makespan-optimal partitionings diverge).
+* **memory watts** — DRAM + controller power while streaming, derived
+  from bandwidth via energy-per-byte.
+* **transfer watts** — PCIe link + DMA power during host↔device copies
+  (zero for host-resident devices, whose transfers are free in time
+  *and* energy).
+* **DVFS scaling** — dynamic power follows ``f · V²`` with voltage
+  tracking frequency, so a drift rescale ``s`` on the clock multiplies
+  dynamic watts by ``s³`` in total: ``s`` arrives through the spec's
+  scaled clock (linear in peak throughput) and the remaining ``s²``
+  through the explicit ``dvfs_scale`` hook that
+  :meth:`~repro.ocl.device.Device.apply_drift` feeds.
+
+Nothing in the learning pipeline reads these formulas: models only see
+(features → measured joules) pairs, mirroring the timing side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ocl.costmodel import DeviceKind, DeviceSpec, KernelCostBreakdown
+
+__all__ = ["PowerSpec", "DevicePowerModel", "DVFS_EXPONENT"]
+
+#: Dynamic power ∝ clock ** DVFS_EXPONENT under voltage-frequency
+#: scaling (f · V² with V ∝ f).
+DVFS_EXPONENT = 3.0
+
+#: Energy per flop-equivalent in watts per GFLOP/s of peak throughput
+#: (i.e. nanojoules per operation), per architecture class.
+_COMPUTE_W_PER_GFLOPS = {DeviceKind.CPU: 0.45, DeviceKind.GPU: 0.055}
+
+#: DRAM + memory-controller watts per GB/s of bandwidth.
+_MEMORY_W_PER_GBS = {DeviceKind.CPU: 0.60, DeviceKind.GPU: 0.25}
+
+#: Idle (static) watts: per compute unit plus a board baseline.
+_IDLE_W_PER_UNIT = {DeviceKind.CPU: 0.8, DeviceKind.GPU: 1.2}
+_IDLE_W_BASE = {DeviceKind.CPU: 25.0, DeviceKind.GPU: 10.0}
+
+#: PCIe link watts per GB/s plus the DMA-controller baseline.
+_TRANSFER_W_PER_GBS = 0.5
+_TRANSFER_W_BASE = 5.0
+
+#: Driver/runtime spin during a kernel launch (host-side, small).
+_LAUNCH_W = 3.0
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Static power description of one device, one number per phase.
+
+    Attributes:
+        idle_w: static draw whenever the device is powered.
+        compute_w: dynamic draw while the ALUs are busy (on top of idle).
+        memory_w: dynamic draw while streaming global memory.
+        transfer_w: dynamic draw during PCIe transfers.
+        launch_w: dynamic draw during kernel-launch overhead.
+    """
+
+    idle_w: float
+    compute_w: float
+    memory_w: float
+    transfer_w: float
+    launch_w: float = _LAUNCH_W
+
+    def __post_init__(self) -> None:
+        for name in ("idle_w", "compute_w", "memory_w", "transfer_w", "launch_w"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @classmethod
+    def from_device_spec(cls, spec: DeviceSpec) -> "PowerSpec":
+        """Derive per-phase watts from a device's performance spec."""
+        kind = spec.kind
+        transfer_w = (
+            0.0
+            if spec.is_host_resident
+            else spec.pcie_bandwidth_gbs * _TRANSFER_W_PER_GBS + _TRANSFER_W_BASE
+        )
+        return cls(
+            idle_w=spec.compute_units * _IDLE_W_PER_UNIT[kind] + _IDLE_W_BASE[kind],
+            compute_w=spec.peak_gflops * _COMPUTE_W_PER_GFLOPS[kind],
+            memory_w=spec.mem_bandwidth_gbs * _MEMORY_W_PER_GBS[kind],
+            transfer_w=transfer_w,
+        )
+
+
+class DevicePowerModel:
+    """Maps execution phases to watts for one device.
+
+    ``dvfs_scale`` is the device's cumulative drift scale (see
+    :meth:`~repro.ocl.device.Device.apply_drift`): the spec passed in
+    already carries the *linear* clock/bandwidth component of the
+    drift, and this model adds the remaining voltage-squared factor so
+    dynamic watts follow the full DVFS cube law.  Idle power is
+    frequency-independent leakage and does not scale.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        dvfs_scale: float = 1.0,
+        power: PowerSpec | None = None,
+    ):
+        if not dvfs_scale > 0:
+            raise ValueError("dvfs_scale must be positive")
+        self.spec = spec
+        self.power = power if power is not None else PowerSpec.from_device_spec(spec)
+        self.dvfs_scale = dvfs_scale
+        self._dynamic_factor = dvfs_scale ** (DVFS_EXPONENT - 1.0)
+
+    @property
+    def idle_w(self) -> float:
+        """Static draw whenever the device is powered."""
+        return self.power.idle_w
+
+    def kernel_power_w(self, breakdown: KernelCostBreakdown) -> float:
+        """Average dynamic watts over one kernel launch.
+
+        The roofline overlaps compute and memory in *time*, but both
+        units draw their own power for their own active spans, so the
+        launch's dynamic energy is additive per phase; dividing by the
+        overlapped duration yields the average draw the timeline sees.
+        """
+        total = breakdown.total_s
+        if total <= 0:
+            return 0.0
+        p = self.power
+        energy = (
+            p.compute_w * breakdown.compute_s
+            + p.memory_w * breakdown.memory_s
+            + p.launch_w * breakdown.launch_s
+        )
+        return energy / total * self._dynamic_factor
+
+    def transfer_power_w(self) -> float:
+        """Dynamic watts during one PCIe transfer."""
+        return self.power.transfer_w * self._dynamic_factor

@@ -17,6 +17,12 @@ in the exact order the unmemoized scheduler would have enqueued the
 commands — so memoized measurements are bit-identical to unmemoized
 ones at ``noise_sigma=0`` and statistically indistinguishable (same
 stream, same labels, same order) under noise.
+
+Energy rides on the same tapes: each cached command carries its
+average dynamic watts next to its duration, and compositions replay
+the scheduler's timeline arithmetic so composed joules (idle power
+over the makespan included) stay bit-identical to the unmemoized
+path too — see :mod:`repro.energy`.
 """
 
 from .sweep import EngineStats, SweepEngine

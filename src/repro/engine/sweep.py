@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..compiler.splitter import DeviceChunk, DistributionKind, plan_chunks
+from ..energy.meter import EnergyMeter
 from ..inspire.ast import ParamIntent
 from ..ocl.events import CommandKind
 from ..partitioning import Partitioning
@@ -38,12 +39,39 @@ class EngineStats:
         return self.tape_hits / total if total else 0.0
 
 
+def _replay_timeline(
+    commands: "Sequence[tuple[str, float, float]]",
+) -> tuple[float, float]:
+    """(busy seconds, dynamic joules) of one command sequence.
+
+    Joules are priced as watts × event duration, where the event
+    duration is read back off the advancing clock exactly as the
+    scheduler reads ``end_s - start_s`` from its profiling events —
+    the float round-trip included, so composed energies stay
+    bit-identical to the unmemoized path.
+    """
+    clock = 0.0
+    joules = 0.0
+    for _label, duration, watts in commands:
+        start = clock
+        clock = start + duration
+        joules += watts * (clock - start)
+    return clock, joules
+
+
 @dataclass(frozen=True)
 class _Tape:
-    """Noise-free timeline of one device chunk."""
+    """Noise-free timeline of one device chunk.
 
-    commands: tuple[tuple[str, float], ...]  # (label, duration_s)
+    Each command carries its average dynamic watts next to its
+    duration, so compositions price energy from the same tape: joules
+    are watts × (possibly noise-perturbed) duration, command by
+    command, exactly as the unmemoized scheduler accumulates them.
+    """
+
+    commands: tuple[tuple[str, float, float], ...]  # (label, duration_s, watts)
     total_s: float
+    dynamic_j: float
 
 
 @dataclass(frozen=True)
@@ -75,6 +103,7 @@ class SweepEngine:
     def __init__(self, runner: Runner):
         self.runner = runner
         self.stats = EngineStats()
+        self._meter = EnergyMeter(runner.devices)
         # With no noise model every composition is deterministic, so the
         # finished ExecutionResult itself can be cached per partitioning.
         self._deterministic = all(d.noise is None for d in runner.devices)
@@ -196,7 +225,7 @@ class SweepEngine:
         device = self.runner.devices[chunk.device_index]
         request = self._pinned[rid]
         analysis = request.compiled.analysis
-        commands: list[tuple[str, float]] = []
+        commands: list[tuple[str, float, float]] = []
         for cmd in plan_device_commands(
             request, chunk, multi, meta.buffer_sizes, meta.itemsizes
         ):
@@ -208,8 +237,11 @@ class SweepEngine:
                 duration = command_duration_s(
                     device, cmd, analysis, meta.scalar_args
                 )
-            commands.append((cmd.label, duration))
-        tape = _Tape(tuple(commands), sum(d for _, d in commands))
+            watts = self._meter.command_power_w(
+                device, cmd, analysis, meta.scalar_args
+            )
+            commands.append((cmd.label, duration, watts))
+        tape = _Tape(tuple(commands), *_replay_timeline(commands))
         self._tapes[key] = tape
         return tape
 
@@ -243,6 +275,7 @@ class SweepEngine:
                 return cached
         chunks, multi = self._plan(request, partitioning)
         busy = [0.0] * len(self.runner.devices)
+        dynamic_j = [0.0] * len(self.runner.devices)
         for chunk in chunks:
             if chunk.is_empty:
                 continue
@@ -250,17 +283,28 @@ class SweepEngine:
             noise = self.runner.devices[chunk.device_index].noise
             if noise is None:
                 busy[chunk.device_index] = tape.total_s
+                dynamic_j[chunk.device_index] = tape.dynamic_j
             else:
                 # Sample the noise stream command by command, in enqueue
                 # order — the same draws the unmemoized path would make.
-                total = 0.0
-                for label, duration in tape.commands:
-                    total += noise(duration, label)
+                # Jitter stretches each command's draw with its duration.
+                total, joules = _replay_timeline(
+                    [
+                        (label, noise(duration, label), watts)
+                        for label, duration, watts in tape.commands
+                    ]
+                )
                 busy[chunk.device_index] = total
+                dynamic_j[chunk.device_index] = joules
+        makespan = max(busy)
+        energy = self._meter.finalize(dynamic_j, makespan)
         result = ExecutionResult(
             partitioning=partitioning,
-            makespan_s=max(busy),
+            makespan_s=makespan,
             device_busy_s=tuple(busy),
+            device_energy_j=energy.device_energy_j,
+            energy_j=energy.total_j,
+            idle_j=energy.idle_j,
         )
         if self._deterministic:
             self._results[result_key] = result
@@ -278,12 +322,14 @@ class SweepEngine:
         if repetitions < 1:
             raise ValueError("repetitions must be >= 1")
         samples: list[float] = []
+        energy_samples: list[float] = []
         result: ExecutionResult | None = None
         for _ in range(repetitions):
             r = self._compose(request, partitioning)
             if result is None:
                 result = r
             samples.append(r.makespan_s)
+            energy_samples.append(r.energy_j)
             self.runner.stats.record(r)
         assert result is not None
         return MeasuredRun(
@@ -291,6 +337,8 @@ class SweepEngine:
             median_s=statistics.median(samples),
             samples_s=tuple(samples),
             result=result,
+            energy_j=statistics.median(energy_samples),
+            energy_samples_j=tuple(energy_samples),
         )
 
     def time_of(
@@ -312,3 +360,22 @@ class SweepEngine:
         return {
             p.label: self.time_of(request, p, repetitions=repetitions) for p in space
         }
+
+    def sweep_with_energy(
+        self,
+        request: ExecutionRequest,
+        space: Sequence[Partitioning] | Iterable[Partitioning],
+        repetitions: int = 1,
+    ) -> tuple[dict[str, float], dict[str, float]]:
+        """Measure every partitioning; returns (label → seconds, label → joules).
+
+        One composed measurement yields both numbers, so an energy-aware
+        sweep costs exactly what a timing sweep does.
+        """
+        timings: dict[str, float] = {}
+        energies: dict[str, float] = {}
+        for p in space:
+            run = self.measure(request, p, repetitions=repetitions)
+            timings[p.label] = run.median_s
+            energies[p.label] = run.energy_j
+        return timings, energies

@@ -21,6 +21,12 @@ policy:
   *finish* first (device availability + predicted duration).  This is
   the makespan-aware policy: a fast machine that is busy loses to a
   slower idle one.
+* ``energy`` — the same peek, but place the request where serving it
+  is predicted to cost the fewest *joules* (idle power over the
+  launch included), ties broken by predicted finish time.  This is
+  the fleet-level energy router: heterogeneous replicas differ in
+  watts as much as in speed, and the greenest machine for a small
+  launch is rarely the one with the most GPUs.
 
 The router also owns replica *health*: a per-replica EWMA of the
 measured/predicted makespan ratio across everything it serves.  A
@@ -46,6 +52,7 @@ from ..benchsuite.registry import get_benchmark
 from ..core.features import combined_features
 from ..core.pipeline import train_system
 from ..core.trainer import TrainingConfig
+from ..energy.objectives import MODEL_OBJECTIVES, Objective
 from ..engine import SweepEngine
 from ..ocl.platform import Platform
 from ..partitioning import Partitioning
@@ -69,7 +76,7 @@ __all__ = [
 ]
 
 #: The pluggable placement policies.
-ROUTING_POLICIES = ("least-loaded", "affinity", "predicted")
+ROUTING_POLICIES = ("least-loaded", "affinity", "predicted", "energy")
 
 
 @dataclass(frozen=True)
@@ -163,6 +170,8 @@ class ReplicaStats:
     rewarms: int = 0
     health: float = 1.0
     draining: bool = False
+    energy_j: float = 0.0
+    avg_power_w: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -189,6 +198,8 @@ class FleetStats:
     drift_flags: int = 0
     rewarms: int = 0
     zero_span_replicas: int = 0
+    energy_j: float = 0.0
+    avg_power_w: float = 0.0
 
     @property
     def num_replicas(self) -> int:
@@ -254,10 +265,28 @@ class FleetRouter:
         registry: "ModelRegistry | None" = None,
         health: HealthConfig = HealthConfig(),
     ) -> "FleetRouter":
-        """Train one system per platform and wrap them in a router."""
+        """Train one system per platform and wrap them in a router.
+
+        Each replica's model trains under the serving config's
+        objective, so an energy-objective fleet predicts energy-optimal
+        partitionings end to end.  (``energy-capped-makespan`` is a
+        serve-time constraint — its models train on makespan and the
+        cap is enforced per request by each service.)
+        """
+        objective = (
+            serving.objective
+            if serving.objective in MODEL_OBJECTIVES
+            else Objective.MAKESPAN
+        )
         services = [
             PartitioningService(
-                train_system(p, benchmarks, model_kind=model_kind, config=training),
+                train_system(
+                    p,
+                    benchmarks,
+                    model_kind=model_kind,
+                    config=training,
+                    objective=objective,
+                ),
                 serving,
             )
             for p in platforms
@@ -372,11 +401,40 @@ class FleetRouter:
                 best_index, best_finish = replica.index, finish
         return best_index
 
+    def _energy_index(self, request: ServingRequest) -> int:
+        """The replica predicted to serve this request for the fewest joules.
+
+        Same peek-every-model mechanics as the ``predicted`` policy,
+        but the score is the estimated *energy* of running the
+        replica's predicted partitioning on that machine (idle power
+        over the launch included, so a many-GPU machine pays its whole
+        board for a small launch).  Ties — identical machines answering
+        identically — break by predicted finish time so the energy
+        policy still spreads load across twins.
+        """
+        self._ensure_estimators()
+        exec_request, features = self._plumbing(request)
+        candidates = self._candidates()
+        best_index = candidates[0]
+        best_score = (float("inf"), float("inf"))
+        for index in candidates:
+            replica = self.replicas[index]
+            partitioning = self._peek(replica, request, features)
+            run = self._estimators[replica.index].measure(exec_request, partitioning)
+            free = replica.scheduler.device_free_s
+            start = max(free[d] for d in partitioning.active_devices)
+            score = (run.energy_j, start + run.median_s)
+            if score < best_score:
+                best_index, best_score = replica.index, score
+        return best_index
+
     def _route_index(self, request: ServingRequest) -> int:
         if self.policy == "affinity":
             return self._affinity_index(request)
         if self.policy == "predicted":
             return self._predicted_index(request)
+        if self.policy == "energy":
+            return self._energy_index(request)
         return self._least_loaded_index()
 
     # -- replica health ----------------------------------------------------
@@ -395,7 +453,17 @@ class FleetRouter:
         estimate = response.estimate_s
         if estimate is None or estimate <= 0:
             return
-        ratio = response.measured_s / estimate
+        if not math.isfinite(estimate):
+            return
+        # Compare in the service's objective units: ``cost`` is the
+        # measured scalar the estimate was produced in (seconds only
+        # under the makespan objective — an energy-objective replica
+        # must be judged in joules, not joules-vs-seconds).
+        ratio = response.cost / estimate
+        if not math.isfinite(ratio):
+            # Cap-infeasible measurements cost inf; inf/NaN would
+            # poison the health EWMA permanently.
+            return
         state = self._health[replica.index]
         state.ewma = (
             self.health.alpha * ratio + (1.0 - self.health.alpha) * state.ewma
@@ -446,7 +514,9 @@ class FleetRouter:
         first placement must not be lost on them.
         """
         estimators = (
-            self._ensure_estimators() if self.policy == "predicted" else None
+            self._ensure_estimators()
+            if self.policy in ("predicted", "energy")
+            else None
         )
         hit = []
         for replica in self.replicas:
@@ -516,6 +586,14 @@ class FleetRouter:
                     rewarms=r.rewarms,
                     health=health.ewma,
                     draining=health.draining > 0,
+                    energy_j=stats.energy_j,
+                    # Average draw over the replica's own multiplexed
+                    # span; zero-span replicas report 0 W, not inf.
+                    avg_power_w=(
+                        stats.energy_j / sched.makespan_s
+                        if sched.makespan_s > 0
+                        else 0.0
+                    ),
                 )
             )
         requests = sum(p.routed for p in per)
@@ -527,6 +605,7 @@ class FleetRouter:
         # sentinel cases are surfaced as a count instead.
         zero_span = sum(1 for p in per if math.isinf(p.throughput_rps))
         throughput = requests / makespan if makespan > 0 else 0.0
+        energy = sum(p.energy_j for p in per)
         return FleetStats(
             replicas=tuple(per),
             requests=requests,
@@ -537,4 +616,8 @@ class FleetRouter:
             drift_flags=sum(p.drift_flags for p in per),
             rewarms=sum(p.rewarms for p in per),
             zero_span_replicas=zero_span,
+            energy_j=energy,
+            # Fleet draw averaged over the concurrent span (replicas
+            # run side by side, so joules sum but seconds do not).
+            avg_power_w=energy / makespan if makespan > 0 else 0.0,
         )

@@ -36,6 +36,24 @@ class Device:
         self._clock_s = 0.0
         self.throughput_scale = 1.0
         self.drift_generation = 0
+        self._power_model = None
+
+    @property
+    def power_model(self):
+        """Lazily-built power model (see :mod:`repro.energy.power`).
+
+        Rebuilt after drift: the drifted spec carries the linear clock
+        component and ``throughput_scale`` feeds the DVFS voltage term.
+        Imported lazily so :mod:`repro.ocl` stays importable without
+        the energy package initialized (no import cycle).
+        """
+        if self._power_model is None:
+            from ..energy.power import DevicePowerModel
+
+            self._power_model = DevicePowerModel(
+                self.spec, dvfs_scale=self.throughput_scale
+            )
+        return self._power_model
 
     @property
     def name(self) -> str:
@@ -79,6 +97,8 @@ class Device:
         self.cost_model = DeviceCostModel(self.spec)
         self.throughput_scale *= scale
         self.drift_generation += 1
+        # Watts drift with the clock (DVFS cube law); rebuild lazily.
+        self._power_model = None
 
     def occupy(self, duration_s: float, label: str) -> tuple[float, float]:
         """Advance the timeline by ``duration_s``; returns (start, end).

@@ -22,16 +22,23 @@ __all__ = ["MeasuredRun", "Runner", "SessionStats"]
 
 @dataclass(frozen=True)
 class MeasuredRun:
-    """Median-of-repetitions timing for one partitioning."""
+    """Median-of-repetitions timing (and energy) for one partitioning."""
 
     partitioning: Partitioning
     median_s: float
     samples_s: tuple[float, ...]
     result: ExecutionResult
+    energy_j: float = 0.0
+    energy_samples_j: tuple[float, ...] = ()
 
     @property
     def repetitions(self) -> int:
         return len(self.samples_s)
+
+    @property
+    def average_power_w(self) -> float:
+        """Median platform draw over the launch (0 for a zero span)."""
+        return self.energy_j / self.median_s if self.median_s > 0 else 0.0
 
 
 @dataclass
@@ -49,21 +56,41 @@ class SessionStats:
 
     executions: int = 0
     simulated_s: float = 0.0
+    energy_j: float = 0.0
     device_busy_s: list[float] = field(default_factory=list)
+    device_idle_s: list[float] = field(default_factory=list)
 
     def record(self, result: ExecutionResult) -> None:
         if not self.device_busy_s:
             self.device_busy_s = [0.0] * len(result.device_busy_s)
+            self.device_idle_s = [0.0] * len(result.device_busy_s)
         self.executions += 1
         self.simulated_s += result.makespan_s
-        for i, t in enumerate(result.device_busy_s):
-            self.device_busy_s[i] += t
+        self.energy_j += result.energy_j
+        for i, (busy, idle) in enumerate(result.device_spans):
+            self.device_busy_s[i] += busy
+            self.device_idle_s[i] += idle
 
     def utilization(self) -> tuple[float, ...]:
         """Per-device busy fraction of the serialized simulated time."""
         if self.simulated_s <= 0.0:
             return tuple(0.0 for _ in self.device_busy_s)
         return tuple(t / self.simulated_s for t in self.device_busy_s)
+
+    def idle_fractions(self) -> tuple[float, ...]:
+        """Per-device idle fraction of the serialized simulated time.
+
+        Complements :meth:`utilization` from the accumulated idle
+        spans; busy + idle sums to the serialized makespan per device,
+        so the two fractions sum to 1 wherever anything ran.
+        """
+        if self.simulated_s <= 0.0:
+            return tuple(0.0 for _ in self.device_idle_s)
+        return tuple(t / self.simulated_s for t in self.device_idle_s)
+
+    def average_power_w(self) -> float:
+        """Platform draw averaged over the serialized simulated time."""
+        return self.energy_j / self.simulated_s if self.simulated_s > 0 else 0.0
 
 
 class Runner:
@@ -132,6 +159,7 @@ class Runner:
         if repetitions < 1:
             raise ValueError("repetitions must be >= 1")
         samples: list[float] = []
+        energy_samples: list[float] = []
         result: ExecutionResult | None = None
         for rep in range(repetitions):
             r = execute_partitioned(
@@ -143,6 +171,7 @@ class Runner:
             if rep == 0:
                 result = r
             samples.append(r.makespan_s)
+            energy_samples.append(r.energy_j)
             self.stats.record(r)
         assert result is not None
         return MeasuredRun(
@@ -150,6 +179,8 @@ class Runner:
             median_s=statistics.median(samples),
             samples_s=tuple(samples),
             result=result,
+            energy_j=statistics.median(energy_samples),
+            energy_samples_j=tuple(energy_samples),
         )
 
     def time_of(

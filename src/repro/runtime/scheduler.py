@@ -18,6 +18,7 @@ import numpy as np
 
 from ..compiler.frontend import CompiledKernel
 from ..compiler.splitter import DistributionKind, plan_chunks
+from ..energy.meter import EnergyMeter
 from ..inspire.ast import ParamIntent
 from ..ocl.context import Context
 from ..ocl.events import Event
@@ -85,16 +86,51 @@ class ExecutionRequest:
 
 @dataclass(frozen=True)
 class ExecutionResult:
-    """Outcome of one partitioned execution."""
+    """Outcome of one partitioned execution.
+
+    Attributes:
+        partitioning: the split that ran.
+        makespan_s: wall-clock of the slowest device, transfers included.
+        device_busy_s: per-device active seconds.
+        device_energy_j: per-device joules (dynamic + that device's idle
+            share over the makespan); empty when energy was not metered.
+        energy_j: platform joules of the launch, idle power included.
+        idle_j: the idle-power portion of :attr:`energy_j`.
+        events: profiling events (scheduler path only).
+    """
 
     partitioning: Partitioning
     makespan_s: float
     device_busy_s: tuple[float, ...]
+    device_energy_j: tuple[float, ...] = ()
+    energy_j: float = 0.0
+    idle_j: float = 0.0
     events: tuple[Event, ...] = field(repr=False, default=())
 
     @property
     def active_device_count(self) -> int:
         return sum(1 for t in self.device_busy_s if t > 0)
+
+    @property
+    def device_idle_s(self) -> tuple[float, ...]:
+        """Per-device idle seconds: makespan minus that device's busy time."""
+        return tuple(self.makespan_s - t for t in self.device_busy_s)
+
+    @property
+    def device_spans(self) -> tuple[tuple[float, float], ...]:
+        """Per-device (busy_s, idle_s) spans over the launch makespan.
+
+        Energy accounting reads these (idle watts apply to the idle
+        span), and utilization telemetry rolls them up standalone.
+        """
+        return tuple(
+            (t, self.makespan_s - t) for t in self.device_busy_s
+        )
+
+    @property
+    def average_power_w(self) -> float:
+        """Platform draw averaged over the launch (0 for a zero span)."""
+        return self.energy_j / self.makespan_s if self.makespan_s > 0 else 0.0
 
 
 _REDUCE_IDENTITY = {
@@ -162,6 +198,8 @@ def execute_partitioned(
 
     active_devices = sum(1 for c in chunks if not c.is_empty)
     all_events: list[Event] = []
+    meter = EnergyMeter(context.devices)
+    dynamic_j = [0.0] * context.num_devices
     for chunk in chunks:
         if chunk.is_empty:
             continue
@@ -186,11 +224,17 @@ def execute_partitioned(
             )
 
         # Timing: replay the planned command sequence on the queue.
+        # Energy rides on the same events: watts are noise-free model
+        # outputs, the (possibly noise-perturbed) event duration sets
+        # how long the device draws them.
         for cmd in plan_device_commands(
             request, chunk, active_devices > 1, buffer_sizes, itemsizes
         ):
             duration = command_duration_s(device, cmd, compiled.analysis, scalar_args)
-            all_events.append(queue.enqueue_timed(cmd.kind, cmd.label, duration))
+            watts = meter.command_power_w(device, cmd, compiled.analysis, scalar_args)
+            event = queue.enqueue_timed(cmd.kind, cmd.label, duration)
+            dynamic_j[chunk.device_index] += watts * event.duration_s
+            all_events.append(event)
 
     # 4. Merge reduction outputs into the host arrays.
     if functional and private_copies:
@@ -202,9 +246,14 @@ def execute_partitioned(
                 merge(host, copies[name])
 
     busy = tuple(d.clock_s for d in context.devices)
+    makespan = context.makespan_s()
+    energy = meter.finalize(dynamic_j, makespan)
     return ExecutionResult(
         partitioning=partitioning,
-        makespan_s=context.makespan_s(),
+        makespan_s=makespan,
         device_busy_s=busy,
+        device_energy_j=energy.device_energy_j,
+        energy_j=energy.total_j,
+        idle_j=energy.idle_j,
         events=tuple(all_events),
     )

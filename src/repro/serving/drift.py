@@ -24,6 +24,7 @@ across many keys inside the window escalates to platform-level drift
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
@@ -87,9 +88,15 @@ class DriftDetector:
         estimate) and starts a cooldown so one drift cannot fire a
         search storm.
         """
-        if estimate_s <= 0:
+        if estimate_s <= 0 or not math.isfinite(estimate_s):
             return False
         ratio = measured_s / estimate_s
+        if not math.isfinite(ratio):
+            # An infinite cost (e.g. a cap-infeasible measurement under
+            # the energy-capped objective) carries no ratio information
+            # — folding it in would poison the EWMA with inf/NaN
+            # forever.  The regression check handles infeasibility.
+            return False
         state = self._keys.get(key)
         if state is None:
             state = self._keys[key] = _KeyState(ewma=ratio)

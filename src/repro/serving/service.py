@@ -35,8 +35,20 @@ from ..benchsuite.registry import get_benchmark
 from ..core.database import TrainingDatabase
 from ..core.pipeline import TrainedSystem
 from ..core.predictor import PartitioningPredictor
+from ..energy.meter import EnergyMeter
+from ..energy.objectives import (
+    Objective,
+    cap_feasible,
+    coerce_objective,
+    objective_cost,
+)
 from ..engine import SweepEngine
-from ..partitioning import DEFAULT_STEP_PERCENT, Partitioning, neighborhood
+from ..partitioning import (
+    DEFAULT_STEP_PERCENT,
+    Partitioning,
+    neighborhood,
+    partition_space,
+)
 from ..runtime.scheduler import ExecutionRequest
 from .cache import CacheKey, PredictionCache
 from .dispatch import BatchScheduler, DispatchSlot
@@ -103,6 +115,16 @@ class ServiceConfig:
         drift_escalation: flags inside the window that escalate to
             platform-level drift — full cache invalidation, pinned
             winners dropped, model refit.  0 disables escalation.
+        objective: what the service optimizes (makespan / energy / EDP /
+            energy-capped-makespan).  Every measured run is priced in
+            this objective's scalar cost: regression checks, drift
+            detection and local-search winners all compare costs, so an
+            energy-objective service adapts on *energy* regressions.
+        power_cap_w: average-power budget per served launch.  When set,
+            a model answer whose measured draw exceeds the cap is
+            replaced by the best cap-feasible grid point (measured,
+            memoized per key) before dispatch.  Required for the
+            ``energy-capped-makespan`` objective.
     """
 
     cache_capacity: int = 512
@@ -122,8 +144,17 @@ class ServiceConfig:
     drift_min_observations: int = 3
     drift_cooldown: int = 8
     drift_escalation: int = 8
+    objective: Objective = Objective.MAKESPAN
+    power_cap_w: float | None = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "objective", coerce_objective(self.objective))
+        if self.power_cap_w is not None and not self.power_cap_w > 0:
+            raise ValueError("power_cap_w must be positive")
+        if self.objective is Objective.ENERGY_CAPPED and self.power_cap_w is None:
+            raise ValueError(
+                "the energy-capped-makespan objective needs a power_cap_w"
+            )
         if self.regression_threshold < 0:
             raise ValueError("regression_threshold must be non-negative")
         if self.refit_interval < 1:
@@ -148,7 +179,13 @@ class ServiceConfig:
 
 @dataclass
 class ServiceStats:
-    """Counters over one service lifetime."""
+    """Counters over one service lifetime.
+
+    ``improvement_s`` is measured in the configured objective's units
+    (seconds under makespan, joules under energy, J·s under EDP).
+    ``energy_j`` totals the joules of every *served* run (adaptation
+    probes are visible in the runner's session stats instead).
+    """
 
     requests: int = 0
     adaptations: int = 0
@@ -159,11 +196,18 @@ class ServiceStats:
     drift_flags: int = 0
     drift_escalations: int = 0
     rewarms: int = 0
+    energy_j: float = 0.0
+    power_capped: int = 0
+    power_cap_violations: int = 0
 
 
 @dataclass(frozen=True)
 class ServedResponse:
-    """Everything the service decided and observed for one request."""
+    """Everything the service decided and observed for one request.
+
+    ``estimate_s`` and ``improvement_s`` are in the configured
+    objective's units (seconds only under the makespan objective).
+    """
 
     request: ServingRequest
     partitioning: Partitioning
@@ -173,6 +217,17 @@ class ServedResponse:
     slot: DispatchSlot
     adapted: bool = False
     improvement_s: float = 0.0
+    energy_j: float = 0.0
+    capped: bool = False
+    #: Measured scalar cost under the service's objective — the number
+    #: ``estimate_s`` is comparable against (equals ``measured_s`` only
+    #: under the makespan objective).
+    cost: float = 0.0
+
+    @property
+    def power_w(self) -> float:
+        """Average platform draw over this launch (0 for a zero span)."""
+        return self.energy_j / self.measured_s if self.measured_s > 0 else 0.0
 
 
 class PartitioningService:
@@ -189,6 +244,32 @@ class PartitioningService:
                 f"adaptation_step {config.adaptation_step} is off the trained "
                 f"partition grid (step {trained_step}); use a multiple of it"
             )
+        if config.power_cap_w is not None:
+            idle_floor = EnergyMeter(system.runner.devices).platform_idle_w()
+            if config.power_cap_w <= idle_floor:
+                # Idle watts of every device accrue over any launch, so
+                # no partitioning can ever average below the floor.
+                raise ValueError(
+                    f"power_cap_w {config.power_cap_w:g} W is at or below the "
+                    f"platform idle floor ({idle_floor:g} W); no partitioning "
+                    "can satisfy it"
+                )
+        if config.objective is not Objective.MAKESPAN or config.power_cap_w:
+            # Fail at construction, not on the first request deep in a
+            # serve loop: a database recorded before the energy
+            # subsystem (e.g. loaded from an old registry snapshot)
+            # cannot answer energy-aware estimates.
+            legacy = [
+                f"{r.program}@{r.size}" for r in system.database if not r.energies
+            ]
+            if legacy:
+                raise ValueError(
+                    f"objective {config.objective.value!r}"
+                    + (" with a power cap" if config.power_cap_w else "")
+                    + f" needs energy sweeps, but {len(legacy)} database "
+                    f"records have none (e.g. {legacy[0]}); retrain or "
+                    "serve with the makespan objective"
+                )
         self.system = system
         self.config = config
         self.cache = PredictionCache(config.cache_capacity)
@@ -208,6 +289,9 @@ class PartitioningService:
         )
         self._validated: dict[CacheKey, Partitioning] = {}
         self._adaptations_by_key: dict[CacheKey, int] = {}
+        # Power-cap substitutions, memoized per key: the cap decision is
+        # measurement-backed, so it survives refits but not drift.
+        self._capped: dict[CacheKey, Partitioning] = {}
         # Post-drift estimate re-baselines: the database's best_time is
         # a *pre-drift* minimum the hardware may no longer reach, so a
         # flagged key's estimate is pinned to the best time measured on
@@ -237,19 +321,44 @@ class PartitioningService:
         return self._requests[key]
 
     def _estimate(self, key: CacheKey) -> float | None:
+        """Best achievable objective cost for a key, from the database.
+
+        Post-drift re-baselines (measured on the drifted hardware)
+        override the database minimum.  Under a power cap the estimate
+        comes from cap-feasible sweep points only — a capped service
+        must not judge itself against a draw it is forbidden to use.
+        """
         override = self._drift_estimates.get(key)
         if override is not None:
             return override
         record = self.system.database.record_for(*key)
-        return record.best_time if record is not None else None
+        if record is None:
+            return None
+        return record.best_cost_for(
+            self.config.objective, power_cap_w=self.config.power_cap_w
+        )
 
-    def _measure(self, exec_request: ExecutionRequest, p: Partitioning) -> float:
+    def _measure(
+        self, exec_request: ExecutionRequest, p: Partitioning
+    ) -> tuple[float, float]:
+        """Measure one partitioning; returns (median seconds, joules)."""
         if self.engine is not None:
-            return self.engine.time_of(
+            run = self.engine.measure(
                 exec_request, p, repetitions=self.config.repetitions
             )
-        return self.system.runner.time_of(
-            exec_request, p, repetitions=self.config.repetitions
+        else:
+            run = self.system.runner.run(
+                exec_request, p, functional=False, repetitions=self.config.repetitions
+            )
+        return run.median_s, run.energy_j
+
+    def _cost(self, time_s: float, energy_j: float) -> float:
+        """Scalar cost of one measurement under the configured objective."""
+        return objective_cost(
+            self.config.objective,
+            time_s,
+            energy_j,
+            power_cap_w=self.config.power_cap_w,
         )
 
     def peek_prediction(
@@ -309,44 +418,62 @@ class PartitioningService:
             self.cache.put(key, cached)
         partitioning = cached
 
+        capped = False
+        if self.config.power_cap_w is not None:
+            partitioning, capped = self._enforce_cap(key, exec_request, partitioning)
+            if capped:
+                self.stats.power_capped += 1
+
         estimate = self._estimate(key)
         cold = estimate is None
-        measured = self._measure(exec_request, partitioning)
+        measured, energy = self._measure(exec_request, partitioning)
+        cost = self._cost(measured, energy)
         slot = self.scheduler.dispatch(partitioning, measured)
+        self.stats.energy_j += energy
+        if (
+            self.config.power_cap_w is not None
+            and measured > 0
+            and energy / measured > self.config.power_cap_w
+        ):
+            self.stats.power_cap_violations += 1
 
         regressed = (
             estimate is not None
-            and measured > (1.0 + self.config.regression_threshold) * estimate
+            and cost > (1.0 + self.config.regression_threshold) * estimate
         )
         if regressed:
             self.stats.regressions += 1
 
         drifted = False
         if self.detector is not None and estimate is not None:
-            drifted = self.detector.observe(key, measured, estimate)
+            drifted = self.detector.observe(key, cost, estimate)
         if drifted:
             # Sustained disagreement: every decision made for this key
-            # on the old evidence is suspect.  Drop the cached answer
-            # and the pinned winner, and restore the adaptation budget
-            # so the re-search below is allowed to run.
+            # on the old evidence is suspect.  Drop the cached answer,
+            # the pinned winner and the power-cap substitution, and
+            # restore the adaptation budget so the re-search below is
+            # allowed to run.
             self.stats.drift_flags += 1
             self.cache.invalidate(key)
             self._validated.pop(key, None)
             self._adaptations_by_key.pop(key, None)
+            self._capped.pop(key, None)
 
         adapted = False
         improvement = 0.0
         timings = {partitioning.label: measured}
+        energies = {partitioning.label: energy}
+        costs = {partitioning.label: cost}
         if self._should_search(key, cold, regressed or drifted):
             adapted, improvement, partitioning = self._adapt(
-                key, exec_request, partitioning, measured, timings, cold
+                key, exec_request, partitioning, cost, timings, energies, costs, cold
             )
         if drifted:
             # Re-baseline against the drifted hardware: the freshest
             # measured best is the estimate future requests are judged
             # by (the database minimum may be unreachable now), and the
             # search winner goes back in the cache either way.
-            self._drift_estimates[key] = min(timings.values())
+            self._drift_estimates[key] = min(costs.values())
             self.cache.put(key, partitioning)
             if (
                 self.config.drift_escalation > 0
@@ -356,7 +483,10 @@ class PartitioningService:
 
         # Every measured run — adapted or not — lands in the database.
         self.system.database.merge_timings(
-            *key, features=dict(self._features[key]), timings=timings
+            *key,
+            features=dict(self._features[key]),
+            timings=timings,
+            energies=energies,
         )
 
         return ServedResponse(
@@ -368,6 +498,9 @@ class PartitioningService:
             slot=slot,
             adapted=adapted,
             improvement_s=improvement,
+            energy_j=energy,
+            capped=capped,
+            cost=cost,
         )
 
     def serve(self, trace: Sequence[ServingRequest]) -> list[ServedResponse]:
@@ -431,15 +564,35 @@ class PartitioningService:
         key: CacheKey,
         exec_request: ExecutionRequest,
         predicted: Partitioning,
-        measured: float,
+        measured_cost: float,
         timings: dict[str, float],
+        energies: dict[str, float],
+        costs: dict[str, float],
         cold: bool,
     ) -> tuple[bool, float, Partitioning]:
-        """Local neighbourhood re-search around a suspect prediction."""
+        """Local neighbourhood re-search around a suspect prediction.
+
+        Candidates are compared in the configured objective's scalar
+        cost; under a power cap the winner must additionally be
+        cap-feasible unless *nothing* measured is (the request still
+        has to run somewhere).
+        """
         self._adaptations_by_key[key] = self._adaptations_by_key.get(key, 0) + 1
         for candidate in neighborhood(predicted, self.config.adaptation_step):
-            timings[candidate.label] = self._measure(exec_request, candidate)
-        best_label = min(timings, key=lambda label: timings[label])
+            t, e = self._measure(exec_request, candidate)
+            timings[candidate.label] = t
+            energies[candidate.label] = e
+            costs[candidate.label] = self._cost(t, e)
+        eligible = costs
+        cap = self.config.power_cap_w
+        if cap is not None:
+            feasible = {
+                label: c
+                for label, c in costs.items()
+                if cap_feasible(timings[label], energies[label], cap)
+            }
+            eligible = feasible or costs
+        best_label = min(eligible, key=lambda label: (eligible[label], label))
         best = Partitioning.from_label(best_label)
         if cold:
             self.stats.cold_validations += 1
@@ -447,16 +600,67 @@ class PartitioningService:
             return False, 0.0, predicted
 
         # The model mispredicted this key: pin the validated winner and
-        # queue the new evidence for an incremental refit.
-        improvement = measured - timings[best_label]
+        # queue the new evidence for an incremental refit.  Two
+        # infinite costs (cap-infeasible served run AND winner) carry
+        # no magnitude — record zero gain rather than inf - inf = NaN.
+        improvement = measured_cost - costs[best_label]
+        if not math.isfinite(improvement):
+            improvement = 0.0
         self.stats.adaptations += 1
         self.stats.improvement_s += improvement
         self._validated[key] = best
         self.cache.put(key, best)
+        if cap is not None:
+            # The winner was measured under the cap; future cap checks
+            # for this key must start from it, not the old substitute.
+            self._capped[key] = best
         self._pending_refit += 1
         if self._pending_refit >= self.config.refit_interval:
             self.refit_now()
         return True, improvement, best
+
+    def _enforce_cap(
+        self,
+        key: CacheKey,
+        exec_request: ExecutionRequest,
+        predicted: Partitioning,
+    ) -> tuple[Partitioning, bool]:
+        """Swap an over-cap answer for the best cap-feasible grid point.
+
+        The check is measurement-backed (one probe of the candidate;
+        a full grid probe only when it violates), and the decision is
+        memoized per key — probes compose from the engine's cached
+        tapes, so steady-state requests pay a dictionary lookup.  When
+        no grid point satisfies the cap the minimum-power one serves
+        (and the violation will be counted at dispatch).
+        """
+        hit = self._capped.get(key)
+        if hit is not None:
+            return hit, hit != predicted
+        cap = self.config.power_cap_w
+        assert cap is not None
+        t, e = self._measure(exec_request, predicted)
+        if cap_feasible(t, e, cap):
+            self._capped[key] = predicted
+            return predicted, False
+        best: Partitioning | None = None
+        best_cost = math.inf
+        fallback = predicted
+        fallback_power = e / t
+        for candidate in partition_space(
+            predicted.num_devices, self.config.adaptation_step
+        ):
+            ct, ce = self._measure(exec_request, candidate)
+            power = ce / ct if ct > 0 else 0.0
+            if power < fallback_power:
+                fallback, fallback_power = candidate, power
+            if cap_feasible(ct, ce, cap):
+                cost = self._cost(ct, ce)
+                if cost < best_cost:
+                    best, best_cost = candidate, cost
+        chosen = best if best is not None else fallback
+        self._capped[key] = chosen
+        return chosen, chosen != predicted
 
     def refit_now(self) -> None:
         """Incrementally refit the model and re-seed the cache.
@@ -490,6 +694,7 @@ class PartitioningService:
         self.stats.drift_escalations += 1
         self._validated.clear()
         self._adaptations_by_key.clear()
+        self._capped.clear()
         self.detector.reset()
         self.refit_now()
 
@@ -527,6 +732,7 @@ class PartitioningService:
         self.cache.invalidate()
         self._validated.clear()
         self._adaptations_by_key.clear()
+        self._capped.clear()
         self._pending_refit = 0
         if self.detector is not None:
             self.detector.reset()

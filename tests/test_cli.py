@@ -95,6 +95,58 @@ class TestServing:
         with pytest.raises(SystemExit):
             main(["replay", "--requests", "1", "--train-programs", "0"])
 
+    def test_replay_with_energy_objective_reports_energy(self, capsys):
+        assert main(
+            ["replay", "--machine", "mc2", "--requests", "20",
+             "--train-programs", "4", "--max-sizes", "1", "--model", "knn",
+             "--objective", "energy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "objective" in out and "energy" in out
+        assert "served energy" in out
+        assert "avg power (served)" in out
+
+    def test_replay_with_power_cap_reports_cap_row(self, capsys):
+        assert main(
+            ["replay", "--machine", "mc2", "--requests", "15",
+             "--train-programs", "4", "--max-sizes", "1", "--model", "knn",
+             "--power-cap", "160"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "power cap" in out
+        assert "violations" in out
+
+    def test_replay_rejects_cap_below_idle_floor(self):
+        with pytest.raises(SystemExit, match="idle floor"):
+            main(
+                ["replay", "--machine", "mc2", "--requests", "5",
+                 "--train-programs", "2", "--max-sizes", "1", "--model", "knn",
+                 "--power-cap", "1"]
+            )
+
+    def test_objective_choices_validated(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "--requests", "1", "--objective", "speed"])
+
+
+class TestEnergySweep:
+    def test_energy_sweep_reports_pareto(self, capsys):
+        assert main(
+            ["energy-sweep", "black_scholes", "--machine", "mc2",
+             "--max-sizes", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "black_scholes on mc2" in out
+        assert "makespan-best" in out
+        assert "energy-best" in out
+        assert "pareto" in out
+
+    def test_energy_sweep_covers_both_machines_by_default(self, capsys):
+        assert main(["energy-sweep", "vec_add", "--size", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "vec_add on mc1" in out
+        assert "vec_add on mc2" in out
+
 
 class TestFleet:
     def test_fleet_serve_reports_summary(self, capsys):
@@ -112,6 +164,17 @@ class TestFleet:
     def test_fleet_serve_policy_choices(self):
         with pytest.raises(SystemExit):
             main(["fleet-serve", "--policy", "round-robin"])
+
+    def test_fleet_serve_energy_policy_reports_power(self, capsys):
+        assert main(
+            ["fleet-serve", "--machines", "2", "--requests", "12",
+             "--train-programs", "2", "--max-sizes", "1", "--model", "knn",
+             "--policy", "energy", "--objective", "energy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "policy energy" in out
+        assert "energy (J)" in out and "power (W)" in out
+        assert "fleet energy" in out and "fleet avg power" in out
 
     def test_fleet_train_rejects_unpersistable_model_up_front(self, tmp_path):
         # Must fail before any training campaign runs, not in save_model.

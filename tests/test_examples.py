@@ -31,6 +31,15 @@ def test_custom_kernel(capsys):
     assert "functional check passed" in out
 
 
+def test_energy_tradeoff(capsys):
+    out = _run("energy_tradeoff.py", capsys=capsys)
+    # Both platforms report both objectives and a non-empty front.
+    assert out.count("makespan-optimal:") == 2
+    assert out.count("energy-optimal:") == 2
+    assert "Pareto front" in out
+    assert "energy saved" in out
+
+
 @pytest.mark.slow
 def test_size_sensitivity_example(capsys):
     out = _run("size_sensitivity.py", capsys=capsys)

@@ -101,7 +101,12 @@ class TestRouterConstruction:
             FleetRouter(services)
 
     def test_policies_constant_is_exhaustive(self):
-        assert set(ROUTING_POLICIES) == {"least-loaded", "affinity", "predicted"}
+        assert set(ROUTING_POLICIES) == {
+            "least-loaded",
+            "affinity",
+            "predicted",
+            "energy",
+        }
 
 
 class TestRouting:
