@@ -1,9 +1,11 @@
 """E7 — serving-layer throughput and cache behaviour.
 
 Measures the online serving path on a Zipf-skewed trace: end-to-end
-requests/s through the PartitioningService (the number later PRs track),
-the steady-state cost of a cache hit versus a cold prediction, and the
-price of one online adaptation (local search + incremental refit).
+requests/s through the event-driven serving loop (open-loop poisson
+arrivals, per-replica queueing, streaming latency histograms — the
+number later PRs track), the steady-state cost of a cache hit versus a
+cold prediction, and the price of one online adaptation (local search +
+incremental refit).
 """
 
 import pytest
@@ -12,12 +14,14 @@ from repro.benchsuite import all_benchmarks, get_benchmark
 from repro.core import TrainingConfig, train_system
 from repro.machines import MC2
 from repro.serving import (
+    EventLoop,
+    EventLoopConfig,
     PartitioningService,
     ServiceConfig,
     ServingRequest,
     key_universe,
 )
-from repro.workloads import WorkloadSpec, make_workload
+from repro.workloads import WorkloadSpec, stream_timed_items
 
 #: Trace shape shared by the throughput benchmarks.
 TRACE_REQUESTS = 200
@@ -40,28 +44,41 @@ def trained_system():
 
 
 def test_serving_throughput(benchmark, trained_system):
-    """Requests/s through the full service loop on a skewed trace."""
+    """Requests/s through the event-driven loop on a skewed trace.
+
+    Open-loop poisson arrivals through the simulated-time event loop:
+    what the benchmark times is the full serve path — placement,
+    queueing, prediction, execution, histogram accounting — and the
+    latency percentiles ride along in ``extra_info``.
+    """
     keys = key_universe(all_benchmarks(), max_sizes=2)
-    trace = make_workload(
-        WorkloadSpec(
-            family="stationary", num_requests=TRACE_REQUESTS, skew=TRACE_SKEW, seed=0
-        ),
-        keys,
-    ).requests
+    spec = WorkloadSpec(
+        family="stationary",
+        num_requests=TRACE_REQUESTS,
+        skew=TRACE_SKEW,
+        seed=0,
+        arrival="poisson",
+        rate_rps=2000.0,
+    )
 
     def replay():
         service = PartitioningService(trained_system, ServiceConfig())
-        service.serve(trace)
-        return service
+        loop = EventLoop.for_service(service, EventLoopConfig())
+        stats = loop.run(stream_timed_items(spec, keys))
+        return service, stats
 
-    service = benchmark.pedantic(replay, rounds=3, iterations=1)
+    service, loop_stats = benchmark.pedantic(replay, rounds=3, iterations=1)
     stats = service.cache.stats
     benchmark.extra_info["requests"] = TRACE_REQUESTS
     benchmark.extra_info["requests_per_s"] = TRACE_REQUESTS / benchmark.stats.stats.mean
     benchmark.extra_info["cache_hit_rate"] = stats.hit_rate
     benchmark.extra_info["refits"] = service.stats.refits
+    benchmark.extra_info["latency_p99_s"] = loop_stats.latency.quantile(0.99)
+    benchmark.extra_info["queue_p99_s"] = loop_stats.queue_wait.quantile(0.99)
     assert stats.hit_rate > 0.5
     assert service.stats.requests == TRACE_REQUESTS
+    assert loop_stats.completed == TRACE_REQUESTS
+    assert loop_stats.in_flight == 0
 
 
 def test_cache_hit_path(benchmark, trained_system):

@@ -25,6 +25,14 @@ The serving commands optimize makespan by default; ``--objective
 energy|edp`` retargets the model, the regression checks and the local
 search, and ``--power-cap WATTS`` serves under an average-power budget
 (see docs/ENERGY.md).
+
+By default the serving commands replay their trace closed-loop (each
+request submitted the instant the previous one finishes).  ``--arrival
+uniform|poisson`` switches to the event-driven path: requests arrive on
+their own simulated clock at ``--arrival-rate``, queue per replica, and
+the summary gains end-to-end latency percentiles; ``--slo-ms`` sets a
+latency target with violation tracking and ``--shed-policy
+deadline|priority`` enables admission control (see docs/SERVING.md).
 """
 
 from __future__ import annotations
@@ -245,8 +253,24 @@ def _workload_from_args(args: argparse.Namespace, keys):
         skew_min=args.skew_min,
         skew_max=args.skew_max,
         drift_events=_parse_drift_events(args.drift),
+        arrival=args.arrival or "sequential",
+        rate_rps=args.arrival_rate,
     )
     return make_workload(spec, keys)
+
+
+def _event_config_from_args(args: argparse.Namespace):
+    """The event-loop config behind ``--arrival/--slo-ms/--shed-policy``."""
+    from .serving import EventLoopConfig, SLOConfig
+
+    target_s = args.slo_ms / 1e3 if args.slo_ms is not None else None
+    try:
+        return EventLoopConfig(
+            shed_policy=args.shed_policy,
+            slo=SLOConfig(target_s=target_s),
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
 
 
 def _objective_quantity(service, value: float) -> str:
@@ -261,12 +285,13 @@ def _objective_quantity(service, value: float) -> str:
     return f"{value * 1e3:.3f} ms"
 
 
-def _print_service_summary(service, responses, wall_s: float) -> None:
+def _print_service_summary(service, serialized: float, wall_s: float) -> None:
+    """``serialized`` is the summed execute seconds of the served requests
+    (streamed as a float so the event path never holds a response list)."""
     stats = service.stats
     cache = service.cache.stats
     sched = service.scheduler
     runner_stats = service.system.runner.stats
-    serialized = sum(r.measured_s for r in responses)
     multiplexed = sched.makespan_s
     served_executions = stats.requests * service.config.repetitions
     probes = runner_stats.executions - served_executions
@@ -341,6 +366,48 @@ def _print_service_summary(service, responses, wall_s: float) -> None:
     print(format_table(["metric", "value"], rows, title="Serving summary"))
 
 
+def _print_latency_summary(loop_stats) -> None:
+    """The event-driven path's report: tail latency, queueing, SLOs."""
+    lat = loop_stats.latency
+    queue = loop_stats.queue_wait
+    rows = [
+        ("arrivals", f"{loop_stats.arrivals}"),
+        (
+            "completed",
+            f"{loop_stats.completed} "
+            f"({loop_stats.shed} shed, {loop_stats.shed_rate * 100.0:.1f}%)",
+        ),
+        ("simulated span", f"{loop_stats.clock_s * 1e3:.3f} ms"),
+        ("throughput (event)", f"{loop_stats.throughput_rps:.1f} req/s"),
+        (
+            "latency p50/p95/p99",
+            " / ".join(f"{v * 1e3:.3f} ms" for v in lat.quantiles().values()),
+        ),
+        ("latency mean", f"{lat.mean_s * 1e3:.3f} ms"),
+        (
+            "queue wait p50/p95/p99",
+            " / ".join(f"{v * 1e3:.3f} ms" for v in queue.quantiles().values()),
+        ),
+        (
+            "SLO violations",
+            f"{loop_stats.slo.violations} "
+            f"({loop_stats.violation_rate * 100.0:.1f}% of completed)",
+        ),
+        ("loop idle energy", f"{loop_stats.idle_energy_j:.3f} J"),
+    ]
+    tenants = loop_stats.slo.snapshot()
+    if len(tenants) > 1:
+        for tenant, t in tenants.items():
+            rows.append(
+                (
+                    f"tenant {tenant}",
+                    f"{t['completed']} done, {t['shed']} shed, "
+                    f"{t['violation_rate'] * 100.0:.1f}% violated",
+                )
+            )
+    print(format_table(["metric", "value"], rows, title="Latency summary"))
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from .serving import key_universe
 
@@ -357,6 +424,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"({args.workload} workload, skew {args.skew}, seed {args.seed}, "
         f"{len(workload.drift_events)} drift events)"
     )
+    if args.arrival:
+        return _replay_event_driven(args, service, workload)
     responses = []
     t0 = time.perf_counter()
     for events, batch in workload.segments():
@@ -383,7 +452,45 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         else:
             responses.extend(service.submit_many(batch))
     wall_s = time.perf_counter() - t0
-    _print_service_summary(service, responses, wall_s)
+    _print_service_summary(service, sum(r.measured_s for r in responses), wall_s)
+    return 0
+
+
+def _replay_event_driven(args: argparse.Namespace, service, workload) -> int:
+    """The open-loop replay: arrivals on a simulated clock, queueing, SLOs."""
+    from .serving import EventLoop
+
+    loop = EventLoop.for_service(service, _event_config_from_args(args))
+
+    def on_drift(event) -> None:
+        if event.machine is not None and event.machine != args.machine:
+            print(f"!! drift event targets {event.machine!r}, not {args.machine}")
+            return
+        try:
+            service.system.runner.apply_drift(
+                event.scale, device_index=event.device_index
+            )
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+        where = (
+            f"device {event.device_index}"
+            if event.device_index is not None
+            else "all devices"
+        )
+        print(
+            f"-- drift: {where} x{event.scale:g} "
+            f"before request {loop.stats.arrivals}"
+        )
+
+    print(
+        f"event-driven: {args.arrival} arrivals at {args.arrival_rate:g} req/s "
+        f"(shed policy {args.shed_policy})"
+    )
+    t0 = time.perf_counter()
+    stats = loop.run(workload.timed_items(), drift_handler=on_drift)
+    wall_s = time.perf_counter() - t0
+    _print_service_summary(service, stats.execute_time_s, wall_s)
+    _print_latency_summary(stats)
     return 0
 
 
@@ -394,6 +501,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     known = {b.name for b in benchmarks}
     stream = Path(args.trace).open() if args.trace else sys.stdin
     print(f"serving on {args.machine}; requests are '<program> <size>' lines")
+    requests = []
     responses = []
     t0 = time.perf_counter()
     try:
@@ -411,8 +519,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(f"!! malformed request {line!r} (want '<program> <size>')")
                 continue
             request = ServingRequest(
-                request_id=len(responses), program=parts[0], size=int(parts[1])
+                request_id=len(requests), program=parts[0], size=int(parts[1])
             )
+            requests.append(request)
+            if args.arrival:
+                # Event mode queues the whole trace on a simulated
+                # arrival clock; serving happens after the read loop.
+                continue
             r = service.submit(request)
             flags = ("hit" if r.cache_hit else "miss") + (
                 "+adapted" if r.adapted else ""
@@ -425,9 +538,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if args.trace:
             stream.close()
+    if args.arrival:
+        return _serve_event_driven(args, service, requests, t0)
     wall_s = time.perf_counter() - t0
     if responses:
-        _print_service_summary(service, responses, wall_s)
+        _print_service_summary(
+            service, sum(r.measured_s for r in responses), wall_s
+        )
+    return 0
+
+
+def _serve_event_driven(args: argparse.Namespace, service, requests, t0) -> int:
+    """Event-mode ``serve``: arrival timestamps over the parsed trace."""
+    from .serving import EventLoop
+    from .workloads import WorkloadSpec, arrival_times
+
+    if not requests:
+        return 0
+    spec = WorkloadSpec(
+        num_requests=len(requests),
+        seed=args.seed,
+        arrival=args.arrival,
+        rate_rps=args.arrival_rate,
+    )
+    print(
+        f"event-driven: {args.arrival} arrivals at {args.arrival_rate:g} req/s "
+        f"(shed policy {args.shed_policy})"
+    )
+    loop = EventLoop.for_service(service, _event_config_from_args(args))
+    stats = loop.run(zip(arrival_times(spec), requests))
+    wall_s = time.perf_counter() - t0
+    _print_service_summary(service, stats.execute_time_s, wall_s)
+    _print_latency_summary(stats)
     return 0
 
 
@@ -539,6 +681,8 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         f"({args.workload} workload, skew {args.skew}, seed {args.seed}, "
         f"{len(workload.drift_events)} drift events)"
     )
+    if args.arrival:
+        return _fleet_serve_event_driven(args, router, sources, workload)
     served = 0
     t0 = time.perf_counter()
     for events, batch in workload.segments():
@@ -560,6 +704,39 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         served += len(batch)
     wall_s = time.perf_counter() - t0
     _print_fleet_summary(router, sources, wall_s)
+    return 0
+
+
+def _fleet_serve_event_driven(args, router, sources, workload) -> int:
+    """Event-mode fleet serving: place at arrival, queue per replica."""
+    from .serving import EventLoop
+
+    loop = EventLoop.for_fleet(router, _event_config_from_args(args))
+
+    def on_drift(event) -> None:
+        try:
+            hit = router.apply_drift(event)
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+        where = (
+            f"device {event.device_index}"
+            if event.device_index is not None
+            else "all devices"
+        )
+        print(
+            f"-- drift: {', '.join(hit)} ({where}) x{event.scale:g} "
+            f"before request {loop.stats.arrivals}"
+        )
+
+    print(
+        f"event-driven: {args.arrival} arrivals at {args.arrival_rate:g} req/s "
+        f"(shed policy {args.shed_policy})"
+    )
+    t0 = time.perf_counter()
+    stats = loop.run(workload.timed_items(), drift_handler=on_drift)
+    wall_s = time.perf_counter() - t0
+    _print_fleet_summary(router, sources, wall_s)
+    _print_latency_summary(stats)
     return 0
 
 
@@ -738,6 +915,39 @@ def _add_serving_options(p: argparse.ArgumentParser) -> None:
     _add_objective_options(p)
 
 
+def _add_event_options(p: argparse.ArgumentParser) -> None:
+    """Options of the event-driven serving path (docs/SERVING.md)."""
+    from .serving import SHED_POLICIES
+
+    p.add_argument(
+        "--arrival",
+        default=None,
+        choices=("uniform", "poisson"),
+        help="arrival process: open-loop event-driven serving "
+        "(default: closed-loop replay, no timestamps)",
+    )
+    p.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=200.0,
+        metavar="RPS",
+        help="mean arrival rate in requests per simulated second",
+    )
+    p.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="end-to-end latency target; violations are tracked per tenant",
+    )
+    p.add_argument(
+        "--shed-policy",
+        default="none",
+        choices=SHED_POLICIES,
+        help="admission control under --slo-ms (deadline-aware shedding)",
+    )
+
+
 def _add_objective_options(p: argparse.ArgumentParser) -> None:
     """Options of the energy-aware serving commands."""
     from .energy import Objective
@@ -891,6 +1101,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serving_options(p_replay)
     _add_workload_options(p_replay)
+    _add_event_options(p_replay)
     p_replay.set_defaults(fn=_cmd_replay)
 
     p_serve = sub.add_parser(
@@ -900,6 +1111,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, help="request file (default: read stdin)"
     )
     _add_serving_options(p_serve)
+    _add_event_options(p_serve)
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_ftrain = sub.add_parser(
@@ -941,6 +1153,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fleet_options(p_fserve)
     _add_workload_options(p_fserve)
+    _add_event_options(p_fserve)
     _add_objective_options(p_fserve)
     p_fserve.set_defaults(fn=_cmd_fleet_serve)
 

@@ -120,6 +120,14 @@ class _ReplicaHealth:
     ewma: float = 1.0
     observations: int = 0
     draining: int = 0
+    #: Smoothed serving rate (requests per simulated second).  The
+    #: batch scheduler reports an ``inf`` sentinel when everything a
+    #: replica served took zero simulated time; those samples are
+    #: excluded here exactly like non-finite costs are excluded from
+    #: the degradation EWMA — one poisoned sample would otherwise make
+    #: the smoothed rate ``inf``/``nan`` forever.
+    rate_ewma: float = 0.0
+    rate_observations: int = 0
 
 
 @dataclass
@@ -172,6 +180,9 @@ class ReplicaStats:
     draining: bool = False
     energy_j: float = 0.0
     avg_power_w: float = 0.0
+    #: Router-side smoothed serving rate; always finite (the scheduler's
+    #: zero-span ``inf`` sentinel never enters the EWMA).
+    rate_ewma: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -450,6 +461,20 @@ class FleetRouter:
         promises, and the per-key detector already refreshes the fast
         replica's decisions in place.
         """
+        state = self._health[replica.index]
+        rate = replica.scheduler.throughput_rps()
+        if math.isfinite(rate):
+            # First finite sample seeds the EWMA; the scheduler's
+            # zero-span ``inf`` sentinel is skipped entirely (see
+            # _ReplicaHealth.rate_ewma).
+            if state.rate_observations == 0:
+                state.rate_ewma = rate
+            else:
+                state.rate_ewma = (
+                    self.health.alpha * rate
+                    + (1.0 - self.health.alpha) * state.rate_ewma
+                )
+            state.rate_observations += 1
         estimate = response.estimate_s
         if estimate is None or estimate <= 0:
             return
@@ -464,7 +489,6 @@ class FleetRouter:
             # Cap-infeasible measurements cost inf; inf/NaN would
             # poison the health EWMA permanently.
             return
-        state = self._health[replica.index]
         state.ewma = (
             self.health.alpha * ratio + (1.0 - self.health.alpha) * state.ewma
         )
@@ -539,8 +563,16 @@ class FleetRouter:
 
     # -- serving -----------------------------------------------------------
 
-    def submit(self, request: ServingRequest) -> FleetResponse:
-        """Place and serve one request; returns the placement + response."""
+    def place(self, request: ServingRequest) -> int:
+        """Pick (and commit to) a replica for one request.
+
+        This is the routing half of :meth:`submit`, split out so the
+        event loop can place at *arrival* time and serve at queue-head
+        time — placement must see the fleet as it is when the request
+        shows up, not when a queue finally drains.  Calling ``place``
+        commits the routing side effects (drain countdown, routed
+        counter); follow it with :meth:`serve_on`.
+        """
         if self.health.enabled:
             # Placement is the fleet's clock: each routed request moves
             # every draining replica one step closer to rejoining.
@@ -548,14 +580,22 @@ class FleetRouter:
                 if state.draining > 0:
                     state.draining -= 1
         index = self._route_index(request)
+        self.replicas[index].routed += 1
+        return index
+
+    def serve_on(self, index: int, request: ServingRequest) -> FleetResponse:
+        """Serve one already-placed request on the chosen replica."""
         replica = self.replicas[index]
-        replica.routed += 1
         response = replica.service.submit(request)
         if self.health.enabled:
             self._observe_health(replica, response)
         return FleetResponse(
             replica_index=index, replica_name=replica.name, response=response
         )
+
+    def submit(self, request: ServingRequest) -> FleetResponse:
+        """Place and serve one request; returns the placement + response."""
+        return self.serve_on(self.place(request), request)
 
     def serve(self, trace: Sequence[ServingRequest]) -> list[FleetResponse]:
         """Route a whole trace; placement is sequential by design (the
@@ -586,6 +626,7 @@ class FleetRouter:
                     rewarms=r.rewarms,
                     health=health.ewma,
                     draining=health.draining > 0,
+                    rate_ewma=health.rate_ewma,
                     energy_j=stats.energy_j,
                     # Average draw over the replica's own multiplexed
                     # span; zero-span replicas report 0 W, not inf.

@@ -59,6 +59,29 @@ class SessionStats:
     energy_j: float = 0.0
     device_busy_s: list[float] = field(default_factory=list)
     device_idle_s: list[float] = field(default_factory=list)
+    #: Inter-request idle accumulated by an event loop, on the *loop's*
+    #: simulated clock — gaps where the whole machine sat waiting for
+    #: the next arrival, distinct from the per-launch device_idle_s
+    #: imbalance inside a partitioned execution.
+    loop_idle_s: float = 0.0
+    loop_idle_j: float = 0.0
+
+    def record_idle(self, span_s: float, idle_w: float) -> None:
+        """Price one event-loop idle span at the platform's idle draw.
+
+        This is how energy accounting follows simulated time: the
+        execution records capture busy joules, and the serving loop
+        calls this for every gap between a completion and the next
+        service start, so total session energy covers the whole
+        simulated wall clock rather than just launch makespans.
+        """
+        if span_s < 0:
+            raise ValueError("idle span must be non-negative")
+        if idle_w < 0:
+            raise ValueError("idle power must be non-negative")
+        self.loop_idle_s += span_s
+        self.loop_idle_j += span_s * idle_w
+        self.energy_j += span_s * idle_w
 
     def record(self, result: ExecutionResult) -> None:
         if not self.device_busy_s:

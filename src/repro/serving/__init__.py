@@ -9,8 +9,11 @@ that closes the train→predict→execute loop with online adaptation.
 from .cache import CacheKey, CacheStats, PredictionCache
 from .dispatch import BatchScheduler, DispatchSlot
 from .drift import DriftDetector
+from .eventloop import CompletedRequest, EventLoop, EventLoopConfig, EventLoopStats
+from .histogram import QUANTILE_RELATIVE_ERROR, LatencyHistogram
 from .service import PartitioningService, ServedResponse, ServiceConfig, ServiceStats
-from .trace import ServingRequest, key_universe, zipf_trace
+from .slo import SHED_POLICIES, SLOConfig, SLOTracker, TenantSLOStats
+from .trace import DEFAULT_TENANT, ServingRequest, key_universe, zipf_draws, zipf_trace
 
 __all__ = [
     "CacheKey",
@@ -19,11 +22,23 @@ __all__ = [
     "PredictionCache",
     "BatchScheduler",
     "DispatchSlot",
+    "CompletedRequest",
+    "EventLoop",
+    "EventLoopConfig",
+    "EventLoopStats",
+    "LatencyHistogram",
+    "QUANTILE_RELATIVE_ERROR",
+    "SHED_POLICIES",
+    "SLOConfig",
+    "SLOTracker",
+    "TenantSLOStats",
     "PartitioningService",
     "ServedResponse",
     "ServiceConfig",
     "ServiceStats",
+    "DEFAULT_TENANT",
     "ServingRequest",
     "key_universe",
+    "zipf_draws",
     "zipf_trace",
 ]

@@ -1,0 +1,459 @@
+"""The simulated-time event loop: arrivals, queues, tail latency.
+
+The original serving path replays a trace *synchronously*: every
+request is measured back-to-back and throughput is derived after the
+fact from the batch scheduler's dense timeline.  That answers "how fast
+can the service go" but not the production question — "what latency do
+requests *see* when they arrive on their own clock?"  There is no
+queueing in a closed-loop replay, hence no p99 and nothing for
+admission control to do.
+
+This module is the open-loop core.  Requests arrive with explicit
+timestamps (a :class:`~repro.workloads.WorkloadSpec` arrival process),
+queue FIFO per replica, and each request accrues
+
+    latency = queue wait + predict + execute
+
+on one monotone simulated clock.  The loop streams: per-request state
+lives only while the request is in flight, and everything reported at
+the end — latency/queue/service histograms, per-tenant SLO counters,
+shed counts — is bounded-memory (:mod:`repro.serving.histogram`), so a
+million-request trace produces a histogram, not a list of responses.
+
+Admission control runs at arrival time (:mod:`repro.serving.slo`):
+``deadline`` sheds requests whose predicted completion already misses
+their SLO target, ``priority`` sheds only low-priority tenants.  The
+backlog prediction uses a per-replica EWMA of observed service times,
+so the decision is deterministic and needs no oracle.
+
+Replicas serve one request at a time.  Execution time comes from the
+normal serving loop (:meth:`PartitioningService.submit` at service
+*start*, so adaptation/refit state evolves in start order exactly as
+it would synchronously); predict time is a configurable simulated cost
+that distinguishes a cache hit from a model inference.  Between
+requests the replica's devices sit idle on the simulated wall clock,
+and that idle span is priced into the runner's
+:class:`~repro.runtime.measurement.SessionStats` as idle joules —
+energy accounting follows simulated time, not just launch makespans.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from ..energy.meter import EnergyMeter
+from .histogram import LatencyHistogram
+from .slo import SHED_POLICIES, SLOConfig, SLOTracker
+from .trace import ServingRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fleet.router import FleetRouter
+    from ..workloads.spec import DriftEvent
+    from .service import PartitioningService, ServedResponse
+
+__all__ = [
+    "EventLoopConfig",
+    "EventLoopStats",
+    "CompletedRequest",
+    "EventLoop",
+]
+
+#: A timed item on the arrival stream: (timestamp, request-or-drift).
+TimedItem = "tuple[float, ServingRequest | DriftEvent]"
+
+
+@dataclass(frozen=True)
+class EventLoopConfig:
+    """Knobs of the event-driven serving core.
+
+    Attributes:
+        predict_hit_s: simulated seconds one prediction-cache hit adds
+            to a request's latency (a dictionary lookup).
+        predict_miss_s: simulated seconds a cache miss adds (feature
+            assembly + model inference).
+        shed_policy: one of :data:`~repro.serving.slo.SHED_POLICIES`.
+        slo: latency targets and tenant priorities; shedding policies
+            other than ``none`` need at least a default target.
+        backlog_alpha: EWMA smoothing of the per-replica observed
+            service time the admission test predicts backlogs with.
+        initial_service_s: backlog estimate before a replica has
+            served anything (only admission decisions read it).
+        meter_idle: price inter-request idle spans into the runners'
+            session stats (simulated-time energy accounting).
+    """
+
+    predict_hit_s: float = 2e-6
+    predict_miss_s: float = 5e-5
+    shed_policy: str = "none"
+    slo: SLOConfig = field(default_factory=SLOConfig)
+    backlog_alpha: float = 0.3
+    initial_service_s: float = 1e-3
+    meter_idle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.predict_hit_s < 0 or self.predict_miss_s < 0:
+            raise ValueError("predict costs must be non-negative")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {self.shed_policy!r}; "
+                f"choose from {SHED_POLICIES}"
+            )
+        if not 0.0 < self.backlog_alpha <= 1.0:
+            raise ValueError("backlog_alpha must be in (0, 1]")
+        if not self.initial_service_s > 0:
+            raise ValueError("initial_service_s must be positive")
+        if self.shed_policy != "none" and self.slo.target_s is None and not (
+            self.slo.tenant_targets
+        ):
+            raise ValueError(
+                f"shed policy {self.shed_policy!r} needs an SLO target to shed "
+                "against (slo.target_s or tenant_targets)"
+            )
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """One finished request, handed to the optional observer callback.
+
+    The loop itself never stores these — tests and debuggers opt in
+    via ``on_complete`` and pay the memory themselves.
+    """
+
+    request: ServingRequest
+    replica_index: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    queue_s: float
+    service_s: float
+    violated: bool
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+@dataclass
+class EventLoopStats:
+    """Everything one event-loop run reports, in bounded memory."""
+
+    arrivals: int = 0
+    admitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    #: Final value of the monotone simulated clock.
+    clock_s: float = 0.0
+    #: Sum of every served request's predict + execute span.
+    service_time_s: float = 0.0
+    #: Sum of every served request's execute span alone.
+    execute_time_s: float = 0.0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
+    service: LatencyHistogram = field(default_factory=LatencyHistogram)
+    slo: SLOTracker = field(default_factory=SLOTracker)
+    replica_completed: list[int] = field(default_factory=list)
+    replica_busy_s: list[float] = field(default_factory=list)
+    #: Joules of inter-request device idle, priced on the loop clock.
+    idle_energy_j: float = 0.0
+
+    @property
+    def in_flight(self) -> int:
+        """Requests admitted but not yet completed (0 after a drain)."""
+        return self.admitted - self.completed
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completions per simulated second of the loop clock."""
+        return self.completed / self.clock_s if self.clock_s > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def violation_rate(self) -> float:
+        return self.slo.violation_rate
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (benchmarks and baselines consume this)."""
+        return {
+            "arrivals": self.arrivals,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "clock_s": self.clock_s,
+            "throughput_rps": self.throughput_rps,
+            "latency": self.latency.to_dict(),
+            "queue_wait": self.queue_wait.to_dict(),
+            "service": self.service.to_dict(),
+            "violation_rate": self.violation_rate,
+            "tenants": self.slo.snapshot(),
+            "idle_energy_j": self.idle_energy_j,
+        }
+
+
+@dataclass
+class _ReplicaState:
+    """Event-loop-side queue and clock of one serving replica."""
+
+    index: int
+    idle_w: float
+    est_service_s: float
+    queue: deque = field(default_factory=deque)
+    busy: bool = False
+    free_at: float = 0.0
+    #: Instant the replica last became idle (idle-span metering).
+    idle_since: float = 0.0
+    busy_s: float = 0.0
+
+
+class _ServiceBackend:
+    """One :class:`PartitioningService` behind the loop."""
+
+    def __init__(self, service: "PartitioningService"):
+        self.services = [service]
+
+    def place(self, request: ServingRequest) -> int:
+        return 0
+
+    def serve(self, index: int, request: ServingRequest) -> "ServedResponse":
+        return self.services[0].submit(request)
+
+
+class _FleetBackend:
+    """A :class:`FleetRouter` behind the loop: policy placement per arrival."""
+
+    def __init__(self, router: "FleetRouter"):
+        self.router = router
+        self.services = [r.service for r in router.replicas]
+
+    def place(self, request: ServingRequest) -> int:
+        return self.router.place(request)
+
+    def serve(self, index: int, request: ServingRequest) -> "ServedResponse":
+        return self.router.serve_on(index, request).response
+
+
+class EventLoop:
+    """Single-use simulated-time serving loop over one backend.
+
+    Build one per trace (:meth:`for_service` / :meth:`for_fleet`), feed
+    it a stream of ``(arrival_s, request)`` items — non-decreasing in
+    time, optionally interleaved with
+    :class:`~repro.workloads.DriftEvent` payloads — and read the
+    :class:`EventLoopStats` it returns.
+    """
+
+    def __init__(self, backend, config: EventLoopConfig = EventLoopConfig()):
+        self.backend = backend
+        self.config = config
+        self.stats = EventLoopStats(slo=SLOTracker(config.slo))
+        self._replicas = [
+            _ReplicaState(
+                index=i,
+                idle_w=EnergyMeter(s.system.runner.devices).platform_idle_w(),
+                est_service_s=config.initial_service_s,
+            )
+            for i, s in enumerate(backend.services)
+        ]
+        self.stats.replica_completed = [0] * len(self._replicas)
+        self.stats.replica_busy_s = [0.0] * len(self._replicas)
+        #: (finish_s, admit_seq, replica, arrival_s, start_s, service_s,
+        #: request, violated-placeholder) — bounded by one per replica.
+        self._completions: list = []
+        self._seq = 0
+        self._clock = 0.0
+        self._ran = False
+
+    @classmethod
+    def for_service(
+        cls, service: "PartitioningService", config: EventLoopConfig = EventLoopConfig()
+    ) -> "EventLoop":
+        return cls(_ServiceBackend(service), config)
+
+    @classmethod
+    def for_fleet(
+        cls, router: "FleetRouter", config: EventLoopConfig = EventLoopConfig()
+    ) -> "EventLoop":
+        return cls(_FleetBackend(router), config)
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(
+        self,
+        arrivals: Iterable,
+        on_complete: Callable[[CompletedRequest], None] | None = None,
+        drift_handler: "Callable[[DriftEvent], None] | None" = None,
+    ) -> EventLoopStats:
+        """Play the whole arrival stream and drain every queue.
+
+        ``arrivals`` yields ``(timestamp, payload)`` with non-decreasing
+        timestamps; a payload that is not a :class:`ServingRequest` is
+        treated as a drift event and handed to ``drift_handler`` at its
+        place on the simulated timeline (so requests already queued are
+        measured on the drifted hardware, exactly as a wall-clock drift
+        would hit them).
+        """
+        if self._ran:
+            raise RuntimeError("an EventLoop is single-use; build a new one")
+        self._ran = True
+        last_arrival = 0.0
+        for at_s, payload in arrivals:
+            if at_s < last_arrival:
+                raise ValueError(
+                    f"arrival timestamps must be non-decreasing "
+                    f"(got {at_s} after {last_arrival})"
+                )
+            last_arrival = at_s
+            # Completions due before this arrival happen first — the
+            # simulated clock never moves backwards.
+            while self._completions and self._completions[0][0] <= at_s:
+                self._complete(on_complete)
+            self._clock = max(self._clock, at_s)
+            if isinstance(payload, ServingRequest):
+                self._arrive(payload, on_complete)
+            else:
+                if drift_handler is None:
+                    raise ValueError(
+                        "arrival stream carries a drift event but no "
+                        "drift_handler was given"
+                    )
+                drift_handler(payload)
+        while self._completions:
+            self._complete(on_complete)
+        self.stats.clock_s = self._clock
+        if self.config.meter_idle:
+            self._meter_trailing_idle()
+        return self.stats
+
+    def _arrive(
+        self,
+        request: ServingRequest,
+        on_complete: Callable[[CompletedRequest], None] | None,
+    ) -> None:
+        self.stats.arrivals += 1
+        replica = self._replicas[self.backend.place(request)]
+        if self._should_shed(replica, request):
+            self.stats.shed += 1
+            self.stats.slo.record_shed(request.tenant)
+            return
+        self.stats.admitted += 1
+        self._seq += 1
+        replica.queue.append((self._clock, self._seq, request))
+        if not replica.busy:
+            self._start_service(replica, self._clock)
+
+    def _should_shed(self, replica: _ReplicaState, request: ServingRequest) -> bool:
+        """Deadline-aware admission: predicted completion vs SLO target."""
+        policy = self.config.shed_policy
+        if policy == "none":
+            return False
+        target = self.config.slo.target_for(request.tenant)
+        if target is None:
+            return False
+        if policy == "priority" and (
+            self.config.slo.priority_for(request.tenant)
+            >= self.config.slo.shed_below_priority
+        ):
+            return False
+        # Work-conserving: an idle replica always admits.  Shedding into
+        # an idle server never helps, and admitting keeps the service-time
+        # EWMA calibrated even when the initial estimate blows the target.
+        if not replica.busy and not replica.queue:
+            return False
+        wait = max(replica.free_at - self._clock, 0.0) if replica.busy else 0.0
+        predicted = wait + (len(replica.queue) + 1) * replica.est_service_s
+        return predicted > target
+
+    def _start_service(self, replica: _ReplicaState, now: float) -> None:
+        arrival_s, seq, request = replica.queue.popleft()
+        if self.config.meter_idle and now > replica.idle_since:
+            self._record_idle(replica, now - replica.idle_since)
+        response = self.backend.serve(replica.index, request)
+        predict_s = (
+            self.config.predict_hit_s
+            if response.cache_hit
+            else self.config.predict_miss_s
+        )
+        service_s = predict_s + response.measured_s
+        replica.busy = True
+        replica.free_at = now + service_s
+        alpha = self.config.backlog_alpha
+        replica.est_service_s = (
+            alpha * service_s + (1.0 - alpha) * replica.est_service_s
+        )
+        self.stats.service_time_s += service_s
+        self.stats.execute_time_s += response.measured_s
+        heapq.heappush(
+            self._completions,
+            (replica.free_at, seq, replica.index, arrival_s, now, service_s, request),
+        )
+
+    def _complete(self, on_complete) -> None:
+        finish_s, _seq, index, arrival_s, start_s, service_s, request = heapq.heappop(
+            self._completions
+        )
+        self._clock = max(self._clock, finish_s)
+        replica = self._replicas[index]
+        replica.busy = False
+        replica.idle_since = finish_s
+        replica.busy_s += service_s
+        latency_s = finish_s - arrival_s
+        queue_s = start_s - arrival_s
+        self.stats.completed += 1
+        self.stats.replica_completed[index] += 1
+        self.stats.replica_busy_s[index] = replica.busy_s
+        self.stats.latency.record(latency_s)
+        self.stats.queue_wait.record(queue_s)
+        self.stats.service.record(service_s)
+        violated = self.stats.slo.record_completion(request.tenant, latency_s)
+        if on_complete is not None:
+            on_complete(
+                CompletedRequest(
+                    request=request,
+                    replica_index=index,
+                    arrival_s=arrival_s,
+                    start_s=start_s,
+                    finish_s=finish_s,
+                    queue_s=queue_s,
+                    service_s=service_s,
+                    violated=violated,
+                )
+            )
+        if replica.queue:
+            self._start_service(replica, finish_s)
+
+    # -- simulated-time energy accounting ----------------------------------
+
+    def _record_idle(self, replica: _ReplicaState, span_s: float) -> None:
+        """Price one inter-request idle span into the replica's runner."""
+        runner = self.backend.services[replica.index].system.runner
+        runner.stats.record_idle(span_s, replica.idle_w)
+        self.stats.idle_energy_j += span_s * replica.idle_w
+        if not math.isfinite(self.stats.idle_energy_j):  # pragma: no cover
+            raise AssertionError("idle energy overflowed")
+
+    def _meter_trailing_idle(self) -> None:
+        """Close every replica's idle span at the final clock.
+
+        After the drain each replica has been idle since its last
+        completion; accounting that tail makes busy + idle equal the
+        loop span per replica, so utilization and average power over
+        the *simulated wall clock* come out of the session stats.
+        """
+        for replica in self._replicas:
+            if self._clock > replica.idle_since:
+                self._record_idle(replica, self._clock - replica.idle_since)
+                replica.idle_since = self._clock
+
+
+def timed(
+    requests: Iterable[ServingRequest], times: Iterable[float]
+) -> Iterator[tuple[float, ServingRequest]]:
+    """Zip arrival timestamps onto a request stream."""
+    return zip(times, requests)

@@ -1,0 +1,143 @@
+"""Service-level objectives: per-tenant latency targets and shedding.
+
+An SLO is a promise about *end-to-end* latency — queueing included —
+so it only becomes meaningful on the event-driven serving path where
+requests carry arrival timestamps.  :class:`SLOConfig` names the
+targets (a default plus per-tenant overrides and priorities);
+:class:`SLOTracker` counts, per tenant, how often the promise was kept,
+broken, or pre-empted by admission control.
+
+Shedding policies (:data:`SHED_POLICIES`):
+
+* ``none`` — admit everything; violations are observed, never avoided.
+* ``deadline`` — admission control: a request whose *predicted*
+  completion (current backlog plus one expected service time) already
+  overshoots its SLO target is shed at arrival instead of wasting
+  queue space to miss its deadline anyway.
+* ``priority`` — the same deadline test, but only tenants whose
+  priority is below ``shed_below_priority`` may be shed; premium
+  traffic is always admitted and rides out the queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SHED_POLICIES", "SLOConfig", "TenantSLOStats", "SLOTracker"]
+
+#: The admission-control policies of the event loop.
+SHED_POLICIES = ("none", "deadline", "priority")
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Latency targets and priorities, keyed by tenant.
+
+    Attributes:
+        target_s: default end-to-end latency target in seconds;
+            ``None`` disables SLO accounting (and all shedding).
+        tenant_targets: per-tenant overrides as (tenant, seconds)
+            pairs; a tenant listed here is judged by its own target.
+        tenant_priorities: per-tenant priorities as (tenant, priority)
+            pairs; unlisted tenants have priority 0.
+        shed_below_priority: under the ``priority`` policy, only
+            requests with priority strictly below this may be shed.
+    """
+
+    target_s: float | None = None
+    tenant_targets: tuple[tuple[str, float], ...] = ()
+    tenant_priorities: tuple[tuple[str, int], ...] = ()
+    shed_below_priority: int = 1
+
+    def __post_init__(self) -> None:
+        if self.target_s is not None and not self.target_s > 0:
+            raise ValueError("target_s must be positive")
+        for tenant, target in self.tenant_targets:
+            if not target > 0:
+                raise ValueError(f"tenant {tenant!r} target must be positive")
+        object.__setattr__(self, "tenant_targets", tuple(self.tenant_targets))
+        object.__setattr__(self, "tenant_priorities", tuple(self.tenant_priorities))
+
+    def target_for(self, tenant: str) -> float | None:
+        """The latency target one tenant is judged by."""
+        for name, target in self.tenant_targets:
+            if name == tenant:
+                return target
+        return self.target_s
+
+    def priority_for(self, tenant: str) -> int:
+        for name, priority in self.tenant_priorities:
+            if name == tenant:
+                return priority
+        return 0
+
+
+@dataclass
+class TenantSLOStats:
+    """One tenant's slice of the SLO accounting."""
+
+    completed: int = 0
+    violations: int = 0
+    shed: int = 0
+
+    @property
+    def violation_rate(self) -> float:
+        """Violations per *completed* request (shed requests are not
+        violations — they were refused, not served late)."""
+        return self.violations / self.completed if self.completed else 0.0
+
+
+@dataclass
+class SLOTracker:
+    """Streaming per-tenant SLO counters (bounded by the tenant count)."""
+
+    config: SLOConfig = field(default_factory=SLOConfig)
+    tenants: dict[str, TenantSLOStats] = field(default_factory=dict)
+
+    def _tenant(self, tenant: str) -> TenantSLOStats:
+        stats = self.tenants.get(tenant)
+        if stats is None:
+            stats = self.tenants[tenant] = TenantSLOStats()
+        return stats
+
+    def record_completion(self, tenant: str, latency_s: float) -> bool:
+        """Count one served request; True when it violated its target."""
+        stats = self._tenant(tenant)
+        stats.completed += 1
+        target = self.config.target_for(tenant)
+        violated = target is not None and latency_s > target
+        if violated:
+            stats.violations += 1
+        return violated
+
+    def record_shed(self, tenant: str) -> None:
+        self._tenant(tenant).shed += 1
+
+    @property
+    def completed(self) -> int:
+        return sum(t.completed for t in self.tenants.values())
+
+    @property
+    def violations(self) -> int:
+        return sum(t.violations for t in self.tenants.values())
+
+    @property
+    def shed(self) -> int:
+        return sum(t.shed for t in self.tenants.values())
+
+    @property
+    def violation_rate(self) -> float:
+        completed = self.completed
+        return self.violations / completed if completed else 0.0
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-tenant counters, bit-comparable and JSON-ready."""
+        return {
+            tenant: {
+                "completed": t.completed,
+                "violations": t.violations,
+                "shed": t.shed,
+                "violation_rate": t.violation_rate,
+            }
+            for tenant, t in sorted(self.tenants.items())
+        }

@@ -18,16 +18,31 @@ import numpy as np
 from ..benchsuite.base import Benchmark
 from ..util.rng import rng_for
 
-__all__ = ["ServingRequest", "key_universe", "zipf_trace"]
+__all__ = [
+    "DEFAULT_TENANT",
+    "ServingRequest",
+    "key_universe",
+    "zipf_draws",
+    "zipf_trace",
+]
+
+#: Tenant of requests that never named one (single-tenant traffic).
+DEFAULT_TENANT = "default"
 
 
 @dataclass(frozen=True)
 class ServingRequest:
-    """One launch request arriving at the service."""
+    """One launch request arriving at the service.
+
+    ``tenant`` identifies who submitted it — the unit SLO targets,
+    priorities and violation rates are tracked by on the event-driven
+    serving path.  Single-tenant traffic leaves the default.
+    """
 
     request_id: int
     program: str
     size: int
+    tenant: str = DEFAULT_TENANT
 
     @property
     def key(self) -> tuple[str, int]:
@@ -54,6 +69,31 @@ def key_universe(
     return tuple(keys)
 
 
+def zipf_draws(
+    keys: Sequence[tuple[str, int]],
+    num_requests: int,
+    skew: float = 1.5,
+    seed: int = 0,
+) -> tuple[list[tuple[str, int]], np.ndarray]:
+    """The (ranked keys, per-request rank draws) behind :func:`zipf_trace`.
+
+    Split out so the workload generators and the streaming serving path
+    can share the exact rng call sequence without materializing request
+    objects — a million-request trace is one integer array here.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be non-negative")
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    rng = rng_for("serving-trace", len(keys), skew, base_seed=seed)
+    ranked = list(keys)
+    rng.shuffle(ranked)
+    weights = 1.0 / np.arange(1, len(ranked) + 1, dtype=np.float64) ** skew
+    weights /= weights.sum()
+    draws = rng.choice(len(ranked), size=num_requests, p=weights)
+    return ranked, draws
+
+
 def zipf_trace(
     keys: Sequence[tuple[str, int]],
     num_requests: int,
@@ -66,16 +106,7 @@ def zipf_trace(
     of the keys.  ``skew`` ≈ 1.0 is a classic web-style workload; higher
     values concentrate traffic on fewer keys (better cache behaviour).
     """
-    if num_requests < 0:
-        raise ValueError("num_requests must be non-negative")
-    if skew <= 0:
-        raise ValueError("skew must be positive")
-    rng = rng_for("serving-trace", len(keys), skew, base_seed=seed)
-    ranked = list(keys)
-    rng.shuffle(ranked)
-    weights = 1.0 / np.arange(1, len(ranked) + 1, dtype=np.float64) ** skew
-    weights /= weights.sum()
-    draws = rng.choice(len(ranked), size=num_requests, p=weights)
+    ranked, draws = zipf_draws(keys, num_requests, skew=skew, seed=seed)
     return tuple(
         ServingRequest(request_id=i, program=ranked[j][0], size=ranked[j][1])
         for i, j in enumerate(draws)

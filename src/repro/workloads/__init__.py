@@ -10,13 +10,24 @@ it into the concrete trace every consumer (``serve``, ``fleet-serve``,
 the benchmarks) plays back.
 """
 
-from .generators import Workload, make_workload
-from .spec import WORKLOAD_FAMILIES, DriftEvent, WorkloadSpec
+from .arrivals import arrival_times, rate_factors
+from .generators import (
+    Workload,
+    make_workload,
+    stream_requests,
+    stream_timed_items,
+)
+from .spec import ARRIVAL_PROCESSES, WORKLOAD_FAMILIES, DriftEvent, WorkloadSpec
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
     "WORKLOAD_FAMILIES",
     "DriftEvent",
     "WorkloadSpec",
     "Workload",
+    "arrival_times",
     "make_workload",
+    "rate_factors",
+    "stream_requests",
+    "stream_timed_items",
 ]

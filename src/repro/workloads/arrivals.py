@@ -1,0 +1,79 @@
+"""Arrival processes: when each request of a workload shows up.
+
+The trace generators decide *what* is requested; this module decides
+*when*.  Timestamps are what turn a replay into a queueing system —
+without them every request conveniently waits for the previous one and
+tail latency cannot exist.
+
+The open-loop processes (:data:`~repro.workloads.spec.ARRIVAL_PROCESSES`)
+draw inter-arrival gaps around a mean of ``1 / rate_rps`` and then
+modulate the instantaneous rate per family: flash-crowd bursts arrive
+``burst_rate`` times faster (the popularity spike and the traffic spike
+are the same event), and diurnal load breathes sinusoidally between
+0.5× and 1.5× of the mean in phase with the skew ramp.  Everything is
+deterministic from the spec: the poisson gaps flow through
+``rng_for("workload-arrival", ...)`` so regenerating a spec regenerates
+its exact timeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.rng import rng_for
+from .spec import WorkloadSpec
+
+__all__ = ["arrival_times", "rate_factors"]
+
+
+def rate_factors(spec: WorkloadSpec, num_requests: int | None = None) -> np.ndarray:
+    """Per-request multiplier on the mean arrival rate.
+
+    ``stationary`` and ``phase-shift`` traffic is flat (1.0 — the hot
+    set moves, the load does not).  ``flash-crowd`` multiplies the rate
+    by ``spec.burst_rate`` inside every burst window, using the *same*
+    window arithmetic as the trace generator so the fast arrivals are
+    exactly the burst-key requests.  ``diurnal`` ramps ``0.5 + ramp``
+    over ``[0.5, 1.5]`` in phase with the skew cycle: peak popularity
+    concentration coincides with peak load.
+    """
+    num = spec.num_requests if num_requests is None else num_requests
+    factors = np.ones(num, dtype=np.float64)
+    if spec.family == "flash-crowd":
+        for start in range(spec.burst_every, num, spec.burst_every):
+            stop = min(start + spec.burst_length, num)
+            factors[start:stop] = spec.burst_rate
+    elif spec.family == "diurnal":
+        indices = np.arange(num)
+        ramp = 0.5 - 0.5 * np.cos(2.0 * np.pi * indices / spec.period)
+        factors = 0.5 + ramp
+    return factors
+
+
+def arrival_times(spec: WorkloadSpec, num_requests: int | None = None) -> np.ndarray:
+    """Absolute arrival timestamps (simulated seconds), non-decreasing.
+
+    ``uniform`` places request *i* one modulated gap after request
+    ``i - 1``; ``poisson`` draws exponential gaps with the same
+    instantaneous mean — the memoryless process real request streams
+    are usually modelled by, and the one that produces genuine queueing
+    bursts even at moderate utilization.
+
+    The ``sequential`` process has no timestamps by construction (it is
+    the closed-loop replay) — asking for them is a caller bug.
+    """
+    num = spec.num_requests if num_requests is None else num_requests
+    if spec.arrival == "sequential":
+        raise ValueError(
+            "the 'sequential' arrival process has no timestamps; "
+            "use the closed-loop replay path"
+        )
+    mean_gaps = 1.0 / (spec.rate_rps * rate_factors(spec, num))
+    if spec.arrival == "uniform":
+        gaps = mean_gaps
+    else:  # poisson
+        rng = rng_for(
+            "workload-arrival", spec.family, spec.rate_rps, base_seed=spec.seed
+        )
+        gaps = rng.exponential(1.0, size=num) * mean_gaps
+    return np.cumsum(gaps)

@@ -4,6 +4,13 @@ Every family is deterministic given the spec: identical specs always
 produce identical traces, and every random choice flows through a
 seed derived from (family, knobs, master seed) so families do not
 share — or perturb — each other's streams.
+
+Two consumption modes share one draw path.  :func:`make_workload`
+materializes the whole trace as a :class:`Workload` (tests, small
+replays); :func:`stream_requests` / :func:`stream_timed_items` yield
+the *same* requests lazily, one object at a time, so a million-request
+trace costs one integer draw array rather than a million live request
+objects — the contract the event-driven serving benchmarks rely on.
 """
 
 from __future__ import annotations
@@ -13,11 +20,17 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..serving.trace import ServingRequest, zipf_trace
+from ..serving.trace import ServingRequest, zipf_draws
 from ..util.rng import rng_for
+from .arrivals import arrival_times
 from .spec import DriftEvent, WorkloadSpec
 
-__all__ = ["Workload", "make_workload"]
+__all__ = [
+    "Workload",
+    "make_workload",
+    "stream_requests",
+    "stream_timed_items",
+]
 
 #: Quantization of the diurnal skew ramp: weights are recomputed per
 #: bucket, not per request, bounding the generator at O(buckets × keys).
@@ -78,6 +91,36 @@ class Workload:
         if header or batch:
             yield tuple(header), tuple(batch)
 
+    def timed_items(
+        self,
+    ) -> Iterator[tuple[float, DriftEvent | ServingRequest]]:
+        """The :meth:`items` timeline with arrival timestamps attached.
+
+        This is the event-loop feed: a drift event carries the
+        timestamp of the request whose index it fires before, so the
+        merged stream stays non-decreasing in time.
+        """
+        times = arrival_times(self.spec, len(self.requests))
+        yield from _attach_times(self.items(), times)
+
+
+def _attach_times(
+    items: Iterator[DriftEvent | ServingRequest], times: np.ndarray
+) -> Iterator[tuple[float, DriftEvent | ServingRequest]]:
+    """Zip arrival timestamps onto an interleaved request/drift stream."""
+    i = 0
+    last = 0.0
+    for item in items:
+        if isinstance(item, DriftEvent):
+            # Fires before request i (or after the trace): its place on
+            # the clock is that request's arrival instant.
+            at = float(times[i]) if i < len(times) else last
+            yield at, item
+        else:
+            last = float(times[i])
+            i += 1
+            yield last, item
+
 
 def _zipf_weights(count: int, skew: float) -> np.ndarray:
     """Normalized Zipf mass over ``count`` ranks (skew 0 = uniform)."""
@@ -96,12 +139,11 @@ def _requests(
     ]
 
 
-def _phase_shift_trace(
+def _phase_shift_segments(
     spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
-) -> tuple[ServingRequest, ...]:
+) -> Iterator[tuple[list[tuple[str, int]], np.ndarray]]:
     """Hot set rotates: each phase reshuffles the key-to-rank mapping."""
     weights = _zipf_weights(len(keys), spec.skew)
-    requests: list[ServingRequest] = []
     base, remainder = divmod(spec.num_requests, spec.phases)
     for phase in range(spec.phases):
         length = base + (1 if phase < remainder else 0)
@@ -113,13 +155,12 @@ def _phase_shift_trace(
         ranked = list(keys)
         rng.shuffle(ranked)
         draws = rng.choice(len(ranked), size=length, p=weights)
-        requests.extend(_requests(ranked, draws, start_id=len(requests)))
-    return tuple(requests)
+        yield ranked, draws
 
 
-def _flash_crowd_trace(
+def _flash_crowd_segments(
     spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
-) -> tuple[ServingRequest, ...]:
+) -> Iterator[tuple[list[tuple[str, int]], np.ndarray]]:
     """Stationary base stream with periodic single-key traffic spikes.
 
     Each burst promotes one key from the unpopular tail of the ranking
@@ -145,12 +186,12 @@ def _flash_crowd_trace(
         for i in range(start, stop):
             if burst_flips[i] < spec.burst_share:
                 draws[i] = burst_key
-    return tuple(_requests(ranked, draws, start_id=0))
+    yield ranked, draws
 
 
-def _diurnal_trace(
+def _diurnal_segments(
     spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
-) -> tuple[ServingRequest, ...]:
+) -> Iterator[tuple[list[tuple[str, int]], np.ndarray]]:
     """Skew ramps sinusoidally between trough and peak concentration.
 
     The ranking is fixed (the same keys stay popular); what cycles is
@@ -178,7 +219,69 @@ def _diurnal_trace(
         skew = spec.skew_min + (spec.skew_max - spec.skew_min) * centre
         weights = _zipf_weights(len(ranked), skew)
         draws[positions] = rng.choice(len(ranked), size=positions.size, p=weights)
-    return tuple(_requests(ranked, draws, start_id=0))
+    yield ranked, draws
+
+
+def _draw_segments(
+    spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
+) -> Iterator[tuple[list[tuple[str, int]], np.ndarray]]:
+    """(ranked keys, rank draws) runs, in request order.
+
+    The single draw path both consumption modes share: each segment is
+    one integer array plus one key ranking — O(num_requests) integers
+    total, never O(num_requests) request objects.
+    """
+    if not keys:
+        raise ValueError("empty key universe")
+    if spec.family == "stationary":
+        yield zipf_draws(keys, spec.num_requests, skew=spec.skew, seed=spec.seed)
+    elif spec.family == "phase-shift":
+        yield from _phase_shift_segments(spec, keys)
+    elif spec.family == "flash-crowd":
+        yield from _flash_crowd_segments(spec, keys)
+    else:
+        yield from _diurnal_segments(spec, keys)
+
+
+def stream_requests(
+    spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
+) -> Iterator[ServingRequest]:
+    """The spec's request stream, one lazily-built object at a time.
+
+    Bit-identical to ``make_workload(spec, keys).requests`` — same rng
+    calls, same ids — without ever materializing the tuple.
+    """
+    request_id = 0
+    for ranked, draws in _draw_segments(spec, keys):
+        for j in draws:
+            yield ServingRequest(
+                request_id=request_id, program=ranked[j][0], size=ranked[j][1]
+            )
+            request_id += 1
+
+
+def stream_timed_items(
+    spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
+) -> Iterator[tuple[float, DriftEvent | ServingRequest]]:
+    """The full event-loop feed, streamed: (timestamp, request | drift).
+
+    Drift events are interleaved at their trace positions exactly as
+    :meth:`Workload.items` does, each stamped with the arrival instant
+    of the request it precedes.
+    """
+    times = arrival_times(spec)
+    pending = list(spec.drift_events)
+
+    def interleaved() -> Iterator[DriftEvent | ServingRequest]:
+        i = 0
+        for request in stream_requests(spec, keys):
+            while pending and pending[0].at_request <= i:
+                yield pending.pop(0)
+            yield request
+            i += 1
+        yield from pending
+
+    yield from _attach_times(interleaved(), times)
 
 
 def make_workload(
@@ -189,18 +292,9 @@ def make_workload(
     The ``stationary`` family reproduces :func:`repro.serving.zipf_trace`
     bit for bit — existing replay/scaling baselines keep their traces.
     """
-    if not keys:
-        raise ValueError("empty key universe")
-    if spec.family == "stationary":
-        requests = zipf_trace(
-            keys, spec.num_requests, skew=spec.skew, seed=spec.seed
-        )
-    elif spec.family == "phase-shift":
-        requests = _phase_shift_trace(spec, keys)
-    elif spec.family == "flash-crowd":
-        requests = _flash_crowd_trace(spec, keys)
-    else:
-        requests = _diurnal_trace(spec, keys)
+    requests: list[ServingRequest] = []
+    for ranked, draws in _draw_segments(spec, keys):
+        requests.extend(_requests(ranked, draws, start_id=len(requests)))
     return Workload(
-        spec=spec, requests=requests, drift_events=spec.drift_events
+        spec=spec, requests=tuple(requests), drift_events=spec.drift_events
     )

@@ -32,10 +32,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["WORKLOAD_FAMILIES", "DriftEvent", "WorkloadSpec"]
+__all__ = ["ARRIVAL_PROCESSES", "WORKLOAD_FAMILIES", "DriftEvent", "WorkloadSpec"]
 
 #: The supported trace families.
 WORKLOAD_FAMILIES = ("stationary", "phase-shift", "flash-crowd", "diurnal")
+
+#: How request timestamps are drawn along the trace.
+#:
+#: * ``sequential`` — no timestamps: the closed-loop replay where each
+#:   request is submitted the instant the previous one finishes (the
+#:   legacy synchronous path; queueing never happens).
+#: * ``uniform`` — a deterministic open-loop clock: one request every
+#:   ``1 / rate_rps`` seconds.
+#: * ``poisson`` — memoryless open-loop arrivals: exponential gaps with
+#:   mean ``1 / rate_rps``, the standard telecom/cloud traffic model.
+#:
+#: Under ``flash-crowd`` the instantaneous rate multiplies by
+#: ``burst_rate`` inside each burst window, and under ``diurnal`` it
+#: ramps sinusoidally between 0.5× and 1.5× — load and popularity move
+#: together, which is what makes those families tail-latency-hostile.
+ARRIVAL_PROCESSES = ("sequential", "uniform", "poisson")
 
 
 @dataclass(frozen=True)
@@ -85,6 +101,12 @@ class WorkloadSpec:
         skew_min: diurnal trough exponent (0 = uniform traffic).
         skew_max: diurnal peak exponent.
         drift_events: platform drift schedule riding along the trace.
+        arrival: one of :data:`ARRIVAL_PROCESSES`; how timestamps are
+            assigned to requests on the event-driven serving path.
+        rate_rps: mean arrival rate (requests per simulated second)
+            for the open-loop processes; ignored by ``sequential``.
+        burst_rate: rate multiplier inside flash-crowd burst windows
+            (the popularity spike arrives *with* a traffic spike).
     """
 
     family: str = "stationary"
@@ -99,6 +121,9 @@ class WorkloadSpec:
     skew_min: float = 0.3
     skew_max: float = 2.2
     drift_events: tuple[DriftEvent, ...] = field(default=())
+    arrival: str = "poisson"
+    rate_rps: float = 200.0
+    burst_rate: float = 4.0
 
     def __post_init__(self) -> None:
         if self.family not in WORKLOAD_FAMILIES:
@@ -124,6 +149,15 @@ class WorkloadSpec:
             raise ValueError("skew_min must be non-negative")
         if self.skew_max < self.skew_min:
             raise ValueError("skew_max must be >= skew_min")
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"choose from {ARRIVAL_PROCESSES}"
+            )
+        if not self.rate_rps > 0:
+            raise ValueError("rate_rps must be positive")
+        if not self.burst_rate > 0:
+            raise ValueError("burst_rate must be positive")
         # Events are carried sorted so consumers can stream the trace.
         object.__setattr__(
             self,
