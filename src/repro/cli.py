@@ -236,10 +236,48 @@ def _parse_drift_events(values: list[str]):
     return tuple(events)
 
 
+def _parse_fault_specs(values: list[str]):
+    """``KIND:AT:DURATION[:MAGNITUDE[:REPLICA]]`` strings → FaultSpecs."""
+    from .faults import FAULT_KINDS, FaultSpec
+
+    specs = []
+    for value in values:
+        parts = value.split(":")
+        if not 3 <= len(parts) <= 5:
+            raise SystemExit(
+                f"--faults {value!r}: want KIND:AT:DURATION[:MAGNITUDE[:REPLICA]], "
+                "e.g. crash:0.5:0.2::0 or straggler:0.1:0.4:6"
+            )
+        if parts[0] not in FAULT_KINDS:
+            raise SystemExit(
+                f"--faults {value!r}: unknown kind {parts[0]!r}; "
+                f"choose from {FAULT_KINDS}"
+            )
+        try:
+            specs.append(
+                FaultSpec(
+                    kind=parts[0],
+                    at_s=float(parts[1]),
+                    duration_s=float(parts[2]),
+                    magnitude=(
+                        float(parts[3]) if len(parts) > 3 and parts[3] else 1.0
+                    ),
+                    replica=int(parts[4]) if len(parts) > 4 and parts[4] else None,
+                )
+            )
+        except ValueError as error:
+            raise SystemExit(f"--faults {value!r}: {error}") from error
+    return tuple(specs)
+
+
 def _workload_from_args(args: argparse.Namespace, keys):
     """Build the WorkloadSpec the serving commands share and generate it."""
     from .workloads import WorkloadSpec, make_workload
 
+    if args.faults and not args.arrival:
+        raise SystemExit(
+            "--faults needs the event-driven path; pick an --arrival process"
+        )
     spec = WorkloadSpec(
         family=args.workload,
         num_requests=args.requests,
@@ -253,6 +291,7 @@ def _workload_from_args(args: argparse.Namespace, keys):
         skew_min=args.skew_min,
         skew_max=args.skew_max,
         drift_events=_parse_drift_events(args.drift),
+        faults=_parse_fault_specs(args.faults),
         arrival=args.arrival or "sequential",
         rate_rps=args.arrival_rate,
     )
@@ -260,14 +299,28 @@ def _workload_from_args(args: argparse.Namespace, keys):
 
 
 def _event_config_from_args(args: argparse.Namespace):
-    """The event-loop config behind ``--arrival/--slo-ms/--shed-policy``."""
+    """The event-loop config behind ``--arrival/--slo-ms/--shed-policy``
+    and the fault-handling knobs (docs/FAULTS.md)."""
+    from .faults import FaultSchedule
     from .serving import EventLoopConfig, SLOConfig
 
     target_s = args.slo_ms / 1e3 if args.slo_ms is not None else None
+    specs = _parse_fault_specs(args.faults)
+    faults = None
+    if specs:
+        seed = args.fault_seed if args.fault_seed is not None else args.seed
+        faults = FaultSchedule(specs=specs, seed=seed)
     try:
         return EventLoopConfig(
             shed_policy=args.shed_policy,
             slo=SLOConfig(target_s=target_s),
+            faults=faults,
+            timeout_factor=args.timeout_factor,
+            max_retries=args.max_retries,
+            retry_backoff_s=args.retry_backoff_ms / 1e3,
+            retry_budget=args.retry_budget,
+            hedge_at=args.hedge_at,
+            failover=not args.no_failover,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from error
@@ -375,8 +428,10 @@ def _print_latency_summary(loop_stats) -> None:
         (
             "completed",
             f"{loop_stats.completed} "
-            f"({loop_stats.shed} shed, {loop_stats.shed_rate * 100.0:.1f}%)",
+            f"({loop_stats.shed} shed, {loop_stats.shed_rate * 100.0:.1f}%; "
+            f"{loop_stats.failed} failed)",
         ),
+        ("availability", f"{loop_stats.availability * 100.0:.2f}%"),
         ("simulated span", f"{loop_stats.clock_s * 1e3:.3f} ms"),
         ("throughput (event)", f"{loop_stats.throughput_rps:.1f} req/s"),
         (
@@ -395,6 +450,46 @@ def _print_latency_summary(loop_stats) -> None:
         ),
         ("loop idle energy", f"{loop_stats.idle_energy_j:.3f} J"),
     ]
+    faulted = (
+        loop_stats.crashes
+        or loop_stats.timeouts
+        or loop_stats.retries
+        or loop_stats.hedges
+        or loop_stats.exec_errors
+        or loop_stats.predict_errors
+        or loop_stats.failovers
+        or loop_stats.requeued
+    )
+    if faulted:
+        rows.extend(
+            [
+                (
+                    "crashes",
+                    f"{loop_stats.crashes} ({loop_stats.recoveries} recovered)",
+                ),
+                (
+                    "failover",
+                    f"{loop_stats.failovers} diverted, "
+                    f"{loop_stats.requeued} requeued",
+                ),
+                ("timeouts", f"{loop_stats.timeouts}"),
+                ("retries", f"{loop_stats.retries}"),
+                (
+                    "hedges",
+                    f"{loop_stats.hedges} ({loop_stats.hedge_wins} wins, "
+                    f"{loop_stats.hedge_cancels} cancelled)",
+                ),
+                (
+                    "transient errors",
+                    f"{loop_stats.exec_errors} exec, "
+                    f"{loop_stats.predict_errors} predict",
+                ),
+                (
+                    "reclaimed busy",
+                    f"{loop_stats.cancelled_busy_s * 1e3:.3f} ms",
+                ),
+            ]
+        )
     tenants = loop_stats.slo.snapshot()
     if len(tenants) > 1:
         for tenant, t in tenants.items():
@@ -484,7 +579,10 @@ def _replay_event_driven(args: argparse.Namespace, service, workload) -> int:
 
     print(
         f"event-driven: {args.arrival} arrivals at {args.arrival_rate:g} req/s "
-        f"(shed policy {args.shed_policy})"
+        f"(shed policy {args.shed_policy}"
+        + (f", {len(args.faults)} fault windows" if args.faults else "")
+        + (f", hedge at p{args.hedge_at * 100:g}" if args.hedge_at else "")
+        + ")"
     )
     t0 = time.perf_counter()
     stats = loop.run(workload.timed_items(), drift_handler=on_drift)
@@ -497,6 +595,10 @@ def _replay_event_driven(args: argparse.Namespace, service, workload) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serving import ServingRequest
 
+    if args.faults and not args.arrival:
+        raise SystemExit(
+            "--faults needs the event-driven path; pick an --arrival process"
+        )
     benchmarks, _train_benchmarks, service = _build_service(args)
     known = {b.name for b in benchmarks}
     stream = Path(args.trace).open() if args.trace else sys.stdin
@@ -563,7 +665,10 @@ def _serve_event_driven(args: argparse.Namespace, service, requests, t0) -> int:
     )
     print(
         f"event-driven: {args.arrival} arrivals at {args.arrival_rate:g} req/s "
-        f"(shed policy {args.shed_policy})"
+        f"(shed policy {args.shed_policy}"
+        + (f", {len(args.faults)} fault windows" if args.faults else "")
+        + (f", hedge at p{args.hedge_at * 100:g}" if args.hedge_at else "")
+        + ")"
     )
     loop = EventLoop.for_service(service, _event_config_from_args(args))
     stats = loop.run(zip(arrival_times(spec), requests))
@@ -730,7 +835,10 @@ def _fleet_serve_event_driven(args, router, sources, workload) -> int:
 
     print(
         f"event-driven: {args.arrival} arrivals at {args.arrival_rate:g} req/s "
-        f"(shed policy {args.shed_policy})"
+        f"(shed policy {args.shed_policy}"
+        + (f", {len(args.faults)} fault windows" if args.faults else "")
+        + (f", hedge at p{args.hedge_at * 100:g}" if args.hedge_at else "")
+        + ")"
     )
     t0 = time.perf_counter()
     stats = loop.run(workload.timed_items(), drift_handler=on_drift)
@@ -945,6 +1053,64 @@ def _add_event_options(p: argparse.ArgumentParser) -> None:
         default="none",
         choices=SHED_POLICIES,
         help="admission control under --slo-ms (deadline-aware shedding)",
+    )
+    p.add_argument(
+        "--faults",
+        action="append",
+        default=[],
+        metavar="KIND:AT:DUR[:MAG[:REPLICA]]",
+        help="inject one fault window (repeatable): kind crash|straggler|"
+        "error|predict-error, start and duration in simulated seconds, "
+        "magnitude a slowdown factor or error probability, replica index "
+        "or empty for all (docs/FAULTS.md)",
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seed of the fault schedule's error draws (default: --seed)",
+    )
+    p.add_argument(
+        "--timeout-factor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail a request once its age exceeds X times its SLO target",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra service attempts after transient failures",
+    )
+    p.add_argument(
+        "--retry-backoff-ms",
+        type=float,
+        default=1.0,
+        metavar="MS",
+        help="base retry backoff, doubling per retry",
+    )
+    p.add_argument(
+        "--retry-budget",
+        type=float,
+        default=0.2,
+        metavar="X",
+        help="retry tokens earned per admitted request (caps retry traffic)",
+    )
+    p.add_argument(
+        "--hedge-at",
+        type=float,
+        default=None,
+        metavar="Q",
+        help="fire a hedged duplicate once a request outlives the Q latency "
+        "quantile of completions so far (e.g. 0.95)",
+    )
+    p.add_argument(
+        "--no-failover",
+        action="store_true",
+        help="do not route around crashed replicas (availability baseline)",
     )
 
 

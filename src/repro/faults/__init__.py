@@ -1,0 +1,12 @@
+"""Deterministic fault injection for the serving path.
+
+Declarative, seeded schedules of replica crashes, straggler slowdown
+windows and transient error windows (:mod:`repro.faults.spec`),
+compiled into per-replica point queries the event loop consults
+(:mod:`repro.faults.injector`).  See ``docs/FAULTS.md``.
+"""
+
+from .injector import FaultInjector
+from .spec import FAULT_KINDS, FaultSchedule, FaultSpec
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultSchedule", "FaultInjector"]

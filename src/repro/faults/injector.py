@@ -1,0 +1,142 @@
+"""Compile a fault schedule into per-replica point queries.
+
+The event loop needs four answers, all deterministic:
+
+* when is each replica down (merged, non-overlapping crash windows),
+* how slow is a replica right now (product of active straggler
+  factors),
+* does this service attempt hit a transient execution error,
+* does this attempt's prediction path error out.
+
+Error outcomes are *hash draws*, not stateful RNG streams: the draw
+for attempt ``k`` of request ``r`` is a pure function of
+``(schedule seed, kind, r, k)`` via the same sha256 derivation the
+rest of the codebase uses (:func:`repro.util.rng.derive_seed`).  That
+makes outcomes independent of event interleaving — a retry on another
+replica, a hedge racing ahead, or a reordered heap never shifts which
+requests fail — which is what keeps faulted runs bit-identical across
+refactors of the loop itself.
+"""
+
+from __future__ import annotations
+
+from ..util.rng import derive_seed
+from .spec import FaultSchedule, FaultSpec
+
+__all__ = ["FaultInjector"]
+
+#: Denominator turning a 63-bit derived seed into a uniform in [0, 1).
+_DRAW_SCALE = float(2**63)
+
+
+def _merge_windows(windows: list[tuple[float, float]]) -> tuple[tuple[float, float], ...]:
+    """Merge overlapping/touching [start, end) windows into disjoint spans."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)
+
+
+class FaultInjector:
+    """Point-query view of one :class:`FaultSchedule` over a fleet.
+
+    Crash windows are merged per replica at construction, so the loop
+    schedules exactly one crash/recover event pair per downtime span
+    and never sees a crash land on an already-crashed replica.
+    """
+
+    def __init__(self, schedule: FaultSchedule, num_replicas: int):
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be at least 1")
+        for spec in schedule.specs:
+            if spec.replica is not None and spec.replica >= num_replicas:
+                raise ValueError(
+                    f"fault targets replica {spec.replica} but the fleet "
+                    f"has only {num_replicas} replica(s)"
+                )
+        self.schedule = schedule
+        self.num_replicas = num_replicas
+        crashes: list[list[tuple[float, float]]] = [[] for _ in range(num_replicas)]
+        self._stragglers: list[list[FaultSpec]] = [[] for _ in range(num_replicas)]
+        self._errors: list[list[FaultSpec]] = [[] for _ in range(num_replicas)]
+        self._predict_errors: list[list[FaultSpec]] = [
+            [] for _ in range(num_replicas)
+        ]
+        by_kind = {
+            "straggler": self._stragglers,
+            "error": self._errors,
+            "predict-error": self._predict_errors,
+        }
+        for spec in schedule.specs:
+            targets = (
+                range(num_replicas) if spec.replica is None else (spec.replica,)
+            )
+            for index in targets:
+                if spec.kind == "crash":
+                    crashes[index].append((spec.at_s, spec.end_s))
+                else:
+                    by_kind[spec.kind][index].append(spec)
+        self._crash_windows = tuple(_merge_windows(w) for w in crashes)
+
+    def __bool__(self) -> bool:
+        return bool(self.schedule)
+
+    # -- windows -----------------------------------------------------------
+
+    def crash_windows(self, replica: int) -> tuple[tuple[float, float], ...]:
+        """Disjoint [down, recover) spans for one replica, in order."""
+        return self._crash_windows[replica]
+
+    def crashed(self, replica: int, t: float) -> bool:
+        return any(start <= t < end for start, end in self._crash_windows[replica])
+
+    def slowdown(self, replica: int, t: float) -> float:
+        """Service-time multiplier at instant ``t`` (1.0 when healthy).
+
+        Overlapping straggler windows compound multiplicatively — two
+        co-resident noisy neighbours hurt more than one.
+        """
+        factor = 1.0
+        for spec in self._stragglers[replica]:
+            if spec.active(t):
+                factor *= spec.magnitude
+        return factor
+
+    # -- probabilistic outcomes --------------------------------------------
+
+    def exec_error(self, replica: int, request_id: int, attempt: int, t: float) -> bool:
+        """Whether this service attempt fails after executing."""
+        return self._draw("fault-exec", self._errors[replica], request_id, attempt, t)
+
+    def predict_error(
+        self, replica: int, request_id: int, attempt: int, t: float
+    ) -> bool:
+        """Whether this attempt's prediction path errors out pre-execution."""
+        return self._draw(
+            "fault-predict", self._predict_errors[replica], request_id, attempt, t
+        )
+
+    def _draw(
+        self,
+        label: str,
+        specs: list[FaultSpec],
+        request_id: int,
+        attempt: int,
+        t: float,
+    ) -> bool:
+        # Independent windows compose: surviving all of them happens
+        # with probability prod(1 - p_i) over the active set.
+        survive = 1.0
+        for spec in specs:
+            if spec.active(t):
+                survive *= 1.0 - spec.magnitude
+        if survive >= 1.0:
+            return False
+        draw = (
+            derive_seed(label, request_id, attempt, base_seed=self.schedule.seed)
+            / _DRAW_SCALE
+        )
+        return draw < 1.0 - survive

@@ -94,6 +94,11 @@ class HealthConfig:
         min_observations: served responses before a replica may drain.
         cooldown: placements the drained replica sits out before
             rejoining the rotation (and before it may drain again).
+        cooldown_tick_s: simulated seconds per cooldown step when the
+            event loop feeds the router time (:meth:`FleetRouter.tick`).
+            Placements alone are a bad clock — on a quiet fleet a
+            drained replica would sit out forever — so cooldown also
+            decays one step per tick interval.  0 disables time decay.
     """
 
     enabled: bool = True
@@ -101,6 +106,7 @@ class HealthConfig:
     threshold: float = 0.5
     min_observations: int = 8
     cooldown: int = 16
+    cooldown_tick_s: float = 0.05
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -111,6 +117,8 @@ class HealthConfig:
             raise ValueError("min_observations must be >= 1")
         if self.cooldown < 0:
             raise ValueError("cooldown must be non-negative")
+        if self.cooldown_tick_s < 0:
+            raise ValueError("cooldown_tick_s must be non-negative")
 
 
 @dataclass
@@ -263,6 +271,10 @@ class FleetRouter:
         self._peek_generations: list[tuple[int, int]] = [
             (-1, -1) for _ in self.replicas
         ]
+        # Simulated-time cooldown decay (see tick()): last clock value
+        # seen and elapsed time not yet converted into cooldown steps.
+        self._sim_clock_s = 0.0
+        self._tick_carry_s = 0.0
 
     @classmethod
     def build(
@@ -574,14 +586,41 @@ class FleetRouter:
         counter); follow it with :meth:`serve_on`.
         """
         if self.health.enabled:
-            # Placement is the fleet's clock: each routed request moves
-            # every draining replica one step closer to rejoining.
+            # Each routed request moves every draining replica one step
+            # closer to rejoining; tick() adds a simulated-time clock on
+            # top so a quiet fleet cannot strand a drained replica.
             for state in self._health:
                 if state.draining > 0:
                     state.draining -= 1
         index = self._route_index(request)
         self.replicas[index].routed += 1
         return index
+
+    def tick(self, now_s: float) -> None:
+        """Advance the router's simulated clock to ``now_s``.
+
+        Drain cooldowns decay one step per ``cooldown_tick_s`` of
+        elapsed simulated time, *in addition to* the per-placement
+        decrement in :meth:`place`.  Before this, cooldown counted
+        placements only, so on a quiet fleet a drained replica could
+        sit out forever waiting for traffic that never came.  The event
+        loop calls this whenever its clock moves; fractional intervals
+        carry over, so many small ticks decay exactly like one big one.
+        """
+        if now_s <= self._sim_clock_s:
+            return
+        elapsed = now_s - self._sim_clock_s
+        self._sim_clock_s = now_s
+        if not self.health.enabled or self.health.cooldown_tick_s <= 0:
+            return
+        self._tick_carry_s += elapsed
+        steps = int(self._tick_carry_s / self.health.cooldown_tick_s)
+        if steps <= 0:
+            return
+        self._tick_carry_s -= steps * self.health.cooldown_tick_s
+        for state in self._health:
+            if state.draining > 0:
+                state.draining = max(0, state.draining - steps)
 
     def serve_on(self, index: int, request: ServingRequest) -> FleetResponse:
         """Serve one already-placed request on the chosen replica."""

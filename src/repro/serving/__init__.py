@@ -12,7 +12,14 @@ from .drift import DriftDetector
 from .eventloop import CompletedRequest, EventLoop, EventLoopConfig, EventLoopStats
 from .histogram import QUANTILE_RELATIVE_ERROR, LatencyHistogram
 from .service import PartitioningService, ServedResponse, ServiceConfig, ServiceStats
-from .slo import SHED_POLICIES, SLOConfig, SLOTracker, TenantSLOStats
+from .slo import (
+    SHED_POLICIES,
+    SLOConfig,
+    SLOTracker,
+    ShedDecision,
+    TenantSLOStats,
+    shed_decision,
+)
 from .trace import DEFAULT_TENANT, ServingRequest, key_universe, zipf_draws, zipf_trace
 
 __all__ = [
@@ -31,6 +38,8 @@ __all__ = [
     "SHED_POLICIES",
     "SLOConfig",
     "SLOTracker",
+    "ShedDecision",
+    "shed_decision",
     "TenantSLOStats",
     "PartitioningService",
     "ServedResponse",

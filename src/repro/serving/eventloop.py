@@ -1,4 +1,4 @@
-"""The simulated-time event loop: arrivals, queues, tail latency.
+"""The simulated-time event loop: arrivals, queues, tail latency, faults.
 
 The original serving path replays a trace *synchronously*: every
 request is measured back-to-back and throughput is derived after the
@@ -23,8 +23,24 @@ million-request trace produces a histogram, not a list of responses.
 Admission control runs at arrival time (:mod:`repro.serving.slo`):
 ``deadline`` sheds requests whose predicted completion already misses
 their SLO target, ``priority`` sheds only low-priority tenants.  The
-backlog prediction uses a per-replica EWMA of observed service times,
-so the decision is deterministic and needs no oracle.
+backlog prediction uses a per-replica EWMA of observed service times
+plus the in-flight duplicate count (pending retries), so the decision
+is deterministic and needs no oracle.
+
+Nothing in production completes every dispatched request, so neither
+does the loop.  A seeded :class:`~repro.faults.FaultSchedule` injects
+replica crashes, straggler slowdown windows and transient errors; the
+*handling* side threads through the same event heap: SLO-derived
+per-request timeouts, bounded retries with exponential backoff under a
+retry-token budget, hedged duplicates fired when a request outlives a
+latency-percentile trigger (first completion wins, the loser is
+cancelled and its remaining busy span reclaimed), and failover that
+routes around crashed replicas and redistributes their queued work.
+Every outcome is counted, so conservation tightens to
+
+    arrivals == completed + shed + failed
+
+and a faulted run is exactly as reproducible as a clean one.
 
 Replicas serve one request at a time.  Execution time comes from the
 normal serving loop (:meth:`PartitioningService.submit` at service
@@ -34,7 +50,8 @@ that distinguishes a cache hit from a model inference.  Between
 requests the replica's devices sit idle on the simulated wall clock,
 and that idle span is priced into the runner's
 :class:`~repro.runtime.measurement.SessionStats` as idle joules —
-energy accounting follows simulated time, not just launch makespans.
+crashed downtime is idle too: the devices draw idle watts while the
+replica is unavailable, so busy + idle still tile the loop span.
 """
 
 from __future__ import annotations
@@ -46,8 +63,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from ..energy.meter import EnergyMeter
+from ..faults import FaultInjector, FaultSchedule
 from .histogram import LatencyHistogram
-from .slo import SHED_POLICIES, SLOConfig, SLOTracker
+from .slo import SHED_POLICIES, SLOConfig, SLOTracker, shed_decision
 from .trace import ServingRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -84,6 +102,28 @@ class EventLoopConfig:
             served anything (only admission decisions read it).
         meter_idle: price inter-request idle spans into the runners'
             session stats (simulated-time energy accounting).
+        faults: seeded fault schedule to inject, or ``None`` for a
+            fault-free run (the default; identical to the pre-fault
+            loop, event for event).
+        timeout_factor: fail a request outright once its age exceeds
+            ``timeout_factor ×`` its tenant's SLO target; ``None``
+            disables timeouts.  Needs an SLO target to derive from.
+        max_retries: service attempts a request may consume *beyond*
+            its first (and beyond any hedge), each after a transient
+            failure.
+        retry_backoff_s: base backoff before retry ``n`` fires, doubling
+            each time (``retry_backoff_s × 2^(n-1)``).
+        retry_budget: retry tokens earned per admitted request; one
+            retry spends one token.  0.2 caps retry traffic at ~20% of
+            admissions, so a fault storm cannot melt into a retry storm.
+        hedge_at: latency quantile (e.g. ``0.95``) of completions so
+            far whose value triggers one hedged duplicate for any
+            request older than it; ``None`` disables hedging.
+        hedge_min_completions: completions observed before the hedge
+            trigger is trusted (an empty histogram hedges nothing).
+        failover: route arrivals and retries around crashed replicas
+            and redistribute a crashed replica's queue; ``False`` is
+            the availability baseline where work stays stranded.
     """
 
     predict_hit_s: float = 2e-6
@@ -93,6 +133,14 @@ class EventLoopConfig:
     backlog_alpha: float = 0.3
     initial_service_s: float = 1e-3
     meter_idle: bool = True
+    faults: FaultSchedule | None = None
+    timeout_factor: float | None = None
+    max_retries: int = 2
+    retry_backoff_s: float = 1e-3
+    retry_budget: float = 0.2
+    hedge_at: float | None = None
+    hedge_min_completions: int = 32
+    failover: bool = True
 
     def __post_init__(self) -> None:
         if self.predict_hit_s < 0 or self.predict_miss_s < 0:
@@ -106,13 +154,30 @@ class EventLoopConfig:
             raise ValueError("backlog_alpha must be in (0, 1]")
         if not self.initial_service_s > 0:
             raise ValueError("initial_service_s must be positive")
-        if self.shed_policy != "none" and self.slo.target_s is None and not (
-            self.slo.tenant_targets
-        ):
+        has_target = self.slo.target_s is not None or bool(self.slo.tenant_targets)
+        if self.shed_policy != "none" and not has_target:
             raise ValueError(
                 f"shed policy {self.shed_policy!r} needs an SLO target to shed "
                 "against (slo.target_s or tenant_targets)"
             )
+        if self.timeout_factor is not None:
+            if not self.timeout_factor > 0:
+                raise ValueError("timeout_factor must be positive")
+            if not has_target:
+                raise ValueError(
+                    "timeout_factor derives timeouts from the SLO target "
+                    "(slo.target_s or tenant_targets); none is set"
+                )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
+        if self.hedge_at is not None and not 0.0 < self.hedge_at < 1.0:
+            raise ValueError("hedge_at is a quantile in (0, 1)")
+        if self.hedge_min_completions < 1:
+            raise ValueError("hedge_min_completions must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -131,6 +196,10 @@ class CompletedRequest:
     queue_s: float
     service_s: float
     violated: bool
+    #: Service attempts this request consumed (first + retries + hedge).
+    attempts: int = 1
+    #: Whether a hedged duplicate was fired for it.
+    hedged: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -145,11 +214,14 @@ class EventLoopStats:
     admitted: int = 0
     completed: int = 0
     shed: int = 0
+    #: Admitted requests lost to faults: timed out, out of retries, or
+    #: stranded by a crash with failover off.
+    failed: int = 0
     #: Final value of the monotone simulated clock.
     clock_s: float = 0.0
-    #: Sum of every served request's predict + execute span.
+    #: Sum of every dispatched attempt's predict + execute span.
     service_time_s: float = 0.0
-    #: Sum of every served request's execute span alone.
+    #: Sum of every dispatched attempt's execute span alone.
     execute_time_s: float = 0.0
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
@@ -159,11 +231,31 @@ class EventLoopStats:
     replica_busy_s: list[float] = field(default_factory=list)
     #: Joules of inter-request device idle, priced on the loop clock.
     idle_energy_j: float = 0.0
+    # -- fault/handling meters ---------------------------------------------
+    timeouts: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_cancels: int = 0
+    failovers: int = 0
+    requeued: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    exec_errors: int = 0
+    predict_errors: int = 0
+    #: Busy seconds reclaimed by cancelling losing/lost attempts early.
+    cancelled_busy_s: float = 0.0
 
     @property
     def in_flight(self) -> int:
-        """Requests admitted but not yet completed (0 after a drain)."""
-        return self.admitted - self.completed
+        """Requests admitted but not yet resolved (0 after a drain)."""
+        return self.admitted - self.completed - self.failed
+
+    @property
+    def availability(self) -> float:
+        """Completed fraction of all arrivals (sheds and failures count
+        against it — a refused or lost request was not served)."""
+        return self.completed / self.arrivals if self.arrivals else 1.0
 
     @property
     def throughput_rps(self) -> float:
@@ -186,6 +278,8 @@ class EventLoopStats:
             "completed": self.completed,
             "shed": self.shed,
             "shed_rate": self.shed_rate,
+            "failed": self.failed,
+            "availability": self.availability,
             "clock_s": self.clock_s,
             "throughput_rps": self.throughput_rps,
             "latency": self.latency.to_dict(),
@@ -194,7 +288,52 @@ class EventLoopStats:
             "violation_rate": self.violation_rate,
             "tenants": self.slo.snapshot(),
             "idle_energy_j": self.idle_energy_j,
+            "faults": {
+                "timeouts": self.timeouts,
+                "retries": self.retries,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
+                "hedge_cancels": self.hedge_cancels,
+                "failovers": self.failovers,
+                "requeued": self.requeued,
+                "crashes": self.crashes,
+                "recoveries": self.recoveries,
+                "exec_errors": self.exec_errors,
+                "predict_errors": self.predict_errors,
+                "cancelled_busy_s": self.cancelled_busy_s,
+            },
         }
+
+
+@dataclass
+class _Pending:
+    """One admitted request, alive until it completes or fails."""
+
+    seq: int
+    request: ServingRequest
+    arrival_s: float
+    #: Service attempts started so far (feeds the error hash draws).
+    attempts: int = 0
+    #: Retries consumed (bounded by ``max_retries``).
+    retries: int = 0
+    hedged: bool = False
+    done: bool = False
+    #: Attempts currently queued or running on some replica.
+    live: list = field(default_factory=list)
+
+
+@dataclass
+class _Attempt:
+    """One queued-or-running service attempt of a pending request."""
+
+    pending: _Pending
+    replica: int
+    is_hedge: bool = False
+    running: bool = False
+    cancelled: bool = False
+    start_s: float = 0.0
+    finish_s: float = 0.0
+    service_s: float = 0.0
 
 
 @dataclass
@@ -210,6 +349,15 @@ class _ReplicaState:
     #: Instant the replica last became idle (idle-span metering).
     idle_since: float = 0.0
     busy_s: float = 0.0
+    crashed: bool = False
+    #: Recovery instant while crashed (∞ when up); failover fallback
+    #: uses it to pick the least-bad replica when the whole fleet is down.
+    recover_at: float = math.inf
+    #: The attempt in service right now, if any.
+    current: _Attempt | None = None
+    #: Live (non-cancelled) entries in ``queue`` — the deque may also
+    #: hold lazily-cancelled attempts that are skipped on pop.
+    queued_live: int = 0
 
 
 class _ServiceBackend:
@@ -223,6 +371,9 @@ class _ServiceBackend:
 
     def serve(self, index: int, request: ServingRequest) -> "ServedResponse":
         return self.services[0].submit(request)
+
+    def tick(self, now_s: float) -> None:
+        pass
 
 
 class _FleetBackend:
@@ -238,6 +389,11 @@ class _FleetBackend:
     def serve(self, index: int, request: ServingRequest) -> "ServedResponse":
         return self.router.serve_on(index, request).response
 
+    def tick(self, now_s: float) -> None:
+        # Simulated time reaches the router so drain cooldowns decay
+        # even when no placements arrive (see FleetRouter.tick).
+        self.router.tick(now_s)
+
 
 class EventLoop:
     """Single-use simulated-time serving loop over one backend.
@@ -247,6 +403,12 @@ class EventLoop:
     time, optionally interleaved with
     :class:`~repro.workloads.DriftEvent` payloads — and read the
     :class:`EventLoopStats` it returns.
+
+    Everything that happens between arrivals — completions, attempt
+    failures, retry firings, hedge triggers, timeouts, crashes and
+    recoveries — lives on one typed event heap ordered by
+    ``(time, schedule seq)``, so the simulation is a deterministic
+    function of the trace and the fault schedule.
     """
 
     def __init__(self, backend, config: EventLoopConfig = EventLoopConfig()):
@@ -263,12 +425,23 @@ class EventLoop:
         ]
         self.stats.replica_completed = [0] * len(self._replicas)
         self.stats.replica_busy_s = [0.0] * len(self._replicas)
-        #: (finish_s, admit_seq, replica, arrival_s, start_s, service_s,
-        #: request, violated-placeholder) — bounded by one per replica.
-        self._completions: list = []
+        self._injector = (
+            FaultInjector(config.faults, len(self._replicas))
+            if config.faults
+            else None
+        )
+        #: The typed event heap: (time, schedule seq, kind, payload).
+        self._events: list = []
+        self._eseq = 0
         self._seq = 0
         self._clock = 0.0
         self._ran = False
+        #: Admitted-but-unresolved requests, by admission seq.
+        self._live: dict[int, _Pending] = {}
+        #: Retries scheduled but not yet re-enqueued (backoff limbo) —
+        #: admission control counts them as in-flight duplicates.
+        self._retry_limbo = 0
+        self._retry_tokens = 0.0
 
     @classmethod
     def for_service(
@@ -302,6 +475,7 @@ class EventLoop:
         if self._ran:
             raise RuntimeError("an EventLoop is single-use; build a new one")
         self._ran = True
+        self._schedule_crashes()
         last_arrival = 0.0
         for at_s, payload in arrivals:
             if at_s < last_arrival:
@@ -310,13 +484,13 @@ class EventLoop:
                     f"(got {at_s} after {last_arrival})"
                 )
             last_arrival = at_s
-            # Completions due before this arrival happen first — the
+            # Events due before this arrival happen first — the
             # simulated clock never moves backwards.
-            while self._completions and self._completions[0][0] <= at_s:
-                self._complete(on_complete)
-            self._clock = max(self._clock, at_s)
+            while self._events and self._events[0][0] <= at_s:
+                self._dispatch(on_complete)
+            self._advance(at_s)
             if isinstance(payload, ServingRequest):
-                self._arrive(payload, on_complete)
+                self._arrive(payload)
             else:
                 if drift_handler is None:
                     raise ValueError(
@@ -324,56 +498,159 @@ class EventLoop:
                         "drift_handler was given"
                     )
                 drift_handler(payload)
-        while self._completions:
-            self._complete(on_complete)
+        # Drain until every admitted request is resolved.  Fault windows
+        # scheduled beyond the last resolution (a recovery on an already
+        # idle fleet) are dropped rather than stretching the clock.
+        while self._events and self._live:
+            self._dispatch(on_complete)
+        self._events.clear()
+        for seq in sorted(self._live):  # pragma: no cover - safety net
+            self._fail(self._live[seq], self._clock)
         self.stats.clock_s = self._clock
         if self.config.meter_idle:
             self._meter_trailing_idle()
         return self.stats
 
-    def _arrive(
-        self,
-        request: ServingRequest,
-        on_complete: Callable[[CompletedRequest], None] | None,
-    ) -> None:
+    def _push(self, at_s: float, kind: str, payload) -> None:
+        self._eseq += 1
+        heapq.heappush(self._events, (at_s, self._eseq, kind, payload))
+
+    def _advance(self, at_s: float) -> None:
+        if at_s > self._clock:
+            self._clock = at_s
+            self.backend.tick(at_s)
+
+    def _dispatch(self, on_complete) -> None:
+        at_s, _eseq, kind, payload = heapq.heappop(self._events)
+        self._advance(at_s)
+        if kind == "complete":
+            self._on_complete(at_s, payload, on_complete)
+        elif kind == "attempt-failed":
+            self._on_attempt_failed(at_s, payload)
+        elif kind == "retry":
+            self._on_retry(at_s, payload)
+        elif kind == "hedge":
+            self._on_hedge(at_s, payload)
+        elif kind == "timeout":
+            self._on_timeout(at_s, payload)
+        elif kind == "crash":
+            self._on_crash(at_s, payload)
+        else:
+            self._on_recover(at_s, payload)
+
+    def _schedule_crashes(self) -> None:
+        if self._injector is None:
+            return
+        for replica in self._replicas:
+            for start, end in self._injector.crash_windows(replica.index):
+                self._push(start, "crash", (replica.index, end))
+                self._push(end, "recover", replica.index)
+
+    # -- arrivals and admission --------------------------------------------
+
+    def _arrive(self, request: ServingRequest) -> None:
         self.stats.arrivals += 1
         replica = self._replicas[self.backend.place(request)]
-        if self._should_shed(replica, request):
+        if replica.crashed and self.config.failover:
+            # Failover placement: route around the dead replica.  The
+            # router committed its decision (it has no crash knowledge);
+            # the loop overrides the physical target.
+            fallback = self._healthy_replica()
+            if fallback is not None:
+                replica = fallback
+                self.stats.failovers += 1
+        decision = shed_decision(
+            self.config.shed_policy,
+            self.config.slo,
+            request.tenant,
+            idle=not replica.busy and replica.queued_live == 0,
+            busy_wait_s=(
+                max(replica.free_at - self._clock, 0.0) if replica.busy else 0.0
+            ),
+            queue_depth=replica.queued_live,
+            duplicate_depth=self._retry_limbo,
+            est_service_s=replica.est_service_s,
+        )
+        if decision.shed:
             self.stats.shed += 1
             self.stats.slo.record_shed(request.tenant)
             return
         self.stats.admitted += 1
+        self._retry_tokens += self.config.retry_budget
         self._seq += 1
-        replica.queue.append((self._clock, self._seq, request))
-        if not replica.busy:
-            self._start_service(replica, self._clock)
+        pending = _Pending(seq=self._seq, request=request, arrival_s=self._clock)
+        self._live[pending.seq] = pending
+        self._enqueue(pending, replica, is_hedge=False)
+        self._schedule_timeout(pending)
+        self._schedule_hedge(pending)
 
-    def _should_shed(self, replica: _ReplicaState, request: ServingRequest) -> bool:
-        """Deadline-aware admission: predicted completion vs SLO target."""
-        policy = self.config.shed_policy
-        if policy == "none":
-            return False
-        target = self.config.slo.target_for(request.tenant)
+    def _schedule_timeout(self, pending: _Pending) -> None:
+        if self.config.timeout_factor is None:
+            return
+        target = self.config.slo.target_for(pending.request.tenant)
         if target is None:
-            return False
-        if policy == "priority" and (
-            self.config.slo.priority_for(request.tenant)
-            >= self.config.slo.shed_below_priority
-        ):
-            return False
-        # Work-conserving: an idle replica always admits.  Shedding into
-        # an idle server never helps, and admitting keeps the service-time
-        # EWMA calibrated even when the initial estimate blows the target.
-        if not replica.busy and not replica.queue:
-            return False
-        wait = max(replica.free_at - self._clock, 0.0) if replica.busy else 0.0
-        predicted = wait + (len(replica.queue) + 1) * replica.est_service_s
-        return predicted > target
+            return
+        self._push(
+            pending.arrival_s + self.config.timeout_factor * target,
+            "timeout",
+            pending,
+        )
 
-    def _start_service(self, replica: _ReplicaState, now: float) -> None:
-        arrival_s, seq, request = replica.queue.popleft()
+    def _schedule_hedge(self, pending: _Pending) -> None:
+        if self.config.hedge_at is None:
+            return
+        if self.stats.completed < self.config.hedge_min_completions:
+            return
+        trigger = self.stats.latency.quantile(self.config.hedge_at)
+        if trigger <= 0.0:
+            return
+        self._push(pending.arrival_s + trigger, "hedge", pending)
+
+    # -- queueing and service ----------------------------------------------
+
+    def _enqueue(
+        self, pending: _Pending, replica: _ReplicaState, is_hedge: bool
+    ) -> None:
+        attempt = _Attempt(pending=pending, replica=replica.index, is_hedge=is_hedge)
+        pending.live.append(attempt)
+        replica.queue.append(attempt)
+        replica.queued_live += 1
+        if not replica.busy and not replica.crashed:
+            self._start_next(replica, self._clock)
+
+    def _start_next(self, replica: _ReplicaState, now: float) -> None:
+        while replica.queue:
+            attempt = replica.queue.popleft()
+            if attempt.cancelled:
+                # Lazily dropped; queued_live was adjusted at cancel time.
+                continue
+            replica.queued_live -= 1
+            self._begin(replica, attempt, now)
+            return
+
+    def _begin(self, replica: _ReplicaState, attempt: _Attempt, now: float) -> None:
+        pending = attempt.pending
+        request = pending.request
         if self.config.meter_idle and now > replica.idle_since:
             self._record_idle(replica, now - replica.idle_since)
+        attempt_no = pending.attempts
+        pending.attempts += 1
+        attempt.running = True
+        attempt.start_s = now
+        replica.busy = True
+        replica.current = attempt
+        if self._injector is not None and self._injector.predict_error(
+            replica.index, request.request_id, attempt_no, now
+        ):
+            # The prediction path blows up before any execution: the
+            # attempt burns one cache-miss span and produces nothing.
+            # The service is never consulted, so no EWMA update either.
+            self.stats.predict_errors += 1
+            attempt.service_s = self.config.predict_miss_s
+            attempt.finish_s = now + attempt.service_s
+            replica.free_at = attempt.finish_s
+            self._push(attempt.finish_s, "attempt-failed", attempt)
+            return
         response = self.backend.serve(replica.index, request)
         predict_s = (
             self.config.predict_hit_s
@@ -381,52 +658,228 @@ class EventLoop:
             else self.config.predict_miss_s
         )
         service_s = predict_s + response.measured_s
-        replica.busy = True
-        replica.free_at = now + service_s
+        if self._injector is not None:
+            service_s *= self._injector.slowdown(replica.index, now)
+        attempt.service_s = service_s
+        attempt.finish_s = now + service_s
+        replica.free_at = attempt.finish_s
         alpha = self.config.backlog_alpha
         replica.est_service_s = (
             alpha * service_s + (1.0 - alpha) * replica.est_service_s
         )
         self.stats.service_time_s += service_s
         self.stats.execute_time_s += response.measured_s
-        heapq.heappush(
-            self._completions,
-            (replica.free_at, seq, replica.index, arrival_s, now, service_s, request),
-        )
+        if self._injector is not None and self._injector.exec_error(
+            replica.index, request.request_id, attempt_no, now
+        ):
+            self.stats.exec_errors += 1
+            self._push(attempt.finish_s, "attempt-failed", attempt)
+        else:
+            self._push(attempt.finish_s, "complete", attempt)
 
-    def _complete(self, on_complete) -> None:
-        finish_s, _seq, index, arrival_s, start_s, service_s, request = heapq.heappop(
-            self._completions
-        )
-        self._clock = max(self._clock, finish_s)
-        replica = self._replicas[index]
+    def _release(self, replica: _ReplicaState, attempt: _Attempt, now: float) -> None:
+        """Free the replica from its current attempt at instant ``now``."""
         replica.busy = False
-        replica.idle_since = finish_s
-        replica.busy_s += service_s
-        latency_s = finish_s - arrival_s
-        queue_s = start_s - arrival_s
+        replica.current = None
+        replica.idle_since = now
+        replica.busy_s += now - attempt.start_s
+        self.stats.replica_busy_s[replica.index] = replica.busy_s
+
+    def _cancel(self, attempt: _Attempt, now: float) -> None:
+        """First-completion-wins / fault cancellation of one attempt.
+
+        A running loser is cut short and its remaining busy span
+        reclaimed; a queued one is dropped lazily (the deque entry
+        stays and is skipped on pop).  Callers maintain
+        ``pending.live`` themselves.
+        """
+        if attempt.cancelled:
+            return
+        attempt.cancelled = True
+        replica = self._replicas[attempt.replica]
+        if attempt.running:
+            if replica.current is attempt:
+                self.stats.cancelled_busy_s += max(attempt.finish_s - now, 0.0)
+                self._release(replica, attempt, now)
+                if not replica.crashed and replica.queue:
+                    self._start_next(replica, now)
+        else:
+            replica.queued_live -= 1
+
+    # -- event handlers ----------------------------------------------------
+
+    def _on_complete(self, now: float, attempt: _Attempt, on_complete) -> None:
+        if attempt.cancelled:
+            return
+        pending = attempt.pending
+        replica = self._replicas[attempt.replica]
+        self._release(replica, attempt, now)
+        pending.live.remove(attempt)
+        pending.done = True
+        del self._live[pending.seq]
+        # First completion wins: every other in-flight copy is cancelled
+        # and, if running, its remaining busy span reclaimed.
+        for other in list(pending.live):
+            self._cancel(other, now)
+            self.stats.hedge_cancels += 1
+        pending.live.clear()
+        latency_s = now - pending.arrival_s
+        queue_s = attempt.start_s - pending.arrival_s
         self.stats.completed += 1
-        self.stats.replica_completed[index] += 1
-        self.stats.replica_busy_s[index] = replica.busy_s
+        self.stats.replica_completed[replica.index] += 1
         self.stats.latency.record(latency_s)
         self.stats.queue_wait.record(queue_s)
-        self.stats.service.record(service_s)
-        violated = self.stats.slo.record_completion(request.tenant, latency_s)
+        self.stats.service.record(attempt.service_s)
+        if attempt.is_hedge:
+            self.stats.hedge_wins += 1
+        violated = self.stats.slo.record_completion(pending.request.tenant, latency_s)
         if on_complete is not None:
             on_complete(
                 CompletedRequest(
-                    request=request,
-                    replica_index=index,
-                    arrival_s=arrival_s,
-                    start_s=start_s,
-                    finish_s=finish_s,
+                    request=pending.request,
+                    replica_index=replica.index,
+                    arrival_s=pending.arrival_s,
+                    start_s=attempt.start_s,
+                    finish_s=now,
                     queue_s=queue_s,
-                    service_s=service_s,
+                    service_s=attempt.service_s,
                     violated=violated,
+                    attempts=pending.attempts,
+                    hedged=pending.hedged,
                 )
             )
-        if replica.queue:
-            self._start_service(replica, finish_s)
+        if not replica.crashed and replica.queue:
+            self._start_next(replica, now)
+
+    def _on_attempt_failed(self, now: float, attempt: _Attempt) -> None:
+        if attempt.cancelled:
+            return
+        pending = attempt.pending
+        replica = self._replicas[attempt.replica]
+        self._release(replica, attempt, now)
+        pending.live.remove(attempt)
+        if not replica.crashed and replica.queue:
+            self._start_next(replica, now)
+        if pending.done or pending.live:
+            # A sibling copy is still racing; let it decide the outcome.
+            return
+        if pending.retries < self.config.max_retries and self._retry_tokens >= 1.0:
+            self._retry_tokens -= 1.0
+            pending.retries += 1
+            self.stats.retries += 1
+            delay = self.config.retry_backoff_s * 2.0 ** (pending.retries - 1)
+            self._retry_limbo += 1
+            self._push(now + delay, "retry", pending)
+        else:
+            self._fail(pending, now)
+
+    def _on_retry(self, now: float, pending: _Pending) -> None:
+        self._retry_limbo -= 1
+        if pending.done:
+            return
+        self._enqueue(pending, self._fallback_replica(), is_hedge=False)
+
+    def _on_hedge(self, now: float, pending: _Pending) -> None:
+        if pending.done or pending.hedged or not pending.live:
+            # Resolved, already hedged, or waiting out a retry backoff
+            # (the retry path owns it) — nothing to duplicate.
+            return
+        replica = self._healthy_replica(
+            exclude={a.replica for a in pending.live}
+        )
+        if replica is None:
+            return
+        pending.hedged = True
+        self.stats.hedges += 1
+        self._enqueue(pending, replica, is_hedge=True)
+
+    def _on_timeout(self, now: float, pending: _Pending) -> None:
+        if pending.done:
+            return
+        self.stats.timeouts += 1
+        self._fail(pending, now)
+
+    def _on_crash(self, now: float, payload: tuple[int, float]) -> None:
+        index, recover_at = payload
+        replica = self._replicas[index]
+        replica.crashed = True
+        replica.recover_at = recover_at
+        self.stats.crashes += 1
+        current = replica.current
+        if current is not None:
+            # The in-flight attempt dies with the replica.
+            pending = current.pending
+            self._cancel(current, now)
+            pending.live.remove(current)
+            if not pending.done and not pending.live:
+                if self.config.failover:
+                    self.stats.failovers += 1
+                    self._enqueue(
+                        pending,
+                        self._fallback_replica(exclude={index}),
+                        is_hedge=current.is_hedge,
+                    )
+                else:
+                    self._fail(pending, now)
+        if self.config.failover and replica.queued_live:
+            # Redistribute the stranded queue; without failover it
+            # simply waits out the downtime (and its timeouts).
+            stranded = [
+                a
+                for a in replica.queue
+                if not a.cancelled and not a.pending.done
+            ]
+            for attempt in stranded:
+                self._cancel(attempt, now)
+                attempt.pending.live.remove(attempt)
+                self.stats.requeued += 1
+                self._enqueue(
+                    attempt.pending,
+                    self._fallback_replica(exclude={index}),
+                    is_hedge=attempt.is_hedge,
+                )
+
+    def _on_recover(self, now: float, index: int) -> None:
+        replica = self._replicas[index]
+        replica.crashed = False
+        replica.recover_at = math.inf
+        self.stats.recoveries += 1
+        if not replica.busy and replica.queue:
+            self._start_next(replica, now)
+
+    def _fail(self, pending: _Pending, now: float) -> None:
+        """Resolve one request as lost; conservation counts it as failed."""
+        pending.done = True
+        for attempt in list(pending.live):
+            self._cancel(attempt, now)
+        pending.live.clear()
+        del self._live[pending.seq]
+        self.stats.failed += 1
+        self.stats.slo.record_failed(pending.request.tenant)
+
+    # -- placement fallbacks -----------------------------------------------
+
+    def _healthy_replica(self, exclude: set[int] = frozenset()) -> _ReplicaState | None:
+        """Least-loaded non-crashed replica, or ``None`` if all are down."""
+        candidates = [
+            r
+            for r in self._replicas
+            if not r.crashed and r.index not in exclude
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda r: (r.queued_live + (1 if r.busy else 0), r.index),
+        )
+
+    def _fallback_replica(self, exclude: set[int] = frozenset()) -> _ReplicaState:
+        """A healthy replica, or the soonest-recovering one if none is up."""
+        replica = self._healthy_replica(exclude)
+        if replica is not None:
+            return replica
+        pool = [r for r in self._replicas if r.index not in exclude] or self._replicas
+        return min(pool, key=lambda r: (r.recover_at, r.index))
 
     # -- simulated-time energy accounting ----------------------------------
 
@@ -442,9 +895,10 @@ class EventLoop:
         """Close every replica's idle span at the final clock.
 
         After the drain each replica has been idle since its last
-        completion; accounting that tail makes busy + idle equal the
-        loop span per replica, so utilization and average power over
-        the *simulated wall clock* come out of the session stats.
+        completion (crashed downtime included); accounting that tail
+        makes busy + idle equal the loop span per replica, so
+        utilization and average power over the *simulated wall clock*
+        come out of the session stats.
         """
         for replica in self._replicas:
             if self._clock > replica.idle_since:

@@ -17,13 +17,28 @@ Shedding policies (:data:`SHED_POLICIES`):
 * ``priority`` — the same deadline test, but only tenants whose
   priority is below ``shed_below_priority`` may be shed; premium
   traffic is always admitted and rides out the queue.
+
+The deadline test itself lives here as :func:`shed_decision` so the
+backlog arithmetic is shared (and testable) outside the event loop.
+The estimate counts *in-flight duplicates* — retries waiting out their
+backoff and hedged copies already queued — alongside the plain queue
+depth: under a retry storm the real backlog is larger than the queue,
+and ignoring duplicates makes admission control over-admit exactly
+when the service is least able to absorb it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SHED_POLICIES", "SLOConfig", "TenantSLOStats", "SLOTracker"]
+__all__ = [
+    "SHED_POLICIES",
+    "SLOConfig",
+    "ShedDecision",
+    "TenantSLOStats",
+    "SLOTracker",
+    "shed_decision",
+]
 
 #: The admission-control policies of the event loop.
 SHED_POLICIES = ("none", "deadline", "priority")
@@ -72,6 +87,64 @@ class SLOConfig:
         return 0
 
 
+@dataclass(frozen=True)
+class ShedDecision:
+    """Outcome of one admission test.
+
+    ``predicted_s`` is the completion estimate the test compared
+    against the tenant's target, or ``None`` when no estimate was
+    needed (policy ``none``, no target, exempt priority, idle server).
+    """
+
+    shed: bool
+    predicted_s: float | None = None
+
+
+def shed_decision(
+    policy: str,
+    config: SLOConfig,
+    tenant: str,
+    *,
+    idle: bool,
+    busy_wait_s: float,
+    queue_depth: int,
+    duplicate_depth: int,
+    est_service_s: float,
+) -> ShedDecision:
+    """Deadline-aware admission test against one replica's backlog.
+
+    Predicted completion is ``busy_wait_s + (queue_depth +
+    duplicate_depth + 1) × est_service_s``: the time the in-service
+    request still needs, plus one expected service time for every
+    queued request, every in-flight duplicate contending for the same
+    capacity (pending retries, hedged copies), and the candidate
+    itself.
+
+    ``idle`` short-circuits to admit: shedding into an idle server
+    never helps, and admitting keeps the service-time EWMA calibrated
+    even when the initial estimate blows the target.
+    """
+    if policy not in SHED_POLICIES:
+        raise ValueError(
+            f"unknown shed policy {policy!r}; choose from {SHED_POLICIES}"
+        )
+    if queue_depth < 0 or duplicate_depth < 0:
+        raise ValueError("queue and duplicate depths must be non-negative")
+    if policy == "none":
+        return ShedDecision(shed=False)
+    target = config.target_for(tenant)
+    if target is None:
+        return ShedDecision(shed=False)
+    if policy == "priority" and (
+        config.priority_for(tenant) >= config.shed_below_priority
+    ):
+        return ShedDecision(shed=False)
+    if idle:
+        return ShedDecision(shed=False)
+    predicted = busy_wait_s + (queue_depth + duplicate_depth + 1) * est_service_s
+    return ShedDecision(shed=predicted > target, predicted_s=predicted)
+
+
 @dataclass
 class TenantSLOStats:
     """One tenant's slice of the SLO accounting."""
@@ -79,6 +152,8 @@ class TenantSLOStats:
     completed: int = 0
     violations: int = 0
     shed: int = 0
+    #: Requests lost to faults: timed out, crash-stranded, or out of retries.
+    failed: int = 0
 
     @property
     def violation_rate(self) -> float:
@@ -113,6 +188,10 @@ class SLOTracker:
     def record_shed(self, tenant: str) -> None:
         self._tenant(tenant).shed += 1
 
+    def record_failed(self, tenant: str) -> None:
+        """Count one request lost to a fault (not a latency violation)."""
+        self._tenant(tenant).failed += 1
+
     @property
     def completed(self) -> int:
         return sum(t.completed for t in self.tenants.values())
@@ -126,6 +205,10 @@ class SLOTracker:
         return sum(t.shed for t in self.tenants.values())
 
     @property
+    def failed(self) -> int:
+        return sum(t.failed for t in self.tenants.values())
+
+    @property
     def violation_rate(self) -> float:
         completed = self.completed
         return self.violations / completed if completed else 0.0
@@ -137,6 +220,7 @@ class SLOTracker:
                 "completed": t.completed,
                 "violations": t.violations,
                 "shed": t.shed,
+                "failed": t.failed,
                 "violation_rate": t.violation_rate,
             }
             for tenant, t in sorted(self.tenants.items())
