@@ -19,6 +19,9 @@ substrate:
   multi-objective layer (makespan / energy / EDP / power-capped);
 * :mod:`repro.ml` — from-scratch NumPy classifiers (MLP and friends);
 * :mod:`repro.benchsuite` — the 23-program evaluation suite;
+* :mod:`repro.graphs` — task graphs as the unit of work: DAG
+  composition over memoized tapes and the scheduling × partitioning
+  co-search (:class:`repro.graphs.GraphPlanner`);
 * :mod:`repro.core` — the contribution: feature assembly, training
   database, partitioning predictor, end-to-end pipeline, evaluation;
 * :mod:`repro.serving` — the online-adaptive partitioning service
@@ -53,6 +56,7 @@ from .energy import (
     pareto_front,
 )
 from .engine import SweepEngine
+from .graphs import GraphPlan, GraphPlanner, TaskGraph, pipeline_chain
 from .machines import ALL_MACHINES, MC1, MC2, machine_by_name
 from .partitioning import Partitioning, neighborhood, partition_space, split_items
 from .runtime import Runner, cpu_only, even_split, gpu_only, oracle_search
@@ -83,6 +87,10 @@ __all__ = [
     "ServiceConfig",
     "Runner",
     "SweepEngine",
+    "GraphPlan",
+    "GraphPlanner",
+    "TaskGraph",
+    "pipeline_chain",
     "DevicePowerModel",
     "EnergyMeter",
     "Objective",

@@ -9,6 +9,12 @@ Commands:
     report  <db.json> [...]   — full experiment report from databases
     energy-sweep <program>    — makespan-vs-energy sweep: per-objective
                                 winners and the Pareto front per size
+    graph-sweep               — co-search scheduling × partitioning for
+                                one task-graph chain vs the greedy
+                                partition-each-task baseline
+    graph-serve               — serve a Zipf stream of task graphs
+                                (the ``pipeline`` workload family)
+                                through the graph-level plan cache
     replay                    — serve a synthetic trace (stationary /
                                 phase-shift / flash-crowd / diurnal
                                 workloads, optional platform drift)
@@ -274,6 +280,11 @@ def _workload_from_args(args: argparse.Namespace, keys):
     """Build the WorkloadSpec the serving commands share and generate it."""
     from .workloads import WorkloadSpec, make_workload
 
+    if args.workload == "pipeline":
+        raise SystemExit(
+            "the pipeline family emits task-graph requests; "
+            "serve it with the graph-serve command"
+        )
     if args.faults and not args.arrival:
         raise SystemExit(
             "--faults needs the event-driven path; pick an --arrival process"
@@ -1193,6 +1204,176 @@ def _cmd_energy_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_stages(value: str) -> list[tuple[str, int]]:
+    """``prog@size,prog@size,...`` → pipeline stage list."""
+    known = {b.name for b in all_benchmarks()}
+    stages: list[tuple[str, int]] = []
+    for part in value.split(","):
+        part = part.strip()
+        prog, sep, size = part.partition("@")
+        if not sep or prog not in known or not size.isdigit() or int(size) < 1:
+            raise SystemExit(
+                f"--stages: bad stage {part!r} "
+                "(want '<program>@<size>', e.g. stencil2d@256)"
+            )
+        stages.append((prog, int(size)))
+    if len(stages) < 2:
+        raise SystemExit("--stages: a pipeline needs at least 2 stages")
+    return stages
+
+
+def _cmd_graph_sweep(args: argparse.Namespace) -> int:
+    from .energy import EnergyMeter
+    from .engine import SweepEngine
+    from .graphs import GraphPlanner, greedy_plan, pipeline_chain
+
+    platform = machine_by_name(args.machine)
+    stages = _parse_stages(args.stages)
+    graph = pipeline_chain(stages, scale_bytes=args.scale_bytes)
+    runner = Runner(platform, noise_sigma=args.noise, seed=args.seed)
+    engine = SweepEngine(runner)
+    requests = engine.graph_requests(graph, instance_seed=args.seed)
+    idle_w = EnergyMeter(runner.devices).platform_idle_w()
+    planner = GraphPlanner(
+        engine.measure, runner.devices, idle_w, step_percent=args.step
+    )
+    greedy, _ = greedy_plan(graph, requests, engine.measure, planner.space)
+    greedy_run = engine.measure_graph(graph, greedy, instance_seed=args.seed)
+    plan, run = planner.search(graph, requests)
+    greedy_labels = greedy.labels()
+    labels = plan.labels()
+    rows = [
+        (
+            name,
+            f"{graph.node(name).program}@{graph.node(name).size}",
+            greedy_labels[name],
+            labels[name],
+            f"{sched.start_s * 1e3:.3f}",
+            f"{sched.finish_s * 1e3:.3f}",
+            "*" if name in run.critical_path else "",
+        )
+        for name, sched in ((s.node, s) for s in run.schedule)
+    ]
+    print(
+        format_table(
+            [
+                "task",
+                "stage",
+                "greedy",
+                "co-search",
+                "start (ms)",
+                "finish (ms)",
+                "crit",
+            ],
+            rows,
+            title=f"{graph.name} on {platform.name} ({args.step}% grid)",
+        )
+    )
+    stats = planner.stats
+    speedup = greedy_run.median_s / run.median_s if run.median_s > 0 else 1.0
+    summary = [
+        ("greedy makespan", f"{greedy_run.median_s * 1e3:.3f} ms"),
+        ("co-searched makespan", f"{run.median_s * 1e3:.3f} ms"),
+        ("speedup over greedy", f"{speedup:.2f}x"),
+        ("transfer time", f"{run.transfer_s * 1e3:.3f} ms"),
+        ("graph energy", f"{run.energy_j:.3f} J"),
+        ("critical path", " > ".join(run.critical_path)),
+        (
+            "search effort",
+            f"{stats.evaluated} compositions, {stats.pruned} pruned, "
+            f"{stats.passes} passes, {stats.improvements} improvements",
+        ),
+    ]
+    print(format_table(["metric", "value"], summary, title="Co-search summary"))
+    return 0
+
+
+def _cmd_graph_serve(args: argparse.Namespace) -> int:
+    from .serving import key_universe
+    from .workloads import WorkloadSpec, make_workload
+
+    benchmarks, train_benchmarks, service = _build_service(args)
+    keys = key_universe(benchmarks, max_sizes=args.max_sizes)
+    spec = WorkloadSpec(
+        family="pipeline",
+        num_requests=args.requests,
+        skew=args.skew,
+        seed=args.seed,
+        arrival=args.arrival or "sequential",
+        rate_rps=args.arrival_rate,
+    )
+    workload = make_workload(spec, keys)
+    graphs = {r.graph.signature_label for r in workload.requests}
+    print(
+        f"trained on {len(train_benchmarks)}/{len(benchmarks)} programs "
+        f"({len(service.system.database)} records, model {args.model}) "
+        f"on {args.machine}"
+    )
+    print(
+        f"serving {len(workload)} task-graph requests over {len(graphs)} "
+        f"distinct pipelines (skew {args.skew}, seed {args.seed})"
+    )
+    t0 = time.perf_counter()
+    if args.arrival:
+        from .serving import EventLoop
+
+        loop = EventLoop.for_service(service, _event_config_from_args(args))
+        print(
+            f"event-driven: {args.arrival} arrivals at {args.arrival_rate:g} req/s"
+        )
+        loop_stats = loop.run(workload.timed_items())
+        wall_s = time.perf_counter() - t0
+        serialized = loop_stats.execute_time_s
+    else:
+        serialized = 0.0
+        for request in workload.requests:
+            serialized += service.submit_graph(request).measured_s
+        wall_s = time.perf_counter() - t0
+        loop_stats = None
+    stats = service.stats
+    cache = service.cache.stats
+    rows = [
+        ("objective", service.config.objective.value),
+        ("graph requests", f"{stats.graph_requests}"),
+        ("distinct pipelines", f"{len(graphs)}"),
+        (
+            "plan cache hit rate",
+            f"{cache.hit_rate * 100.0:.1f}% "
+            f"({cache.hits} hits / {cache.misses} misses)",
+        ),
+        ("co-searches", f"{stats.graph_cosearches}"),
+        (
+            "adaptations",
+            f"{stats.adaptations} (cold validations {stats.cold_validations}, "
+            f"regressions {stats.regressions})",
+        ),
+        ("adaptation gain", _objective_quantity(service, stats.improvement_s)),
+        (
+            "drift",
+            f"{stats.drift_flags} flags, {stats.drift_escalations} escalations",
+        ),
+        ("simulated serial", f"{serialized * 1e3:.3f} ms"),
+        (
+            "throughput (wall)",
+            f"{stats.graph_requests / wall_s:.1f} req/s" if wall_s > 0 else "n/a",
+        ),
+        ("served energy", f"{stats.energy_j:.3f} J"),
+    ]
+    if service.engine is not None:
+        es = service.engine.stats
+        rows.append(
+            (
+                "sweep engine",
+                f"{es.compositions} compositions, "
+                f"{es.tape_hit_rate * 100.0:.1f}% tape hits",
+            )
+        )
+    print(format_table(["metric", "value"], rows, title="Graph serving summary"))
+    if loop_stats is not None:
+        _print_latency_summary(loop_stats)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1254,6 +1435,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_esweep.add_argument("--step", type=int, default=10)
     p_esweep.add_argument("--seed", type=int, default=0)
     p_esweep.set_defaults(fn=_cmd_energy_sweep)
+
+    p_gsweep = sub.add_parser(
+        "graph-sweep",
+        help="co-search scheduling x partitioning for one task-graph chain",
+    )
+    p_gsweep.add_argument(
+        "--stages",
+        default="stencil2d@256,reduction@65536,mat_mul@160",
+        metavar="P@S,P@S,...",
+        help="pipeline stages as '<program>@<size>' (comma-separated)",
+    )
+    p_gsweep.add_argument(
+        "--machine", default="mc2", choices=[m.name for m in ALL_MACHINES]
+    )
+    p_gsweep.add_argument(
+        "--scale-bytes",
+        type=float,
+        default=32.0,
+        help="multiplier on the producer-output handoff bytes per edge",
+    )
+    p_gsweep.add_argument("--step", type=int, default=10)
+    p_gsweep.add_argument("--noise", type=float, default=0.0)
+    p_gsweep.add_argument("--seed", type=int, default=0)
+    p_gsweep.set_defaults(fn=_cmd_graph_sweep)
+
+    p_gserve = sub.add_parser(
+        "graph-serve",
+        help="serve a Zipf stream of task graphs (pipeline workload family)",
+    )
+    p_gserve.add_argument("--requests", type=int, default=50)
+    p_gserve.add_argument("--skew", type=float, default=1.5)
+    _add_serving_options(p_gserve)
+    _add_event_options(p_gserve)
+    p_gserve.set_defaults(fn=_cmd_graph_serve)
 
     p_replay = sub.add_parser(
         "replay", help="serve a synthetic request trace (online adaptation)"

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..compiler.splitter import DeviceChunk, DistributionKind, plan_chunks
 from ..energy.meter import EnergyMeter
@@ -19,6 +19,11 @@ from ..partitioning import Partitioning
 from ..runtime.measurement import MeasuredRun, Runner
 from ..runtime.plan import command_duration_s, plan_device_commands
 from ..runtime.scheduler import ExecutionRequest, ExecutionResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graphs.compose import GraphRun
+    from ..graphs.graph import TaskGraph
+    from ..graphs.planner import GraphPlan
 
 __all__ = ["EngineStats", "SweepEngine"]
 
@@ -114,6 +119,10 @@ class SweepEngine:
         self._kernel_s: dict[tuple[int, int, int], float] = {}
         self._pinned: dict[int, ExecutionRequest] = {}
         self._drift_generation = runner.drift_generation
+        # Graph-node requests, memoized by (program, size, seed) so the
+        # same pipeline stage composes from the same cached tapes across
+        # graphs and calls (tape keys pin request identity).
+        self._graph_requests: dict[tuple[str, int, int], ExecutionRequest] = {}
 
     def reset(self) -> None:
         """Drop all cached tapes and plans (between campaigns)."""
@@ -123,6 +132,7 @@ class SweepEngine:
         self._meta.clear()
         self._kernel_s.clear()
         self._pinned.clear()
+        self._graph_requests.clear()
 
     # -- memoized planning -------------------------------------------------
 
@@ -360,6 +370,56 @@ class SweepEngine:
         return {
             p.label: self.time_of(request, p, repetitions=repetitions) for p in space
         }
+
+    def graph_requests(
+        self, graph: "TaskGraph", instance_seed: int = 0
+    ) -> dict[str, ExecutionRequest]:
+        """Per-task execution requests, memoized for tape-cache identity.
+
+        The planner composes many trial plans over the same graph; by
+        resolving node requests through the engine's memo, every trial
+        hits the same cached tapes :meth:`measure_graph` uses.
+        """
+        from ..graphs.compose import node_requests
+
+        return node_requests(graph, seed=instance_seed, shared=self._graph_requests)
+
+    def measure_graph(
+        self,
+        graph: "TaskGraph",
+        plan: "GraphPlan | Mapping[str, Partitioning]",
+        repetitions: int = 1,
+        instance_seed: int = 0,
+    ) -> "GraphRun":
+        """Compose one task-graph execution from memoized per-task tapes.
+
+        Per-task measurements route through :meth:`measure` — the same
+        cached tapes, the same noise sampling at composition time — and
+        the inter-task transfers are inserted at composition time by
+        :func:`~repro.graphs.compose.compose_graph`, so a graph
+        measurement is bit-identical to the unmemoized
+        :meth:`~repro.runtime.measurement.Runner.run_graph` whenever
+        the per-task paths agree (the engine's core guarantee).  A
+        single-node graph reproduces :meth:`measure` exactly, time and
+        energy.
+        """
+        from ..graphs.compose import compose_graph, node_requests
+        from ..graphs.planner import GraphPlan
+
+        if isinstance(plan, GraphPlan):
+            plan = plan.as_dict()
+        requests = node_requests(
+            graph, seed=instance_seed, shared=self._graph_requests
+        )
+        return compose_graph(
+            graph,
+            plan,
+            requests,
+            self.measure,
+            self.runner.devices,
+            self._meter.platform_idle_w(),
+            repetitions=repetitions,
+        )
 
     def sweep_with_energy(
         self,

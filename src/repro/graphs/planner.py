@@ -1,0 +1,237 @@
+"""Co-searching placement × per-task partitioning over one task graph.
+
+The greedy baseline partitions each task as if it ran alone — the best
+standalone grid point per ``(program, size)``, which is exactly what
+chaining today's single-kernel predictions would do.  It is transfer-
+blind: two adjacent tasks individually fastest on different devices pay
+the full tensor handoff between them, and independent tasks that could
+overlap on disjoint devices instead pile onto the same ones.
+
+:class:`GraphPlanner` co-searches both decisions at once, HeSP-style:
+starting *from* the greedy plan it runs coordinate descent over the
+composed makespan — re-deciding one task's partitioning at a time
+against the full-graph composition, walking the current critical path
+first (off-path tasks have slack; improving them cannot move the
+makespan).  A dominance bound prunes candidates before paying for a
+composition: changing only task *n* can shave at most *n*'s own span
+plus the transfer seconds currently entering and leaving it, so a
+candidate whose standalone time already exceeds
+
+    current standalone time + adjacent transfer seconds
+
+cannot beat the incumbent and is skipped.  Because the search starts
+at greedy and keeps only strict improvements, the co-searched plan is
+never worse than the baseline — the refactor's safety property — and
+it strictly wins whenever transfers or overlap matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..partitioning import DEFAULT_STEP_PERCENT, Partitioning, partition_space
+from .compose import GraphRun, MeasureFn, compose_graph, edge_transfer
+from .graph import TaskGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..ocl.device import Device
+    from ..runtime.scheduler import ExecutionRequest
+
+__all__ = ["GraphPlan", "PlannerStats", "GraphPlanner", "greedy_plan"]
+
+
+@dataclass(frozen=True)
+class GraphPlan:
+    """One full assignment: task name → partitioning.
+
+    Stored as a sorted tuple so plans are hashable and comparable —
+    the serving layer caches them in the same LRU as single-kernel
+    predictions.
+    """
+
+    assignments: tuple[tuple[str, Partitioning], ...]
+
+    @classmethod
+    def from_dict(cls, assignments: Mapping[str, Partitioning]) -> "GraphPlan":
+        return cls(tuple(sorted(assignments.items())))
+
+    def as_dict(self) -> dict[str, Partitioning]:
+        return dict(self.assignments)
+
+    def partitioning_for(self, node: str) -> Partitioning:
+        for name, p in self.assignments:
+            if name == node:
+                return p
+        raise KeyError(f"no plan entry for task {node!r}")
+
+    def labels(self) -> dict[str, str]:
+        """Display form: task name → share label."""
+        return {name: p.label for name, p in self.assignments}
+
+
+@dataclass
+class PlannerStats:
+    """Search-effort counters of one co-search."""
+
+    #: Full-graph compositions paid for (greedy seed included).
+    evaluated: int = 0
+    #: Candidates skipped by the critical-path dominance bound.
+    pruned: int = 0
+    #: Coordinate-descent passes over the critical path.
+    passes: int = 0
+    #: Makespan improvements accepted.
+    improvements: int = 0
+    #: Standalone per-task sweep measurements behind the greedy seed.
+    standalone_points: int = 0
+
+
+def greedy_plan(
+    graph: TaskGraph,
+    requests: "Mapping[str, ExecutionRequest]",
+    measure: MeasureFn,
+    space: Sequence[Partitioning],
+    repetitions: int = 1,
+    stats: PlannerStats | None = None,
+) -> tuple[GraphPlan, dict[str, dict[Partitioning, float]]]:
+    """Partition each task as if it ran alone (the transfer-blind baseline).
+
+    Returns the plan plus the standalone sweep table (task name →
+    partitioning → median seconds) the co-search prunes with.  Tasks
+    sharing a ``(program, size)`` share one sweep — the measure function
+    is called once per distinct key and grid point.
+    """
+    by_key: dict[tuple[str, int], dict[Partitioning, float]] = {}
+    standalone: dict[str, dict[Partitioning, float]] = {}
+    assignments: dict[str, Partitioning] = {}
+    for node in graph.nodes:
+        table = by_key.get(node.key)
+        if table is None:
+            table = {
+                p: measure(requests[node.name], p, repetitions=repetitions).median_s
+                for p in space
+            }
+            by_key[node.key] = table
+            if stats is not None:
+                stats.standalone_points += len(table)
+        standalone[node.name] = table
+        assignments[node.name] = min(table, key=lambda p: (table[p], p.label))
+    return GraphPlan.from_dict(assignments), standalone
+
+
+class GraphPlanner:
+    """Coordinate-descent co-search over one machine's device set."""
+
+    def __init__(
+        self,
+        measure: MeasureFn,
+        devices: "Sequence[Device]",
+        platform_idle_w: float,
+        step_percent: int = DEFAULT_STEP_PERCENT,
+        max_passes: int = 4,
+    ):
+        if max_passes < 1:
+            raise ValueError("max_passes must be >= 1")
+        self.measure = measure
+        self.devices = devices
+        self.platform_idle_w = platform_idle_w
+        self.space = partition_space(len(devices), step_percent)
+        self.max_passes = max_passes
+        self.stats = PlannerStats()
+
+    def _compose(
+        self,
+        graph: TaskGraph,
+        plan: Mapping[str, Partitioning],
+        requests: "Mapping[str, ExecutionRequest]",
+        repetitions: int,
+    ) -> GraphRun:
+        self.stats.evaluated += 1
+        return compose_graph(
+            graph,
+            plan,
+            requests,
+            self.measure,
+            self.devices,
+            self.platform_idle_w,
+            repetitions=repetitions,
+        )
+
+    def _adjacent_transfer_s(
+        self, graph: TaskGraph, plan: Mapping[str, Partitioning], name: str
+    ) -> float:
+        """Transfer seconds currently entering and leaving one task."""
+        total = 0.0
+        for edge in graph.in_edges(name):
+            seconds, _ = edge_transfer(
+                self.devices, edge.nbytes, plan[edge.src], plan[name]
+            )
+            total += seconds
+        for edge in graph.out_edges(name):
+            seconds, _ = edge_transfer(
+                self.devices, edge.nbytes, plan[name], plan[edge.dst]
+            )
+            total += seconds
+        return total
+
+    def search(
+        self,
+        graph: TaskGraph,
+        requests: "Mapping[str, ExecutionRequest]",
+        repetitions: int = 1,
+    ) -> tuple[GraphPlan, GraphRun]:
+        """Co-search the graph; returns the plan and its composed run.
+
+        Never returns a plan worse than greedy: the descent starts
+        there and accepts only strict makespan improvements (ties keep
+        the incumbent, so the result is deterministic).
+        """
+        plan_obj, standalone = greedy_plan(
+            graph,
+            requests,
+            self.measure,
+            self.space,
+            repetitions=repetitions,
+            stats=self.stats,
+        )
+        plan = plan_obj.as_dict()
+        run = self._compose(graph, plan, requests, repetitions)
+
+        for _ in range(self.max_passes):
+            self.stats.passes += 1
+            improved = False
+            # Critical-path tasks first: only they can move the makespan.
+            # Off-path tasks follow (overlap changes can re-route the
+            # path through them), still under the dominance bound.
+            order = list(run.critical_path) + [
+                n for n in graph.topological_order() if n not in run.critical_path
+            ]
+            for name in order:
+                current = plan[name]
+                bound = (
+                    standalone[name][current]
+                    + self._adjacent_transfer_s(graph, plan, name)
+                )
+                best_run = run
+                best_p = current
+                for candidate in self.space:
+                    if candidate == current:
+                        continue
+                    if standalone[name][candidate] >= bound:
+                        self.stats.pruned += 1
+                        continue
+                    trial = dict(plan)
+                    trial[name] = candidate
+                    trial_run = self._compose(graph, trial, requests, repetitions)
+                    if trial_run.median_s < best_run.median_s:
+                        best_run = trial_run
+                        best_p = candidate
+                if best_p != current:
+                    plan[name] = best_p
+                    run = best_run
+                    improved = True
+                    self.stats.improvements += 1
+            if not improved:
+                break
+
+        return GraphPlan.from_dict(plan), run

@@ -134,6 +134,10 @@ def neighborhood(
     the result is the local search frontier used by the online
     adaptation path to refine a mispredicted partitioning without
     paying for the full 66-point sweep.
+
+    A degenerate grid — a single device, or a step too coarse to move —
+    has no distinct neighbours; the frontier is then the input point
+    itself, never empty, so consumers can always evaluate *something*.
     """
     if step_percent < 1 or step_percent > 100:
         raise ValueError("step_percent must be in [1, 100]")
@@ -149,6 +153,8 @@ def neighborhood(
             moved[src] -= step_percent
             moved[dst] += step_percent
             out.append(Partitioning(tuple(moved)))
+    if not out:
+        return (partitioning,)
     return tuple(sorted(set(out)))
 
 

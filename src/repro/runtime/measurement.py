@@ -11,11 +11,17 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
 
 from ..ocl.context import Context
 from ..ocl.platform import Platform, make_lognormal_noise
 from ..partitioning import Partitioning
 from .scheduler import ExecutionRequest, ExecutionResult, execute_partitioned
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graphs.compose import GraphRun
+    from ..graphs.graph import TaskGraph
+    from ..graphs.planner import GraphPlan
 
 __all__ = ["MeasuredRun", "Runner", "SessionStats"]
 
@@ -216,3 +222,48 @@ class Runner:
         return self.run(
             request, partitioning, functional=False, repetitions=repetitions
         ).median_s
+
+    def run_graph(
+        self,
+        graph: "TaskGraph",
+        plan: "GraphPlan | Mapping[str, Partitioning]",
+        repetitions: int = 1,
+        instance_seed: int = 0,
+    ) -> "GraphRun":
+        """Execute one task graph unmemoized (the reference graph path).
+
+        Each task runs through :meth:`run` (timing-only) in topological
+        order — the same order, and therefore the same per-device noise
+        draws, as the memoized
+        :meth:`~repro.engine.SweepEngine.measure_graph` — and the
+        composed timeline inserts the inter-task transfers identically,
+        so the two paths agree bit for bit.  A single-node graph
+        reproduces the single-kernel :meth:`run` measurement exactly,
+        time and energy.
+        """
+        from ..energy.meter import EnergyMeter
+        from ..graphs.compose import compose_graph, node_requests
+        from ..graphs.planner import GraphPlan
+
+        if isinstance(plan, GraphPlan):
+            plan = plan.as_dict()
+        requests = node_requests(graph, seed=instance_seed)
+
+        def measure(
+            request: ExecutionRequest,
+            partitioning: Partitioning,
+            repetitions: int = 1,
+        ) -> MeasuredRun:
+            return self.run(
+                request, partitioning, functional=False, repetitions=repetitions
+            )
+
+        return compose_graph(
+            graph,
+            plan,
+            requests,
+            measure,
+            self.devices,
+            EnergyMeter(self.devices).platform_idle_w(),
+            repetitions=repetitions,
+        )

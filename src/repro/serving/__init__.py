@@ -11,7 +11,13 @@ from .dispatch import BatchScheduler, DispatchSlot
 from .drift import DriftDetector
 from .eventloop import CompletedRequest, EventLoop, EventLoopConfig, EventLoopStats
 from .histogram import QUANTILE_RELATIVE_ERROR, LatencyHistogram
-from .service import PartitioningService, ServedResponse, ServiceConfig, ServiceStats
+from .service import (
+    GraphServedResponse,
+    PartitioningService,
+    ServedResponse,
+    ServiceConfig,
+    ServiceStats,
+)
 from .slo import (
     SHED_POLICIES,
     SLOConfig,
@@ -20,7 +26,14 @@ from .slo import (
     TenantSLOStats,
     shed_decision,
 )
-from .trace import DEFAULT_TENANT, ServingRequest, key_universe, zipf_draws, zipf_trace
+from .trace import (
+    DEFAULT_TENANT,
+    GraphServingRequest,
+    ServingRequest,
+    key_universe,
+    zipf_draws,
+    zipf_trace,
+)
 
 __all__ = [
     "CacheKey",
@@ -41,11 +54,13 @@ __all__ = [
     "ShedDecision",
     "shed_decision",
     "TenantSLOStats",
+    "GraphServedResponse",
     "PartitioningService",
     "ServedResponse",
     "ServiceConfig",
     "ServiceStats",
     "DEFAULT_TENANT",
+    "GraphServingRequest",
     "ServingRequest",
     "key_universe",
     "zipf_draws",

@@ -14,13 +14,23 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
 
 from ..partitioning import Partitioning
 
-__all__ = ["CacheKey", "CacheStats", "PredictionCache"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graphs.planner import GraphPlan
+
+__all__ = ["CacheKey", "CacheStats", "CacheValue", "PredictionCache"]
 
 #: (machine, program, size) — the identity of one launch configuration.
+#: Graph requests reuse the same shape: (machine, graph signature
+#: label, node-size total), so one LRU serves both kinds of traffic.
 CacheKey = tuple[str, str, int]
+
+#: What a key resolves to: a single-kernel partitioning or, for
+#: graph-level keys, a full per-task plan.
+CacheValue = Union[Partitioning, "GraphPlan"]
 
 
 @dataclass
@@ -42,14 +52,14 @@ class CacheStats:
 
 
 class PredictionCache:
-    """LRU cache mapping :data:`CacheKey` to a predicted partitioning."""
+    """LRU cache mapping :data:`CacheKey` to a predicted answer."""
 
     def __init__(self, capacity: int = 1024):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.stats = CacheStats()
-        self._entries: OrderedDict[CacheKey, Partitioning] = OrderedDict()
+        self._entries: OrderedDict[CacheKey, CacheValue] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -57,8 +67,8 @@ class PredictionCache:
     def __contains__(self, key: CacheKey) -> bool:
         return key in self._entries
 
-    def peek(self, key: CacheKey) -> Partitioning | None:
-        """Cached partitioning without touching recency or hit/miss stats.
+    def peek(self, key: CacheKey) -> CacheValue | None:
+        """Cached answer without touching recency or hit/miss stats.
 
         Introspection path for layers above the service (the fleet
         router asks every replica what it *would* answer): a peek must
@@ -66,8 +76,8 @@ class PredictionCache:
         """
         return self._entries.get(key)
 
-    def get(self, key: CacheKey) -> Partitioning | None:
-        """Cached partitioning for a key (counts the hit/miss)."""
+    def get(self, key: CacheKey) -> CacheValue | None:
+        """Cached answer for a key (counts the hit/miss)."""
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -76,7 +86,7 @@ class PredictionCache:
         self.stats.hits += 1
         return entry
 
-    def put(self, key: CacheKey, partitioning: Partitioning) -> None:
+    def put(self, key: CacheKey, partitioning: CacheValue) -> None:
         """Insert/refresh a key, evicting the LRU entry at capacity."""
         if key in self._entries:
             self._entries.move_to_end(key)

@@ -66,12 +66,21 @@ from ..energy.meter import EnergyMeter
 from ..faults import FaultInjector, FaultSchedule
 from .histogram import LatencyHistogram
 from .slo import SHED_POLICIES, SLOConfig, SLOTracker, shed_decision
-from .trace import ServingRequest
+from .trace import GraphServingRequest, ServingRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..fleet.router import FleetRouter
     from ..workloads.spec import DriftEvent
-    from .service import PartitioningService, ServedResponse
+    from .service import GraphServedResponse, PartitioningService, ServedResponse
+
+#: What a backend's ``serve`` may return: the loop only reads
+#: ``cache_hit`` and ``measured_s``, which both response types carry.
+AnyResponse = "ServedResponse | GraphServedResponse"
+
+#: What may arrive on the request stream: a kernel launch or a whole
+#: task graph (per-graph latency = queue + predict + composed critical
+#: path, accumulated on the same simulated clock).
+AnyRequest = (ServingRequest, GraphServingRequest)
 
 __all__ = [
     "EventLoopConfig",
@@ -366,10 +375,14 @@ class _ServiceBackend:
     def __init__(self, service: "PartitioningService"):
         self.services = [service]
 
-    def place(self, request: ServingRequest) -> int:
+    def place(self, request: "ServingRequest | GraphServingRequest") -> int:
         return 0
 
-    def serve(self, index: int, request: ServingRequest) -> "ServedResponse":
+    def serve(
+        self, index: int, request: "ServingRequest | GraphServingRequest"
+    ) -> AnyResponse:
+        if isinstance(request, GraphServingRequest):
+            return self.services[0].submit_graph(request)
         return self.services[0].submit(request)
 
     def tick(self, now_s: float) -> None:
@@ -383,10 +396,19 @@ class _FleetBackend:
         self.router = router
         self.services = [r.service for r in router.replicas]
 
-    def place(self, request: ServingRequest) -> int:
+    def place(self, request: "ServingRequest | GraphServingRequest") -> int:
+        # Graph requests bypass the router's model-peek policies (those
+        # interrogate per-kernel predictors); a deterministic spread
+        # keeps fleet graph traffic balanced without asking any model.
+        if isinstance(request, GraphServingRequest):
+            return request.request_id % len(self.services)
         return self.router.place(request)
 
-    def serve(self, index: int, request: ServingRequest) -> "ServedResponse":
+    def serve(
+        self, index: int, request: "ServingRequest | GraphServingRequest"
+    ) -> AnyResponse:
+        if isinstance(request, GraphServingRequest):
+            return self.services[index].submit_graph(request)
         return self.router.serve_on(index, request).response
 
     def tick(self, now_s: float) -> None:
@@ -466,7 +488,8 @@ class EventLoop:
         """Play the whole arrival stream and drain every queue.
 
         ``arrivals`` yields ``(timestamp, payload)`` with non-decreasing
-        timestamps; a payload that is not a :class:`ServingRequest` is
+        timestamps; a payload that is not a request (kernel
+        :class:`ServingRequest` or :class:`GraphServingRequest`) is
         treated as a drift event and handed to ``drift_handler`` at its
         place on the simulated timeline (so requests already queued are
         measured on the drifted hardware, exactly as a wall-clock drift
@@ -489,7 +512,7 @@ class EventLoop:
             while self._events and self._events[0][0] <= at_s:
                 self._dispatch(on_complete)
             self._advance(at_s)
-            if isinstance(payload, ServingRequest):
+            if isinstance(payload, AnyRequest):
                 self._arrive(payload)
             else:
                 if drift_handler is None:

@@ -43,6 +43,9 @@ from ..energy.objectives import (
     objective_cost,
 )
 from ..engine import SweepEngine
+from ..graphs.compose import GraphRun, node_requests
+from ..graphs.graph import TaskGraph
+from ..graphs.planner import GraphPlan, GraphPlanner
 from ..partitioning import (
     DEFAULT_STEP_PERCENT,
     Partitioning,
@@ -53,9 +56,15 @@ from ..runtime.scheduler import ExecutionRequest
 from .cache import CacheKey, PredictionCache
 from .dispatch import BatchScheduler, DispatchSlot
 from .drift import DriftDetector
-from .trace import ServingRequest
+from .trace import GraphServingRequest, ServingRequest
 
-__all__ = ["ServiceConfig", "ServiceStats", "ServedResponse", "PartitioningService"]
+__all__ = [
+    "ServiceConfig",
+    "ServiceStats",
+    "ServedResponse",
+    "GraphServedResponse",
+    "PartitioningService",
+]
 
 
 def _trained_grid_step(database: TrainingDatabase) -> int | None:
@@ -199,6 +208,11 @@ class ServiceStats:
     energy_j: float = 0.0
     power_capped: int = 0
     power_cap_violations: int = 0
+    #: Graph requests served (each also counts once in ``requests``).
+    graph_requests: int = 0
+    #: Full scheduling × partitioning co-searches run (cold graph keys
+    #: and graph-level regressions/drift flags trigger them).
+    graph_cosearches: int = 0
 
 
 @dataclass(frozen=True)
@@ -227,6 +241,38 @@ class ServedResponse:
     @property
     def power_w(self) -> float:
         """Average platform draw over this launch (0 for a zero span)."""
+        return self.energy_j / self.measured_s if self.measured_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class GraphServedResponse:
+    """Everything the service decided and observed for one graph request.
+
+    ``measured_s`` is the composed critical-path makespan the request
+    experienced (queue/predict spans are added by the event loop,
+    exactly as for single-kernel responses); ``plan`` is the per-task
+    partitioning assignment the *next* request under this key will use
+    (the co-searched winner when adaptation fired).
+    """
+
+    request: GraphServingRequest
+    plan: GraphPlan
+    cache_hit: bool
+    measured_s: float
+    estimate_s: float | None
+    energy_j: float = 0.0
+    adapted: bool = False
+    improvement_s: float = 0.0
+    #: Measured scalar cost under the service's objective.
+    cost: float = 0.0
+    #: Task names along the makespan-defining dependency chain.
+    critical_path: tuple[str, ...] = ()
+    #: The full composed run (schedules, transfers, per-task runs).
+    run: GraphRun | None = None
+
+    @property
+    def power_w(self) -> float:
+        """Average platform draw over the composed run (0 for zero span)."""
         return self.energy_j / self.measured_s if self.measured_s > 0 else 0.0
 
 
@@ -297,6 +343,11 @@ class PartitioningService:
         # flagged key's estimate is pinned to the best time measured on
         # the drifted hardware instead.
         self._drift_estimates: dict[CacheKey, float] = {}
+        # Best measured objective cost per graph key: graphs have no
+        # training-database record, so their regression/drift baseline
+        # is the best composed cost observed so far (re-based after a
+        # drift flag, exactly like _drift_estimates for kernels).
+        self._graph_estimates: dict[CacheKey, float] = {}
         self._pending_refit = 0
         # Per-key memoization of the expensive request plumbing: problem
         # instances, execution requests and feature dicts are identical
@@ -551,6 +602,184 @@ class PartitioningService:
             [self._features[k] for k in cold_keys]
         )
         return dict(zip(cold_keys, predictions))
+
+    # -- graph serving ------------------------------------------------------
+
+    def _graph_key(self, graph: TaskGraph) -> CacheKey:
+        """Graph-level prediction-cache key: same shape, graph identity."""
+        return (self.machine, graph.signature_label, graph.total_size)
+
+    def _graph_measure(self, graph: TaskGraph, plan: GraphPlan) -> GraphRun:
+        """Compose one graph run on the configured measurement path."""
+        if self.engine is not None:
+            return self.engine.measure_graph(
+                graph,
+                plan,
+                repetitions=self.config.repetitions,
+                instance_seed=self.config.instance_seed,
+            )
+        return self.system.runner.run_graph(
+            graph,
+            plan,
+            repetitions=self.config.repetitions,
+            instance_seed=self.config.instance_seed,
+        )
+
+    def _predict_plan(self, graph: TaskGraph) -> GraphPlan:
+        """Per-task model predictions — the plan before any co-search.
+
+        Each node is answered exactly as a single-kernel request would
+        be (features → model), so a cold graph starts from the same
+        evidence the kernel path has; what it *cannot* see is the
+        transfers and overlap between tasks — that is the co-search's
+        job.
+        """
+        assignments: dict[str, Partitioning] = {}
+        for node in graph.nodes:
+            node_key = (self.machine, node.program, node.size)
+            self._execution_request(get_benchmark(node.program), node_key)
+            assignments[node.name] = self.system.predictor.predict_features(
+                self._features[node_key]
+            )
+        return GraphPlan.from_dict(assignments)
+
+    def _graph_search(self, graph: TaskGraph) -> tuple[GraphPlan, GraphRun]:
+        """Co-search placement × per-task partitioning for one graph."""
+        runner = self.system.runner
+        if self.engine is not None:
+            measure = self.engine.measure
+            requests = self.engine.graph_requests(
+                graph, instance_seed=self.config.instance_seed
+            )
+        else:
+
+            def measure(request, partitioning, repetitions=1):
+                return runner.run(
+                    request, partitioning, functional=False, repetitions=repetitions
+                )
+
+            requests = node_requests(graph, seed=self.config.instance_seed)
+        planner = GraphPlanner(
+            measure,
+            runner.devices,
+            EnergyMeter(runner.devices).platform_idle_w(),
+            step_percent=self.config.adaptation_step,
+        )
+        return planner.search(graph, requests, repetitions=self.config.repetitions)
+
+    def submit_graph(self, request: GraphServingRequest) -> GraphServedResponse:
+        """Serve one task-graph request end-to-end.
+
+        The graph analogue of :meth:`submit`: resolve a plan (cache →
+        pinned winner → per-task model predictions), measure the
+        composed critical path, check it against the best cost this
+        graph has ever achieved, and co-search scheduling ×
+        partitioning when the key is cold, regressed or drift-flagged
+        — budgeted by ``max_adaptations_per_key`` exactly like kernel
+        adaptations.  Every per-task measurement of the composed run
+        lands in the training database under its own (program, size)
+        key, so graph traffic keeps teaching the single-kernel model.
+        """
+        graph = request.graph
+        key = self._graph_key(graph)
+        self.stats.requests += 1
+        self.stats.graph_requests += 1
+
+        cached = self.cache.get(key)
+        cache_hit = cached is not None
+        if cached is None:
+            cached = self._validated.get(key)
+        if cached is None:
+            cached = self._predict_plan(graph)
+        if not cache_hit:
+            self.cache.put(key, cached)
+        assert isinstance(cached, GraphPlan)
+        plan = cached
+
+        run = self._graph_measure(graph, plan)
+        measured = run.median_s
+        energy = run.energy_j
+        cost = self._cost(measured, energy)
+        self.stats.energy_j += energy
+
+        estimate = self._graph_estimates.get(key)
+        cold = estimate is None
+        regressed = (
+            estimate is not None
+            and cost > (1.0 + self.config.regression_threshold) * estimate
+        )
+        if regressed:
+            self.stats.regressions += 1
+
+        drifted = False
+        if self.detector is not None and estimate is not None:
+            drifted = self.detector.observe(key, cost, estimate)
+        if drifted:
+            self.stats.drift_flags += 1
+            self.cache.invalidate(key)
+            self._validated.pop(key, None)
+            self._adaptations_by_key.pop(key, None)
+            # The old baseline was measured on pre-drift hardware; the
+            # best cost observed from here on re-bases it.
+            estimate = None
+
+        adapted = False
+        improvement = 0.0
+        best_cost = cost
+        if self._should_search(key, cold, regressed or drifted):
+            self._adaptations_by_key[key] = (
+                self._adaptations_by_key.get(key, 0) + 1
+            )
+            if cold:
+                self.stats.cold_validations += 1
+            self.stats.graph_cosearches += 1
+            searched_plan, searched_run = self._graph_search(graph)
+            searched_cost = self._cost(searched_run.median_s, searched_run.energy_j)
+            best_cost = min(best_cost, searched_cost)
+            if searched_plan != plan and searched_cost < cost:
+                adapted = True
+                improvement = cost - searched_cost
+                if not math.isfinite(improvement):
+                    improvement = 0.0
+                self.stats.adaptations += 1
+                self.stats.improvement_s += improvement
+                plan = searched_plan
+            # Measurement-backed winner (even when it matches the
+            # prediction): pin it so LRU eviction cannot lose it.
+            self._validated[key] = plan
+            self.cache.put(key, plan)
+        if drifted:
+            self.cache.put(key, plan)
+        self._graph_estimates[key] = (
+            best_cost if estimate is None else min(estimate, best_cost)
+        )
+
+        # Per-task evidence flows into the same database single-kernel
+        # serving feeds — graph traffic trains the kernel model too.
+        for name, node_run in run.node_runs.items():
+            node = graph.node(name)
+            node_key = (self.machine, node.program, node.size)
+            self._execution_request(get_benchmark(node.program), node_key)
+            self.system.database.merge_timings(
+                *node_key,
+                features=dict(self._features[node_key]),
+                timings={node_run.partitioning.label: node_run.median_s},
+                energies={node_run.partitioning.label: node_run.energy_j},
+            )
+
+        return GraphServedResponse(
+            request=request,
+            plan=plan,
+            cache_hit=cache_hit,
+            measured_s=measured,
+            estimate_s=estimate,
+            energy_j=energy,
+            adapted=adapted,
+            improvement_s=improvement,
+            cost=cost,
+            critical_path=run.critical_path,
+            run=run,
+        )
 
     # -- online adaptation -------------------------------------------------
 

@@ -16,10 +16,12 @@ from typing import Sequence
 import numpy as np
 
 from ..benchsuite.base import Benchmark
+from ..graphs.graph import TaskGraph
 from ..util.rng import rng_for
 
 __all__ = [
     "DEFAULT_TENANT",
+    "GraphServingRequest",
     "ServingRequest",
     "key_universe",
     "zipf_draws",
@@ -43,6 +45,35 @@ class ServingRequest:
     program: str
     size: int
     tenant: str = DEFAULT_TENANT
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.program, self.size)
+
+
+@dataclass(frozen=True)
+class GraphServingRequest:
+    """One task-graph request arriving at the service.
+
+    The graph — not a kernel — is the unit of work: the service
+    resolves (or co-searches) a full per-task plan, measures the
+    composed critical path, and caches the plan under a graph-level
+    key.  ``program``/``size`` mirror the single-kernel request shape
+    (the graph's signature label and node count) so placement policies
+    and SLO accounting treat both kinds uniformly.
+    """
+
+    request_id: int
+    graph: TaskGraph
+    tenant: str = DEFAULT_TENANT
+
+    @property
+    def program(self) -> str:
+        return self.graph.signature_label
+
+    @property
+    def size(self) -> int:
+        return self.graph.total_size
 
     @property
     def key(self) -> tuple[str, int]:

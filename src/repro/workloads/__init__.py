@@ -12,6 +12,7 @@ the benchmarks) plays back.
 
 from .arrivals import arrival_times, rate_factors
 from .generators import (
+    AnyServingRequest,
     Workload,
     make_workload,
     stream_requests,
@@ -21,6 +22,7 @@ from .spec import ARRIVAL_PROCESSES, WORKLOAD_FAMILIES, DriftEvent, WorkloadSpec
 
 __all__ = [
     "ARRIVAL_PROCESSES",
+    "AnyServingRequest",
     "WORKLOAD_FAMILIES",
     "DriftEvent",
     "WorkloadSpec",

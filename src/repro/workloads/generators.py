@@ -20,12 +20,18 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..serving.trace import ServingRequest, zipf_draws
+from ..graphs.builders import chain_universe
+from ..graphs.graph import TaskGraph
+from ..serving.trace import GraphServingRequest, ServingRequest, zipf_draws
 from ..util.rng import rng_for
 from .arrivals import arrival_times
 from .spec import DriftEvent, WorkloadSpec
 
+#: A trace position resolves to either a kernel key or a whole graph.
+AnyServingRequest = ServingRequest | GraphServingRequest
+
 __all__ = [
+    "AnyServingRequest",
     "Workload",
     "make_workload",
     "stream_requests",
@@ -48,13 +54,13 @@ class Workload:
     """
 
     spec: WorkloadSpec
-    requests: tuple[ServingRequest, ...]
+    requests: tuple[AnyServingRequest, ...]
     drift_events: tuple[DriftEvent, ...]
 
     def __len__(self) -> int:
         return len(self.requests)
 
-    def items(self) -> Iterator[DriftEvent | ServingRequest]:
+    def items(self) -> Iterator[DriftEvent | AnyServingRequest]:
         """Drift events and requests, interleaved in serving order.
 
         Every event fires *before* the request sharing its index;
@@ -70,7 +76,7 @@ class Workload:
 
     def segments(
         self,
-    ) -> Iterator[tuple[tuple[DriftEvent, ...], tuple[ServingRequest, ...]]]:
+    ) -> Iterator[tuple[tuple[DriftEvent, ...], tuple[AnyServingRequest, ...]]]:
         """(events to apply, following request batch) pairs, in order.
 
         The batch-serving consumers apply each segment's events and
@@ -79,7 +85,7 @@ class Workload:
         the trace) arrive with an empty batch.
         """
         header: list[DriftEvent] = []
-        batch: list[ServingRequest] = []
+        batch: list[AnyServingRequest] = []
         for item in self.items():
             if isinstance(item, DriftEvent):
                 if batch:
@@ -93,7 +99,7 @@ class Workload:
 
     def timed_items(
         self,
-    ) -> Iterator[tuple[float, DriftEvent | ServingRequest]]:
+    ) -> Iterator[tuple[float, DriftEvent | AnyServingRequest]]:
         """The :meth:`items` timeline with arrival timestamps attached.
 
         This is the event-loop feed: a drift event carries the
@@ -105,8 +111,8 @@ class Workload:
 
 
 def _attach_times(
-    items: Iterator[DriftEvent | ServingRequest], times: np.ndarray
-) -> Iterator[tuple[float, DriftEvent | ServingRequest]]:
+    items: Iterator[DriftEvent | AnyServingRequest], times: np.ndarray
+) -> Iterator[tuple[float, DriftEvent | AnyServingRequest]]:
     """Zip arrival timestamps onto an interleaved request/drift stream."""
     i = 0
     last = 0.0
@@ -128,15 +134,21 @@ def _zipf_weights(count: int, skew: float) -> np.ndarray:
     return weights / weights.sum()
 
 
+def _build_request(
+    item: tuple[str, int] | TaskGraph, request_id: int
+) -> AnyServingRequest:
+    """One trace position → a request of the matching kind."""
+    if isinstance(item, TaskGraph):
+        return GraphServingRequest(request_id=request_id, graph=item)
+    return ServingRequest(request_id=request_id, program=item[0], size=item[1])
+
+
 def _requests(
-    ranked: Sequence[tuple[str, int]], draws: np.ndarray, start_id: int
-) -> list[ServingRequest]:
-    return [
-        ServingRequest(
-            request_id=start_id + i, program=ranked[j][0], size=ranked[j][1]
-        )
-        for i, j in enumerate(draws)
-    ]
+    ranked: Sequence[tuple[str, int] | TaskGraph],
+    draws: np.ndarray,
+    start_id: int,
+) -> list[AnyServingRequest]:
+    return [_build_request(ranked[j], start_id + i) for i, j in enumerate(draws)]
 
 
 def _phase_shift_segments(
@@ -222,9 +234,29 @@ def _diurnal_segments(
     yield ranked, draws
 
 
+def _pipeline_segments(
+    spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
+) -> Iterator[tuple[list[TaskGraph], np.ndarray]]:
+    """Zipf-skewed task-graph stream over a role-based chain universe.
+
+    The key universe is bucketed into pipeline roles (stencil → reduce
+    → gemm) and composed into chains; the stream then draws whole
+    graphs with the same popularity skew the kernel families use, so a
+    hot pipeline warms the graph-level plan cache exactly as a hot
+    kernel warms the kernel one.
+    """
+    graphs = chain_universe(keys)
+    rng = rng_for("workload-pipeline", len(keys), spec.skew, base_seed=spec.seed)
+    ranked = list(graphs)
+    rng.shuffle(ranked)
+    weights = _zipf_weights(len(ranked), spec.skew)
+    draws = rng.choice(len(ranked), size=spec.num_requests, p=weights)
+    yield ranked, draws
+
+
 def _draw_segments(
     spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
-) -> Iterator[tuple[list[tuple[str, int]], np.ndarray]]:
+) -> Iterator[tuple[list[tuple[str, int]] | list[TaskGraph], np.ndarray]]:
     """(ranked keys, rank draws) runs, in request order.
 
     The single draw path both consumption modes share: each segment is
@@ -239,13 +271,15 @@ def _draw_segments(
         yield from _phase_shift_segments(spec, keys)
     elif spec.family == "flash-crowd":
         yield from _flash_crowd_segments(spec, keys)
+    elif spec.family == "pipeline":
+        yield from _pipeline_segments(spec, keys)
     else:
         yield from _diurnal_segments(spec, keys)
 
 
 def stream_requests(
     spec: WorkloadSpec, keys: Sequence[tuple[str, int]]
-) -> Iterator[ServingRequest]:
+) -> Iterator[AnyServingRequest]:
     """The spec's request stream, one lazily-built object at a time.
 
     Bit-identical to ``make_workload(spec, keys).requests`` — same rng
@@ -254,9 +288,7 @@ def stream_requests(
     request_id = 0
     for ranked, draws in _draw_segments(spec, keys):
         for j in draws:
-            yield ServingRequest(
-                request_id=request_id, program=ranked[j][0], size=ranked[j][1]
-            )
+            yield _build_request(ranked[j], request_id)
             request_id += 1
 
 
@@ -272,7 +304,7 @@ def stream_timed_items(
     times = arrival_times(spec)
     pending = list(spec.drift_events)
 
-    def interleaved() -> Iterator[DriftEvent | ServingRequest]:
+    def interleaved() -> Iterator[DriftEvent | AnyServingRequest]:
         i = 0
         for request in stream_requests(spec, keys):
             while pending and pending[0].at_request <= i:

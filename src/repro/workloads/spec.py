@@ -20,6 +20,10 @@ Families:
 * ``diurnal`` — the Zipf skew itself ramps sinusoidally between a
   cache-hostile trough (near-uniform traffic) and a concentrated peak,
   modelling day/night popularity cycles.
+* ``pipeline`` — the unit of work is a task *graph*, not a kernel: a
+  Zipf-skewed stream of stencil→reduce→gemm chains built from the key
+  universe (:func:`repro.graphs.chain_universe`), exercising the
+  graph-level plan cache and the scheduling–partitioning co-search.
 
 Any family can carry :class:`DriftEvent`\\ s: points in the trace where
 a machine's device throughput factors are rescaled mid-serve (thermal
@@ -37,7 +41,7 @@ from ..faults import FaultSpec
 __all__ = ["ARRIVAL_PROCESSES", "WORKLOAD_FAMILIES", "DriftEvent", "WorkloadSpec"]
 
 #: The supported trace families.
-WORKLOAD_FAMILIES = ("stationary", "phase-shift", "flash-crowd", "diurnal")
+WORKLOAD_FAMILIES = ("stationary", "phase-shift", "flash-crowd", "diurnal", "pipeline")
 
 #: How request timestamps are drawn along the trace.
 #:

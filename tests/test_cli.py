@@ -128,6 +128,55 @@ class TestServing:
         with pytest.raises(SystemExit):
             main(["replay", "--requests", "1", "--objective", "speed"])
 
+    def test_replay_rejects_pipeline_workload(self):
+        with pytest.raises(SystemExit, match="graph-serve"):
+            main(
+                ["replay", "--requests", "5", "--train-programs", "2",
+                 "--max-sizes", "1", "--model", "knn",
+                 "--workload", "pipeline"]
+            )
+
+
+class TestGraphCommands:
+    def test_graph_sweep_reports_cosearch_summary(self, capsys):
+        assert main(["graph-sweep", "--step", "20", "--scale-bytes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Co-search summary" in out
+        assert "greedy makespan" in out
+        assert "speedup over greedy" in out
+        assert "critical path" in out
+        # Every stage appears in the per-task schedule table.
+        for stage in ("stencil2d@256", "reduction@65536", "mat_mul@160"):
+            assert stage in out
+
+    def test_graph_sweep_rejects_malformed_stages(self):
+        with pytest.raises(SystemExit, match="--stages"):
+            main(["graph-sweep", "--stages", "mat_mul@big,vec_add@4096"])
+        with pytest.raises(SystemExit, match="at least 2"):
+            main(["graph-sweep", "--stages", "mat_mul@160"])
+
+    def test_graph_serve_reports_summary(self, capsys):
+        assert main(
+            ["graph-serve", "--machine", "mc2", "--requests", "6",
+             "--train-programs", "4", "--max-sizes", "1", "--model", "knn"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Graph serving summary" in out
+        assert "graph requests" in out
+        assert "distinct pipelines" in out
+        assert "plan cache hit rate" in out
+        assert "co-searches" in out
+
+    def test_graph_serve_event_driven_prints_latency(self, capsys):
+        assert main(
+            ["graph-serve", "--machine", "mc2", "--requests", "5",
+             "--train-programs", "4", "--max-sizes", "1", "--model", "knn",
+             "--arrival", "poisson", "--arrival-rate", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Graph serving summary" in out
+        assert "Latency" in out
+
 
 class TestEnergySweep:
     def test_energy_sweep_reports_pareto(self, capsys):

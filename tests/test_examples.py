@@ -40,6 +40,14 @@ def test_energy_tradeoff(capsys):
     assert "energy saved" in out
 
 
+def test_pipeline_cosearch(capsys):
+    out = _run("pipeline_cosearch.py", capsys=capsys)
+    assert "critical path:" in out
+    assert "greedy makespan:" in out
+    assert "co-searched makespan:" in out
+    assert "speedup over greedy:" in out
+
+
 @pytest.mark.slow
 def test_size_sensitivity_example(capsys):
     out = _run("size_sensitivity.py", capsys=capsys)

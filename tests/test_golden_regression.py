@@ -85,3 +85,40 @@ class TestBaselineGolden:
         assert actual == winner, (
             f"{program}@{size} on {machine.name}: {t_cpu} vs {t_gpu}"
         )
+
+
+class TestGraphGolden:
+    """The graphs refactor's anchor: one node IS one kernel, bit for bit."""
+
+    @pytest.mark.parametrize("machine", [MC1, MC2], ids=lambda m: m.name)
+    @pytest.mark.parametrize("memoize", [True, False], ids=["engine", "runner"])
+    def test_single_node_graph_reproduces_single_kernel_run(
+        self, machine, memoize
+    ):
+        from repro.engine import SweepEngine
+        from repro.graphs import TaskGraph
+        from repro.partitioning import Partitioning
+
+        bench = get_benchmark("mat_mul")
+        request = bench.request(bench.make_instance(160, seed=0))
+        p = Partitioning((40, 30, 30))
+        single = SweepEngine(
+            Runner(machine, noise_sigma=0.02, seed=7)
+        ).measure(request, p, repetitions=3)
+
+        graph = TaskGraph.single("mat_mul", 160)
+        if memoize:
+            run = SweepEngine(
+                Runner(machine, noise_sigma=0.02, seed=7)
+            ).measure_graph(graph, {"t0": p}, repetitions=3)
+        else:
+            run = Runner(machine, noise_sigma=0.02, seed=7).run_graph(
+                graph, {"t0": p}, repetitions=3
+            )
+
+        # Bit-identical, both objectives — the refactor's hard gate.
+        assert run.median_s == single.median_s
+        assert run.energy_j == single.energy_j
+        node_run = run.node_runs["t0"]
+        assert node_run.samples_s == single.samples_s
+        assert node_run.energy_samples_j == single.energy_samples_j

@@ -312,3 +312,48 @@ class TestNeighborhood:
     def test_invalid_step_rejected(self):
         with pytest.raises(ValueError):
             neighborhood(Partitioning((100, 0, 0)), 0)
+
+    def test_single_device_frontier_is_the_point_itself(self):
+        # Regression: a 1-device machine has nowhere to move a step, and
+        # the frontier used to come back empty — the adaptation path
+        # would then min() over nothing.  The degenerate frontier is the
+        # input point, never ().
+        assert neighborhood(Partitioning((100,)), 10) == (Partitioning((100,)),)
+
+    def test_blocked_moves_return_the_point_not_empty(self):
+        # A step too coarse to move (no device holds >= step) also
+        # degenerates to the input point.
+        p = Partitioning((50, 50))
+        assert neighborhood(p, 60) == (p,)
+
+    def test_adaptation_consumes_degenerate_frontier(self):
+        # The serving-side consumer: _adapt must still pick a winner
+        # (the predicted point itself) instead of crashing on min(()).
+        from repro.benchsuite import get_benchmark
+        from repro.core import TrainingConfig, train_system
+        from repro.machines import MC2
+        from repro.serving import PartitioningService, ServiceConfig, ServingRequest
+
+        system = train_system(
+            MC2,
+            (get_benchmark("vec_add"),),
+            config=TrainingConfig(repetitions=1, max_sizes=1),
+        )
+        service = PartitioningService(
+            system,
+            # A 100% step cannot move anything off a mixed split, so the
+            # frontier degenerates; cold keys are validated, so the
+            # degenerate local search runs on the very first request.
+            ServiceConfig(adaptation_step=100, validate_cold_keys=True),
+        )
+        mixed = Partitioning((40, 30, 30))
+        service.system.predictor.predict_features = lambda _features: mixed
+        size = get_benchmark("vec_add").problem_sizes()[0]
+        response = service.submit(ServingRequest(0, "vec_add", size))
+        assert response.measured_s > 0.0
+        # The bad prediction regressed against the trained estimate, so
+        # the local search DID run — and its only candidate was the
+        # predicted point itself, which it must survive, not crash on.
+        assert service.stats.regressions == 1
+        assert response.partitioning == mixed
+        assert not response.adapted

@@ -48,6 +48,31 @@ class TestSpecValidation:
         with pytest.raises(ValueError):
             WorkloadSpec(skew_min=2.0, skew_max=1.0)
 
+    def test_burst_and_rate_shape_knobs_rejected(self):
+        # Regression: every burst/phase shape knob must be validated at
+        # construction, not discovered as a bad array shape mid-trace.
+        with pytest.raises(ValueError, match="burst_every"):
+            WorkloadSpec(burst_every=-5)
+        with pytest.raises(ValueError, match="burst_length"):
+            WorkloadSpec(burst_length=0)
+        with pytest.raises(ValueError, match="burst_length"):
+            WorkloadSpec(burst_length=-1)
+        with pytest.raises(ValueError, match="burst_share"):
+            WorkloadSpec(burst_share=-0.1)
+        with pytest.raises(ValueError, match="burst_rate"):
+            WorkloadSpec(burst_rate=0.0)
+        with pytest.raises(ValueError, match="burst_rate"):
+            WorkloadSpec(burst_rate=-2.0)
+        with pytest.raises(ValueError, match="period"):
+            WorkloadSpec(period=-3)
+        with pytest.raises(ValueError, match="phases"):
+            WorkloadSpec(phases=-1)
+        with pytest.raises(ValueError, match="rate_rps"):
+            WorkloadSpec(rate_rps=0.0)
+        # The boundary values stay constructible.
+        WorkloadSpec(burst_every=1, burst_length=1, burst_share=0.0)
+        WorkloadSpec(burst_share=1.0, period=2, phases=1)
+
     def test_drift_event_validation(self):
         with pytest.raises(ValueError):
             DriftEvent(at_request=-1, scale=0.5)
@@ -69,6 +94,7 @@ class TestSpecValidation:
             "phase-shift",
             "flash-crowd",
             "diurnal",
+            "pipeline",
         }
 
 
@@ -92,7 +118,15 @@ class TestGenerators:
         b = make_workload(spec, keys)
         assert a.requests == b.requests
         assert [r.request_id for r in a.requests] == list(range(77))
-        assert all(r.key in keys for r in a.requests)
+        if family == "pipeline":
+            # Graph requests: every stage comes from the key universe.
+            assert all(
+                (node.program, node.size) in keys
+                for r in a.requests
+                for node in r.graph.nodes
+            )
+        else:
+            assert all(r.key in keys for r in a.requests)
 
     def test_phase_shift_rotates_the_hot_set(self):
         keys = _keys(max_sizes=4)
@@ -145,6 +179,42 @@ class TestGenerators:
         trough_top = max(_counts(trough).values()) / len(trough)
         peak_top = max(_counts(peak).values()) / len(peak)
         assert peak_top > 2 * trough_top
+
+    def test_pipeline_family_emits_graph_requests(self):
+        from repro.graphs import STAGE_ROLES
+        from repro.serving import GraphServingRequest
+        from repro.workloads import stream_requests
+
+        keys = _keys(
+            programs=("stencil2d", "hotspot", "reduction", "mat_mul"),
+            max_sizes=2,
+        )
+        spec = WorkloadSpec(family="pipeline", num_requests=50, seed=7)
+        workload = make_workload(spec, keys)
+        assert len(workload) == 50
+        assert all(
+            isinstance(r, GraphServingRequest) for r in workload.requests
+        )
+        # Streaming stays bit-identical to materializing.
+        assert tuple(stream_requests(spec, keys)) == workload.requests
+        # Chains follow the stage roles: stencil -> reduce -> gemm.
+        for r in workload.requests:
+            order = r.graph.topological_order()
+            programs = [r.graph.node(n).program for n in order]
+            assert programs[0] in STAGE_ROLES["stencil"]
+            assert programs[1] in STAGE_ROLES["reduce"]
+            assert programs[2] in STAGE_ROLES["gemm"]
+            assert all(e.nbytes > 0 for e in r.graph.edges)
+
+    def test_pipeline_family_without_role_programs_still_pipelines(self):
+        # A universe with no stencil/reduce/gemm programs falls back to
+        # consecutive-key chains rather than failing.
+        keys = _keys(programs=("vec_add", "saxpy", "triad"), max_sizes=1)
+        workload = make_workload(
+            WorkloadSpec(family="pipeline", num_requests=10, seed=0), keys
+        )
+        assert len(workload) == 10
+        assert all(len(r.graph.nodes) >= 2 for r in workload.requests)
 
     def test_items_interleaves_drift_events(self):
         keys = _keys()
