@@ -1,0 +1,364 @@
+#!/usr/bin/env python
+"""Cluster tier under a pinned pool: speculation, stealing, isolation.
+
+The acceptance gate of the multi-pool serving tier.  One two-pool
+cluster (two machines per pool), two tenants hashed to opposite home
+pools ("gold" -> pool 0, "silver" -> pool 1), one calibrated poisson
+stream — a straggler schedule pinning replica 0 on top:
+
+* ``drain-only`` — the pinned pool digs itself out alone: no
+  speculative re-execution, no work stealing.  The tail this run
+  reports is the cost of doing nothing at cluster scope.
+* ``speculative`` — the same schedule with quantile-triggered
+  speculative re-execution (``speculate_at=0.95``, duplicates placed
+  in a *different* pool) and cross-pool work stealing.  Its p99 must
+  come out *below* the drain-only p99, or the cluster-scope straggler
+  machinery is not earning its network toll.
+
+Three more gates ride every run:
+
+* conservation — the extended identity ``arrivals + speculations ==
+  completed + shed + failed + cancelled_speculative`` must hold, and
+  every speculative launch must be retired exactly once
+  (``cancelled_speculative == speculations``).
+* isolation — the per-tenant fairness gap (largest deviation of a
+  tenant's realized share of cluster busy seconds from its weighted
+  fair share) must stay under ``FAIRNESS_BOUND`` even while one home
+  pool is pinned.
+* determinism — a re-run of the speculative scenario must reproduce
+  every histogram bucket, SLO counter, fault meter and tenant share
+  bit for bit.
+
+The full run plays 60k-request traces; ``--quick`` is CI-sized.  With
+``--check-against`` both scenario p99s (lower-is-better) are compared
+against the committed baseline and the run fails on a
+>``--max-regression`` change.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_cluster.py [--quick]
+        [--output BENCH_cluster.json]
+        [--check-against benchmarks/BENCH_cluster_baseline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.benchsuite import all_benchmarks
+from repro.cluster import ClusterRouter, NetworkSpec, with_tenants
+from repro.core import TrainingConfig, train_system
+from repro.faults import FaultSchedule, FaultSpec
+from repro.machines import cluster_platforms
+from repro.serving import (
+    PartitioningService,
+    ServeOptions,
+    ServiceConfig,
+    SLOConfig,
+    key_universe,
+    serve_trace,
+)
+from repro.workloads import WorkloadSpec, make_workload
+
+#: Cluster shape every scenario serves on.
+NUM_POOLS = 2
+MACHINES_PER_POOL = 2
+
+#: Two tenants whose sha256 home-pool hashes land on opposite pools, so
+#: the straggler pins exactly one tenant's home and isolation is tested
+#: where it is hardest.
+TENANTS = ("gold", "silver")
+
+#: Target per-replica utilization of the poisson arrival process: high
+#: enough that queueing exists, low enough that the fault-free cluster
+#: is stable — the tail measured here must come from the pinned pool,
+#: not from a saturated baseline.
+UTILIZATION = 0.55
+
+#: Largest tolerated per-tenant deviation from the weighted fair share
+#: of cluster busy seconds while one home pool is pinned.
+FAIRNESS_BOUND = 0.35
+
+
+def _training(seed: int) -> TrainingConfig:
+    return TrainingConfig(repetitions=1, max_sizes=2, seed=seed)
+
+
+def _build_cluster(train_programs: int, seed: int) -> ClusterRouter:
+    return ClusterRouter.build(
+        NUM_POOLS,
+        MACHINES_PER_POOL,
+        all_benchmarks()[:train_programs],
+        model_kind="knn",
+        training=_training(seed),
+        serving=ServiceConfig(instance_seed=seed),
+        network=NetworkSpec(),
+    )
+
+
+def calibrate_rate(keys, train_programs: int, seed: int) -> float:
+    """Measured mean service time → cluster arrival rate at ``UTILIZATION``.
+
+    A small closed-loop stationary replay on a throwaway single-machine
+    service; the cluster absorbs ``NUM_POOLS * MACHINES_PER_POOL``
+    times the per-replica rate.  Deterministic given the seed, so the
+    calibrated rate (and every scenario built on it) reproduces bit
+    for bit.
+    """
+    service = PartitioningService(
+        train_system(
+            cluster_platforms(NUM_POOLS, MACHINES_PER_POOL)[0][0],
+            all_benchmarks()[:train_programs],
+            model_kind="knn",
+            config=_training(seed),
+        ),
+        ServiceConfig(instance_seed=seed),
+    )
+    trace = make_workload(
+        WorkloadSpec(family="stationary", num_requests=100, skew=1.3, seed=seed),
+        keys,
+    ).requests
+    responses = service.serve(list(trace))
+    mean_s = sum(r.measured_s for r in responses) / len(responses)
+    return NUM_POOLS * MACHINES_PER_POOL * UTILIZATION / mean_s
+
+
+def straggler_schedule(horizon_s: float) -> tuple[FaultSpec, ...]:
+    """Three 8x slowdown windows on replica 0 (pool 0), ~45% of the trace."""
+    return tuple(
+        FaultSpec(
+            kind="straggler",
+            at_s=start * horizon_s,
+            duration_s=0.15 * horizon_s,
+            magnitude=8.0,
+            replica=0,
+        )
+        for start in (0.1, 0.4, 0.7)
+    )
+
+
+def _conserved(doc: dict) -> bool:
+    faults = doc["faults"]
+    return (
+        doc["arrivals"] + faults["speculations"]
+        == doc["completed"] + doc["shed"] + doc["failed"]
+        + faults["cancelled_speculative"]
+    ) and faults["cancelled_speculative"] == faults["speculations"]
+
+
+def run_scenario(
+    name: str,
+    keys,
+    num_requests: int,
+    train_programs: int,
+    seed: int,
+    options: ServeOptions,
+) -> dict:
+    """One freshly-trained cluster, one open-loop trace, one histogram."""
+    cluster = _build_cluster(train_programs, seed)
+    trace = with_tenants(
+        make_workload(
+            WorkloadSpec(
+                family="stationary",
+                num_requests=num_requests,
+                skew=1.3,
+                seed=seed,
+            ),
+            keys,
+        ).requests,
+        TENANTS,
+    )
+    t0 = time.perf_counter()
+    stats = serve_trace(cluster, trace, options).stats
+    wall_s = time.perf_counter() - t0
+    doc = stats.to_dict()
+    cluster_doc = cluster.stats().to_dict()
+    doc["scenario"] = name
+    doc["cluster"] = cluster_doc
+    doc["serve_wall_s"] = wall_s
+    doc["wall_rps"] = num_requests / wall_s if wall_s > 0 else 0.0
+    # Bit-comparable fingerprint for the determinism gate: integer
+    # bucket counts, SLO counters, every fault/speculation meter, and
+    # the per-tenant isolation shares.
+    doc["fingerprint"] = {
+        "latency_counts": list(stats.latency.counts),
+        "latency_zeros": stats.latency.zeros,
+        "queue_counts": list(stats.queue_wait.counts),
+        "slo": stats.slo.snapshot(),
+        "faults": doc["faults"],
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "shed": stats.shed,
+        "cluster": cluster_doc,
+    }
+    return doc
+
+
+def check_against(doc: dict, baseline_path: Path, max_regression: float) -> list[str]:
+    """Failures versus the committed baseline.
+
+    Both scenario p99s are lower-is-better (fail above baseline ×
+    ``max_regression``).  Scenarios present in only one document are
+    skipped.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name in ("drain-only", "speculative"):
+        result = doc["scenarios"].get(name)
+        ref = baseline["scenarios"].get(name)
+        if result is None or ref is None:
+            continue
+        measured = result["latency"]["p99_s"]
+        reference = ref["latency"]["p99_s"]
+        if measured > reference * max_regression:
+            failures.append(
+                f"{name} latency p99: {measured * 1e3:.3f} ms > baseline "
+                f"{reference * 1e3:.3f} ms x {max_regression:g}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="trace length per scenario (default: 60,000; quick: 6,000)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_cluster.json")
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline JSON; exit non-zero on >--max-regression change",
+    )
+    parser.add_argument("--max-regression", type=float, default=1.5)
+    args = parser.parse_args(argv)
+
+    num_requests = args.requests or (6_000 if args.quick else 60_000)
+    train_programs = 2 if args.quick else 4
+    keys = key_universe(all_benchmarks()[:train_programs], max_sizes=2)
+
+    rate_rps = calibrate_rate(keys, train_programs, args.seed)
+    horizon_s = num_requests / rate_rps
+    capacity = NUM_POOLS * MACHINES_PER_POOL
+    slo_s = 4.0 * capacity * UTILIZATION / rate_rps  # 4x the mean service
+    print(
+        f"calibrated arrival rate: {rate_rps:.1f} req/s "
+        f"({UTILIZATION:.0%} load per replica, horizon {horizon_s:.2f} s)"
+    )
+    print(f"SLO target: {slo_s * 1e3:.3f} ms")
+
+    straggler = FaultSchedule(specs=straggler_schedule(horizon_s), seed=args.seed)
+    scenarios = {}
+
+    def run(name: str, options: ServeOptions) -> dict:
+        result = run_scenario(
+            name, keys, num_requests, train_programs, args.seed, options
+        )
+        scenarios[name] = result
+        lat = result["latency"]
+        faults = result["faults"]
+        cluster = result["cluster"]
+        print(
+            f"{name}: p99 {lat['p99_s'] * 1e3:.3f} ms, "
+            f"{faults['speculations']} speculations "
+            f"({faults['spec_wins']} wins), "
+            f"{faults['steals']} steals, "
+            f"{cluster['cross_pool']} cross-pool, "
+            f"fairness gap {cluster['fairness_gap']:.3f}, "
+            f"{result['wall_rps']:.0f} req/s wall"
+        )
+        return result
+
+    run(
+        "drain-only",
+        ServeOptions(
+            arrival="poisson",
+            rate_rps=rate_rps,
+            seed=args.seed,
+            slo=SLOConfig(target_s=slo_s),
+            faults=straggler,
+        ),
+    )
+    speculative = ServeOptions(
+        arrival="poisson",
+        rate_rps=rate_rps,
+        seed=args.seed,
+        slo=SLOConfig(target_s=slo_s),
+        faults=straggler,
+        speculate_at=0.95,
+        work_steal=True,
+    )
+    run("speculative", speculative)
+
+    failures = []
+    for name, result in scenarios.items():
+        if not _conserved(result):
+            failures.append(f"{name}: request conservation broken: {result}")
+
+    spec_p99 = scenarios["speculative"]["latency"]["p99_s"]
+    drain_p99 = scenarios["drain-only"]["latency"]["p99_s"]
+    print(f"speculative / drain-only p99: {spec_p99 / drain_p99:.3f}x")
+    if not spec_p99 < drain_p99:
+        failures.append(
+            f"speculation did not cut the pinned-pool tail: speculative p99 "
+            f"{spec_p99 * 1e3:.3f} ms >= drain-only {drain_p99 * 1e3:.3f} ms"
+        )
+    if scenarios["speculative"]["faults"]["speculations"] == 0:
+        failures.append("speculative scenario launched zero speculative copies")
+
+    for name, result in scenarios.items():
+        gap = result["cluster"]["fairness_gap"]
+        if gap > FAIRNESS_BOUND:
+            failures.append(
+                f"{name}: fairness gap {gap:.3f} exceeds bound {FAIRNESS_BOUND}"
+            )
+
+    # Determinism gate: the speculative scenario re-run must reproduce
+    # every histogram bucket, fault meter and tenant share bit for bit.
+    rerun = run_scenario(
+        "speculative", keys, num_requests, train_programs, args.seed, speculative
+    )
+    deterministic = rerun["fingerprint"] == scenarios["speculative"]["fingerprint"]
+    if not deterministic:
+        failures.append("speculative re-run is not bit-identical")
+
+    doc = {
+        "benchmark": "cluster-tier",
+        "quick": args.quick,
+        "seed": args.seed,
+        "num_requests": num_requests,
+        "train_programs": train_programs,
+        "num_pools": NUM_POOLS,
+        "machines_per_pool": MACHINES_PER_POOL,
+        "tenants": list(TENANTS),
+        "rate_rps": rate_rps,
+        "slo_s": slo_s,
+        "utilization": UTILIZATION,
+        "fairness_bound": FAIRNESS_BOUND,
+        "scenarios": scenarios,
+        "speculative_p99_ratio": spec_p99 / drain_p99,
+        "deterministic": deterministic,
+    }
+    Path(args.output).write_text(json.dumps(doc, indent=1, sort_keys=True))
+    print(f"wrote {args.output}")
+    if args.check_against:
+        baseline_failures = check_against(
+            doc, Path(args.check_against), args.max_regression
+        )
+        if not baseline_failures:
+            print(f"perf check ok against {args.check_against}")
+        failures.extend(baseline_failures)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,18 @@ Commands:
                                 machines (least-loaded / affinity /
                                 predicted / energy placement, drain +
                                 re-warm on sustained degradation)
+    cluster-train             — train + persist one model per machine
+                                across every pool of a cluster
+    cluster-serve             — route a multi-tenant trace across
+                                machine pools behind a priced
+                                interconnect (home-pool tenancy,
+                                speculative re-execution, work
+                                stealing, weighted-fair queueing)
+
+Shared flag groups (the workload generator, the event-driven serving
+path, the objective knobs, ...) are defined once as argparse parent
+parsers and attached to every command that supports them, so
+``--arrival`` or ``--slo-ms`` mean the same thing everywhere.
 
 The serving commands optimize makespan by default; ``--objective
 energy|edp`` retargets the model, the regression checks and the local
@@ -309,11 +321,29 @@ def _workload_from_args(args: argparse.Namespace, keys):
     return make_workload(spec, keys)
 
 
-def _event_config_from_args(args: argparse.Namespace):
-    """The event-loop config behind ``--arrival/--slo-ms/--shed-policy``
-    and the fault-handling knobs (docs/FAULTS.md)."""
+def _parse_tenant_priorities(values: list[str]):
+    """``TENANT:PRIO`` strings → the SLOConfig pair-tuple form."""
+    pairs = []
+    for value in values:
+        tenant, sep, prio = value.partition(":")
+        if not sep or not tenant or not prio.lstrip("-").isdigit():
+            raise SystemExit(
+                f"--tenant-priority {value!r}: want TENANT:PRIO, e.g. premium:2"
+            )
+        pairs.append((tenant, int(prio)))
+    return tuple(pairs)
+
+
+def _serve_options_from_args(args: argparse.Namespace):
+    """The :class:`ServeOptions` behind the shared serving flag groups.
+
+    Every serving command funnels through here, so ``--slo-ms`` or
+    ``--hedge-at`` mean exactly the same thing on one machine, a fleet
+    or a cluster.  Cluster-only flags are read defensively: commands
+    that don't mount the tenancy parent simply keep the defaults.
+    """
     from .faults import FaultSchedule
-    from .serving import EventLoopConfig, SLOConfig
+    from .serving import ServeOptions, SLOConfig
 
     target_s = args.slo_ms / 1e3 if args.slo_ms is not None else None
     specs = _parse_fault_specs(args.faults)
@@ -321,10 +351,14 @@ def _event_config_from_args(args: argparse.Namespace):
     if specs:
         seed = args.fault_seed if args.fault_seed is not None else args.seed
         faults = FaultSchedule(specs=specs, seed=seed)
+    priorities = _parse_tenant_priorities(getattr(args, "tenant_priority", []))
     try:
-        return EventLoopConfig(
+        return ServeOptions(
+            arrival=args.arrival or "sequential",
+            rate_rps=args.arrival_rate,
+            seed=args.seed,
+            slo=SLOConfig(target_s=target_s, tenant_priorities=priorities),
             shed_policy=args.shed_policy,
-            slo=SLOConfig(target_s=target_s),
             faults=faults,
             timeout_factor=args.timeout_factor,
             max_retries=args.max_retries,
@@ -332,9 +366,18 @@ def _event_config_from_args(args: argparse.Namespace):
             retry_budget=args.retry_budget,
             hedge_at=args.hedge_at,
             failover=not args.no_failover,
+            speculate_at=getattr(args, "speculate_at", None),
+            work_steal=getattr(args, "work_steal", False),
+            queue_discipline=getattr(args, "queue_discipline", "fifo"),
         )
     except ValueError as error:
         raise SystemExit(str(error)) from error
+
+
+def _event_config_from_args(args: argparse.Namespace):
+    """The event-loop config behind ``--arrival/--slo-ms/--shed-policy``
+    and the fault-handling knobs (docs/FAULTS.md)."""
+    return _serve_options_from_args(args).event_config()
 
 
 def _objective_quantity(service, value: float) -> str:
@@ -926,15 +969,228 @@ def _print_fleet_summary(router, sources, wall_s: float) -> None:
     print(format_table(["metric", "value"], totals, title="Fleet totals"))
 
 
-def _add_fleet_options(p: argparse.ArgumentParser) -> None:
-    """Options shared by fleet-train and fleet-serve."""
-    p.add_argument(
-        "--machines",
-        type=int,
-        default=4,
-        help="fleet size (machines generated by repro.machines.fleet_platforms)",
+def _cmd_cluster_train(args: argparse.Namespace) -> int:
+    from .fleet import ModelRegistry
+    from .machines import cluster_platforms
+
+    if args.model not in PERSISTABLE_MODEL_KINDS:
+        raise SystemExit(
+            f"--model {args.model!r} cannot be persisted; "
+            f"choose from {', '.join(PERSISTABLE_MODEL_KINDS)}"
+        )
+    _benchmarks, train_benchmarks = _fleet_train_benchmarks(args)
+    registry = ModelRegistry(args.registry)
+    config = TrainingConfig(
+        repetitions=1,
+        noise_sigma=args.noise,
+        seed=args.seed,
+        max_sizes=args.max_sizes,
     )
-    p.add_argument("--model", default="knn", help="prediction model kind")
+    rows = []
+    for pool, chunk in enumerate(
+        cluster_platforms(args.pools, args.machines_per_pool)
+    ):
+        for platform in chunk:
+            system = train_system(
+                platform, train_benchmarks, model_kind=args.model, config=config
+            )
+            path = registry.save(system)
+            rows.append(
+                (pool, platform.name, len(system.database), args.model, str(path))
+            )
+    print(
+        format_table(
+            ["pool", "machine", "records", "model", "path"],
+            rows,
+            title=(
+                f"Cluster training ({args.pools} pools x "
+                f"{args.machines_per_pool} machines)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .cluster import ClusterRouter, NetworkSpec, with_tenants
+    from .serving import ServiceConfig, key_universe, serve_trace
+
+    benchmarks, train_benchmarks = _fleet_train_benchmarks(args)
+    options = _serve_options_from_args(args)
+    try:
+        cluster = ClusterRouter.build(
+            pools=args.pools,
+            machines_per_pool=args.machines_per_pool,
+            benchmarks=train_benchmarks,
+            model_kind=args.model,
+            training=TrainingConfig(
+                repetitions=1,
+                noise_sigma=args.noise,
+                seed=args.seed,
+                max_sizes=args.max_sizes,
+            ),
+            serving=ServiceConfig(
+                cache_capacity=args.cache_capacity,
+                regression_threshold=args.threshold,
+                instance_seed=args.seed,
+                memoize=not args.no_memoize,
+                objective=args.objective,
+                power_cap_w=args.power_cap,
+            ),
+            policy=args.policy,
+            network=NetworkSpec(
+                bandwidth_gbs=args.net_bandwidth,
+                latency_s=args.net_latency_us * 1e-6,
+                link_watts=args.net_watts,
+            ),
+            slo=options.slo,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+    keys = key_universe(benchmarks, max_sizes=args.max_sizes)
+    workload = _workload_from_args(args, keys)
+    if args.tenants:
+        tenants = tuple(t.strip() for t in args.tenants.split(",") if t.strip())
+        if not tenants:
+            raise SystemExit("--tenants: want a comma-separated tenant list")
+        workload = replace(
+            workload, requests=with_tenants(workload.requests, tenants)
+        )
+    num_tenants = len({r.tenant for r in workload.requests})
+    print(
+        f"cluster of {args.pools}x{args.machines_per_pool} machines "
+        f"(policy {args.policy}, net {args.net_bandwidth:g} GB/s + "
+        f"{args.net_latency_us:g} us); routing {len(workload)} requests "
+        f"from {num_tenants} tenant{'s' if num_tenants != 1 else ''} over "
+        f"{len(keys)} keys ({args.workload} workload, skew {args.skew}, "
+        f"seed {args.seed})"
+    )
+
+    def on_drift(event) -> None:
+        try:
+            hit = cluster.apply_drift(event)
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+        where = (
+            f"device {event.device_index}"
+            if event.device_index is not None
+            else "all devices"
+        )
+        print(f"-- drift: {', '.join(hit)} ({where}) x{event.scale:g}")
+
+    t0 = time.perf_counter()
+    if args.arrival:
+        print(
+            f"event-driven: {args.arrival} arrivals at "
+            f"{args.arrival_rate:g} req/s (shed policy {args.shed_policy}, "
+            f"queue {args.queue_discipline}"
+            + (
+                f", speculate at p{args.speculate_at * 100:g}"
+                if args.speculate_at
+                else ""
+            )
+            + (", work-steal" if args.work_steal else "")
+            + ")"
+        )
+        result = serve_trace(
+            cluster, workload.timed_items(), options, drift_handler=on_drift
+        )
+        wall_s = time.perf_counter() - t0
+        _print_cluster_summary(cluster, wall_s)
+        _print_latency_summary(result.stats)
+    else:
+        for events, batch in workload.segments():
+            for event in events:
+                on_drift(event)
+            serve_trace(cluster, batch, options)
+        wall_s = time.perf_counter() - t0
+        _print_cluster_summary(cluster, wall_s)
+    return 0
+
+
+def _print_cluster_summary(cluster, wall_s: float) -> None:
+    """Pool table, network toll and per-tenant isolation report."""
+    stats = cluster.stats()
+    rows = [
+        (
+            f"pool {p}",
+            " ".join(r.name for r in cluster.pools[p].replicas),
+            f"{ps.requests}",
+            f"{ps.makespan_s * 1e3:.3f}",
+            f"{ps.energy_j:.3f}",
+            f"{ps.rewarms}",
+        )
+        for p, ps in enumerate(stats.pools)
+    ]
+    print(
+        format_table(
+            ["pool", "machines", "requests", "makespan (ms)", "energy (J)", "rewarms"],
+            rows,
+            title="Cluster pools",
+        )
+    )
+    cross = (
+        f"{stats.cross_pool} ({stats.cross_pool / stats.served * 100.0:.1f}%)"
+        if stats.served
+        else "0"
+    )
+    totals = [
+        ("served", f"{stats.served}"),
+        ("cross-pool", cross),
+        ("network time", f"{stats.network_s * 1e3:.3f} ms"),
+        ("network energy", f"{stats.network_j:.3f} J"),
+        ("fairness gap", f"{stats.fairness_gap:.3f}"),
+        (
+            "throughput (wall)",
+            f"{stats.served / wall_s:.1f} req/s" if wall_s > 0 else "n/a",
+        ),
+    ]
+    print(format_table(["metric", "value"], totals, title="Cluster totals"))
+    if stats.tenants:
+        trows = [
+            (
+                t.tenant,
+                f"{t.completed}",
+                f"{t.share * 100.0:.1f}%",
+                f"{t.fair_share * 100.0:.1f}%",
+                f"{t.weight:g}",
+                f"{t.p50_s * 1e3:.3f}",
+                f"{t.p99_s * 1e3:.3f}",
+            )
+            for t in stats.tenants
+        ]
+        print(
+            format_table(
+                [
+                    "tenant",
+                    "done",
+                    "share",
+                    "fair share",
+                    "weight",
+                    "p50 (ms)",
+                    "p99 (ms)",
+                ],
+                trows,
+                title="Tenant isolation",
+            )
+        )
+
+
+# -- shared flag groups ------------------------------------------------------
+#
+# Each group is defined exactly once, as an argparse *parent* parser
+# (add_help=False); build_parser() mounts the groups a command supports
+# via parents=[...].  Adding a flag here adds it to every command that
+# mounts the group.
+
+
+def _model_flags(
+    p: argparse.ArgumentParser, model_default: str, noise_default: float
+) -> None:
+    """The model/training flags every serving command carries."""
+    p.add_argument("--model", default=model_default, help="prediction model kind")
     p.add_argument(
         "--train-programs",
         type=int,
@@ -947,13 +1203,115 @@ def _add_fleet_options(p: argparse.ArgumentParser) -> None:
         default=3,
         help="cap each program's size ladder (training and trace)",
     )
-    p.add_argument("--noise", type=float, default=0.0)
+    p.add_argument("--noise", type=float, default=noise_default)
     p.add_argument("--seed", type=int, default=0)
 
 
-def _add_workload_options(p: argparse.ArgumentParser) -> None:
-    """Options of the trace generator (replay and fleet-serve)."""
+def _fleet_parent() -> argparse.ArgumentParser:
+    """Flags shared by fleet-train and fleet-serve."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--machines",
+        type=int,
+        default=4,
+        help="fleet size (machines generated by repro.machines.fleet_platforms)",
+    )
+    _model_flags(p, model_default="knn", noise_default=0.0)
+    return p
+
+
+def _cluster_parent() -> argparse.ArgumentParser:
+    """Topology + model flags shared by cluster-train and cluster-serve."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--pools",
+        type=int,
+        default=2,
+        help="machine pools (each pool is a full fleet router)",
+    )
+    p.add_argument(
+        "--machines-per-pool",
+        type=int,
+        default=2,
+        help="machines per pool (repro.machines.cluster_platforms)",
+    )
+    _model_flags(p, model_default="knn", noise_default=0.0)
+    return p
+
+
+def _network_parent() -> argparse.ArgumentParser:
+    """The interconnect cost model pricing cross-pool handoffs."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--net-bandwidth",
+        type=float,
+        default=10.0,
+        metavar="GB/S",
+        help="interconnect bandwidth charged per cross-pool handoff",
+    )
+    p.add_argument(
+        "--net-latency-us",
+        type=float,
+        default=50.0,
+        metavar="US",
+        help="fixed interconnect latency per cross-pool transfer",
+    )
+    p.add_argument(
+        "--net-watts",
+        type=float,
+        default=8.0,
+        metavar="W",
+        help="link power while a handoff is in flight (joules metering)",
+    )
+    return p
+
+
+def _tenancy_parent() -> argparse.ArgumentParser:
+    """Multi-tenant and straggler-handling flags (cluster-serve)."""
+    from .serving import QUEUE_DISCIPLINES
+
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--tenants",
+        default=None,
+        metavar="A,B,...",
+        help="tenant names assigned round-robin over the trace",
+    )
+    p.add_argument(
+        "--tenant-priority",
+        action="append",
+        default=[],
+        metavar="TENANT:PRIO",
+        help="one tenant's priority (repeatable; fair-share weight is "
+        "1 + priority)",
+    )
+    p.add_argument(
+        "--queue-discipline",
+        default="fifo",
+        choices=QUEUE_DISCIPLINES,
+        help="per-replica queue order on the event-driven path",
+    )
+    p.add_argument(
+        "--speculate-at",
+        type=float,
+        default=None,
+        metavar="Q",
+        help="speculatively re-execute in another pool once a request "
+        "outlives the Q latency quantile (first completion wins)",
+    )
+    p.add_argument(
+        "--work-steal",
+        action="store_true",
+        help="idle replicas steal queued work from other pools",
+    )
+    return p
+
+
+def _workload_parent() -> argparse.ArgumentParser:
+    """Flags of the trace generator (replay, fleet-serve, cluster-serve)."""
     from .workloads import WORKLOAD_FAMILIES
+
+    p = argparse.ArgumentParser(add_help=False)
 
     p.add_argument(
         "--workload",
@@ -998,27 +1356,20 @@ def _add_workload_options(p: argparse.ArgumentParser) -> None:
         metavar="AT:SCALE[:MACHINE[:DEVICE]]",
         help="platform drift event, e.g. 100:0.5:mc2:1 (repeatable)",
     )
+    return p
 
 
-def _add_serving_options(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
-        "--machine", default="mc2", choices=[m.name for m in ALL_MACHINES]
-    )
-    p.add_argument("--model", default="mlp", help="prediction model kind")
-    p.add_argument(
-        "--train-programs",
-        type=int,
-        default=16,
-        help="train on the first N suite programs (the rest arrive cold)",
-    )
-    p.add_argument(
-        "--max-sizes",
-        type=int,
-        default=3,
-        help="cap each program's size ladder (training and trace)",
-    )
-    p.add_argument("--noise", type=float, default=0.05)
-    p.add_argument("--seed", type=int, default=0)
+def _trace_parent() -> argparse.ArgumentParser:
+    """Trace length and popularity skew (every trace-serving command)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--skew", type=float, default=1.5)
+    return p
+
+
+def _service_parent() -> argparse.ArgumentParser:
+    """The PartitioningService build knobs every serve command shares."""
+    p = argparse.ArgumentParser(add_help=False)
     p.add_argument("--cache-capacity", type=int, default=512)
     p.add_argument(
         "--threshold",
@@ -1031,13 +1382,26 @@ def _add_serving_options(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="measure without the memoizing sweep engine (A/B baseline)",
     )
-    _add_objective_options(p)
+    return p
 
 
-def _add_event_options(p: argparse.ArgumentParser) -> None:
-    """Options of the event-driven serving path (docs/SERVING.md)."""
+def _serving_parent() -> argparse.ArgumentParser:
+    """Flags of the single-machine serving commands (serve/replay/...)."""
+    p = argparse.ArgumentParser(
+        add_help=False, parents=[_service_parent(), _objective_parent()]
+    )
+    p.add_argument(
+        "--machine", default="mc2", choices=[m.name for m in ALL_MACHINES]
+    )
+    _model_flags(p, model_default="mlp", noise_default=0.05)
+    return p
+
+
+def _event_parent() -> argparse.ArgumentParser:
+    """Flags of the event-driven serving path (docs/SERVING.md)."""
     from .serving import SHED_POLICIES
 
+    p = argparse.ArgumentParser(add_help=False)
     p.add_argument(
         "--arrival",
         default=None,
@@ -1123,12 +1487,14 @@ def _add_event_options(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="do not route around crashed replicas (availability baseline)",
     )
+    return p
 
 
-def _add_objective_options(p: argparse.ArgumentParser) -> None:
-    """Options of the energy-aware serving commands."""
+def _objective_parent() -> argparse.ArgumentParser:
+    """Flags of the energy-aware serving commands."""
     from .energy import Objective
 
+    p = argparse.ArgumentParser(add_help=False)
     p.add_argument(
         "--objective",
         default=Objective.MAKESPAN.value,
@@ -1142,6 +1508,7 @@ def _add_objective_options(p: argparse.ArgumentParser) -> None:
         metavar="WATTS",
         help="average-power budget per served launch (docs/ENERGY.md)",
     )
+    return p
 
 
 def _cmd_energy_sweep(args: argparse.Namespace) -> int:
@@ -1460,58 +1827,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_gsweep.add_argument("--seed", type=int, default=0)
     p_gsweep.set_defaults(fn=_cmd_graph_sweep)
 
+    serving = _serving_parent()
+    workload = _workload_parent()
+    event = _event_parent()
+    objective = _objective_parent()
+    trace = _trace_parent()
+    service = _service_parent()
+
     p_gserve = sub.add_parser(
         "graph-serve",
         help="serve a Zipf stream of task graphs (pipeline workload family)",
+        parents=[trace, serving, event],
     )
-    p_gserve.add_argument("--requests", type=int, default=50)
-    p_gserve.add_argument("--skew", type=float, default=1.5)
-    _add_serving_options(p_gserve)
-    _add_event_options(p_gserve)
-    p_gserve.set_defaults(fn=_cmd_graph_serve)
+    p_gserve.set_defaults(fn=_cmd_graph_serve, requests=50)
 
     p_replay = sub.add_parser(
-        "replay", help="serve a synthetic request trace (online adaptation)"
+        "replay",
+        help="serve a synthetic request trace (online adaptation)",
+        parents=[trace, serving, workload, event],
     )
-    p_replay.add_argument("--requests", type=int, default=200)
-    p_replay.add_argument("--skew", type=float, default=1.5)
     p_replay.add_argument(
         "--no-batch",
         action="store_true",
         help="serve sequentially instead of batching model inference",
     )
-    _add_serving_options(p_replay)
-    _add_workload_options(p_replay)
-    _add_event_options(p_replay)
     p_replay.set_defaults(fn=_cmd_replay)
 
     p_serve = sub.add_parser(
-        "serve", help="serve '<program> <size>' requests from a file or stdin"
+        "serve",
+        help="serve '<program> <size>' requests from a file or stdin",
+        parents=[serving, event],
     )
     p_serve.add_argument(
         "--trace", default=None, help="request file (default: read stdin)"
     )
-    _add_serving_options(p_serve)
-    _add_event_options(p_serve)
     p_serve.set_defaults(fn=_cmd_serve)
 
+    fleet = _fleet_parent()
+
     p_ftrain = sub.add_parser(
-        "fleet-train", help="train + persist one model per fleet machine"
+        "fleet-train",
+        help="train + persist one model per fleet machine",
+        parents=[fleet],
     )
     p_ftrain.add_argument("--registry", required=True, help="model registry directory")
-    _add_fleet_options(p_ftrain)
     p_ftrain.set_defaults(fn=_cmd_fleet_train)
 
-    p_fserve = sub.add_parser(
-        "fleet-serve", help="route one request trace across a fleet of machines"
-    )
     from .fleet import ROUTING_POLICIES
 
+    p_fserve = sub.add_parser(
+        "fleet-serve",
+        help="route one request trace across a fleet of machines",
+        parents=[fleet, trace, service, workload, event, objective],
+    )
     p_fserve.add_argument(
         "--policy", default="least-loaded", choices=ROUTING_POLICIES
     )
-    p_fserve.add_argument("--requests", type=int, default=200)
-    p_fserve.add_argument("--skew", type=float, default=1.5)
     p_fserve.add_argument(
         "--registry", default=None, help="load machines registered here"
     )
@@ -1520,23 +1891,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="seed unregistered machines from the most similar registered one",
     )
-    p_fserve.add_argument("--cache-capacity", type=int, default=512)
-    p_fserve.add_argument(
-        "--threshold",
-        type=float,
-        default=0.3,
-        help="relative regression slack before adaptation triggers",
-    )
-    p_fserve.add_argument(
-        "--no-memoize",
-        action="store_true",
-        help="measure without the memoizing sweep engine",
-    )
-    _add_fleet_options(p_fserve)
-    _add_workload_options(p_fserve)
-    _add_event_options(p_fserve)
-    _add_objective_options(p_fserve)
     p_fserve.set_defaults(fn=_cmd_fleet_serve)
+
+    cluster = _cluster_parent()
+
+    p_ctrain = sub.add_parser(
+        "cluster-train",
+        help="train + persist one model per machine across every pool",
+        parents=[cluster],
+    )
+    p_ctrain.add_argument("--registry", required=True, help="model registry directory")
+    p_ctrain.set_defaults(fn=_cmd_cluster_train)
+
+    p_cserve = sub.add_parser(
+        "cluster-serve",
+        help="route a multi-tenant trace across machine pools behind a "
+        "priced interconnect",
+        parents=[
+            cluster,
+            trace,
+            service,
+            _network_parent(),
+            _tenancy_parent(),
+            workload,
+            event,
+            objective,
+        ],
+    )
+    p_cserve.add_argument(
+        "--policy", default="least-loaded", choices=ROUTING_POLICIES
+    )
+    p_cserve.set_defaults(fn=_cmd_cluster_serve)
 
     return parser
 

@@ -17,6 +17,7 @@ from .router import (
     FleetRouter,
     FleetStats,
     HealthConfig,
+    ReplicaHealthView,
     ReplicaStats,
 )
 
@@ -29,5 +30,6 @@ __all__ = [
     "FleetRouter",
     "FleetStats",
     "HealthConfig",
+    "ReplicaHealthView",
     "ReplicaStats",
 ]

@@ -70,6 +70,7 @@ __all__ = [
     "HealthConfig",
     "FleetReplica",
     "FleetResponse",
+    "ReplicaHealthView",
     "ReplicaStats",
     "FleetStats",
     "FleetRouter",
@@ -136,6 +137,40 @@ class _ReplicaHealth:
     #: the smoothed rate ``inf``/``nan`` forever.
     rate_ewma: float = 0.0
     rate_observations: int = 0
+
+
+@dataclass(frozen=True)
+class ReplicaHealthView:
+    """Public snapshot of one replica's health bookkeeping.
+
+    This is the documented way to read the router's drain/re-warm
+    state — consumers above the router (the cluster tier, benchmarks,
+    tests) must not reach into the private ``_health`` counters.  The
+    view is a frozen copy: mutating router state goes through
+    :meth:`FleetRouter.tick` / :meth:`FleetRouter.rewarm_replica`.
+
+    Attributes:
+        index: the replica the snapshot describes.
+        ewma: smoothed measured/predicted cost ratio (1.0 = on spec).
+        observations: served responses folded into ``ewma`` since the
+            last drain.
+        draining_steps: placements/ticks the replica still sits out;
+            0 means it is in rotation.
+        rate_ewma: smoothed serving rate (requests per simulated
+            second), always finite.
+        rate_observations: finite rate samples folded into the EWMA.
+    """
+
+    index: int
+    ewma: float
+    observations: int
+    draining_steps: int
+    rate_ewma: float
+    rate_observations: int
+
+    @property
+    def draining(self) -> bool:
+        return self.draining_steps > 0
 
 
 @dataclass
@@ -642,6 +677,24 @@ class FleetRouter:
         return [self.submit(r) for r in trace]
 
     # -- telemetry ---------------------------------------------------------
+
+    def replica_health(self, index: int) -> ReplicaHealthView:
+        """A frozen snapshot of one replica's health bookkeeping.
+
+        The supported read path for everything the router tracks per
+        replica — drain countdown, degradation EWMA, smoothed serving
+        rate — so layers above (the cluster router, benchmarks, tests)
+        never couple to the private counters.
+        """
+        state = self._health[index]
+        return ReplicaHealthView(
+            index=index,
+            ewma=state.ewma,
+            observations=state.observations,
+            draining_steps=state.draining,
+            rate_ewma=state.rate_ewma,
+            rate_observations=state.rate_observations,
+        )
 
     def stats(self) -> FleetStats:
         """Per-replica utilization and cross-fleet throughput, right now."""

@@ -8,7 +8,7 @@ from .configs import (
     make_cpu_spec,
     make_gpu_spec,
 )
-from .fleet import FLEET_VARIANTS, fleet_platforms
+from .fleet import FLEET_VARIANTS, cluster_platforms, fleet_platforms
 
 __all__ = [
     "ALL_MACHINES",
@@ -18,5 +18,6 @@ __all__ = [
     "make_cpu_spec",
     "make_gpu_spec",
     "FLEET_VARIANTS",
+    "cluster_platforms",
     "fleet_platforms",
 ]

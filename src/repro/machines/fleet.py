@@ -20,7 +20,7 @@ from typing import Sequence
 from ..ocl.platform import Platform
 from .configs import ALL_MACHINES
 
-__all__ = ["FLEET_VARIANTS", "fleet_platforms"]
+__all__ = ["FLEET_VARIANTS", "cluster_platforms", "fleet_platforms"]
 
 #: (tag, clock scale, memory-bandwidth scale) applied cycle by cycle:
 #: the first ``len(base)`` machines are stock, the next cycle is the
@@ -71,3 +71,28 @@ def fleet_platforms(
             )
         )
     return tuple(platforms)
+
+
+def cluster_platforms(
+    pools: int, machines_per_pool: int, base: Sequence[Platform] = ALL_MACHINES
+) -> tuple[tuple[Platform, ...], ...]:
+    """``pools`` machine pools of ``machines_per_pool`` machines each.
+
+    The cluster tier routes across N pools of machines (each pool one
+    :class:`~repro.fleet.FleetRouter`); this derives the pools from the
+    same deterministic variant cycle :func:`fleet_platforms` uses, by
+    chunking a flat fleet of ``pools × machines_per_pool`` machines
+    into consecutive runs.  Names stay globally unique (the flat
+    replica suffix), and a cluster of P pools is a prefix of every
+    larger cluster with the same pool width — which is what makes
+    pool-scaling runs comparable, exactly like fleet scaling.
+    """
+    if pools < 1:
+        raise ValueError("pools must be >= 1")
+    if machines_per_pool < 1:
+        raise ValueError("machines_per_pool must be >= 1")
+    flat = fleet_platforms(pools * machines_per_pool, base=base)
+    return tuple(
+        flat[p * machines_per_pool : (p + 1) * machines_per_pool]
+        for p in range(pools)
+    )

@@ -9,8 +9,15 @@ that closes the train→predict→execute loop with online adaptation.
 from .cache import CacheKey, CacheStats, PredictionCache
 from .dispatch import BatchScheduler, DispatchSlot
 from .drift import DriftDetector
-from .eventloop import CompletedRequest, EventLoop, EventLoopConfig, EventLoopStats
+from .eventloop import (
+    QUEUE_DISCIPLINES,
+    CompletedRequest,
+    EventLoop,
+    EventLoopConfig,
+    EventLoopStats,
+)
 from .histogram import QUANTILE_RELATIVE_ERROR, LatencyHistogram
+from .options import ServeOptions, ServeResult, serve_trace
 from .service import (
     GraphServedResponse,
     PartitioningService,
@@ -46,6 +53,10 @@ __all__ = [
     "EventLoop",
     "EventLoopConfig",
     "EventLoopStats",
+    "QUEUE_DISCIPLINES",
+    "ServeOptions",
+    "ServeResult",
+    "serve_trace",
     "LatencyHistogram",
     "QUANTILE_RELATIVE_ERROR",
     "SHED_POLICIES",

@@ -42,6 +42,22 @@ Every outcome is counted, so conservation tightens to
 
 and a faulted run is exactly as reproducible as a clean one.
 
+At cluster scope (:class:`~repro.cluster.ClusterRouter` behind
+``for_cluster``) the loop adds straggler-escape machinery beyond
+drain-and-rewarm: *speculative re-execution* launches a duplicate in a
+different machine pool when a request outlives a latency-quantile
+trigger (first completion wins, the loser is cancelled and retired),
+and *work-stealing* lets a replica that just went idle pull the
+tail-most queued attempt from the most backlogged replica of another
+pool.  Every speculative launch is retired exactly once, so the
+identity extends to
+
+    arrivals + speculations == completed + shed + failed + cancelled_speculative
+
+which reduces to the plain form whenever speculation is off.  All of
+it is opt-in: with the new knobs at their defaults the loop replays
+pre-cluster traces event for event.
+
 Replicas serve one request at a time.  Execution time comes from the
 normal serving loop (:meth:`PartitioningService.submit` at service
 *start*, so adaptation/refit state evolves in start order exactly as
@@ -69,6 +85,7 @@ from .slo import SHED_POLICIES, SLOConfig, SLOTracker, shed_decision
 from .trace import GraphServingRequest, ServingRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.router import ClusterRouter
     from ..fleet.router import FleetRouter
     from ..workloads.spec import DriftEvent
     from .service import GraphServedResponse, PartitioningService, ServedResponse
@@ -83,11 +100,15 @@ AnyResponse = "ServedResponse | GraphServedResponse"
 AnyRequest = (ServingRequest, GraphServingRequest)
 
 __all__ = [
+    "QUEUE_DISCIPLINES",
     "EventLoopConfig",
     "EventLoopStats",
     "CompletedRequest",
     "EventLoop",
 ]
+
+#: Per-replica queue service orders the loop supports.
+QUEUE_DISCIPLINES = ("fifo", "weighted-fair")
 
 #: A timed item on the arrival stream: (timestamp, request-or-drift).
 TimedItem = "tuple[float, ServingRequest | DriftEvent]"
@@ -133,6 +154,26 @@ class EventLoopConfig:
         failover: route arrivals and retries around crashed replicas
             and redistribute a crashed replica's queue; ``False`` is
             the availability baseline where work stays stranded.
+        speculate_at: latency quantile whose value triggers one
+            speculative re-execution of any request older than it;
+            ``None`` disables speculation.  Unlike a hedge (which races
+            a duplicate on the least-loaded replica anywhere), a
+            speculative copy asks the backend where to escape to — on
+            a cluster that means a *different pool* than every live
+            copy, which is what beats pool-local straggler windows.
+        speculate_min_completions: completions observed before the
+            speculation trigger is trusted.
+        work_steal: let a replica that just went idle pull the
+            tail-most queued attempt from the most backlogged replica
+            the backend names as a victim (cross-pool on a cluster);
+            off by default — stealing reorders queues, so it must be
+            opted into.
+        queue_discipline: ``"fifo"`` (arrival order per replica) or
+            ``"weighted-fair"`` (start-time fair queueing: each
+            tenant's attempts carry virtual finish tags advanced by
+            ``est_service / weight``, and the replica serves the
+            smallest tag first, so a high-priority tenant's queue
+            share tracks its weight instead of its arrival rate).
     """
 
     predict_hit_s: float = 2e-6
@@ -150,6 +191,10 @@ class EventLoopConfig:
     hedge_at: float | None = None
     hedge_min_completions: int = 32
     failover: bool = True
+    speculate_at: float | None = None
+    speculate_min_completions: int = 32
+    work_steal: bool = False
+    queue_discipline: str = "fifo"
 
     def __post_init__(self) -> None:
         if self.predict_hit_s < 0 or self.predict_miss_s < 0:
@@ -187,6 +232,15 @@ class EventLoopConfig:
             raise ValueError("hedge_at is a quantile in (0, 1)")
         if self.hedge_min_completions < 1:
             raise ValueError("hedge_min_completions must be >= 1")
+        if self.speculate_at is not None and not 0.0 < self.speculate_at < 1.0:
+            raise ValueError("speculate_at is a quantile in (0, 1)")
+        if self.speculate_min_completions < 1:
+            raise ValueError("speculate_min_completions must be >= 1")
+        if self.queue_discipline not in QUEUE_DISCIPLINES:
+            raise ValueError(
+                f"unknown queue discipline {self.queue_discipline!r}; "
+                f"choose from {QUEUE_DISCIPLINES}"
+            )
 
 
 @dataclass(frozen=True)
@@ -209,6 +263,8 @@ class CompletedRequest:
     attempts: int = 1
     #: Whether a hedged duplicate was fired for it.
     hedged: bool = False
+    #: Speculative re-executions fired for it (cluster straggler escape).
+    speculated: int = 0
 
     @property
     def latency_s(self) -> float:
@@ -254,6 +310,20 @@ class EventLoopStats:
     predict_errors: int = 0
     #: Busy seconds reclaimed by cancelling losing/lost attempts early.
     cancelled_busy_s: float = 0.0
+    # -- cluster-scope straggler handling ------------------------------------
+    #: Speculative re-executions launched (quantile-triggered).
+    speculations: int = 0
+    #: Requests whose *speculative* copy finished first.
+    spec_wins: int = 0
+    #: Speculative copies retired at resolution — cancelled by a win
+    #: of any copy, or torn down when the request failed.  Conservation
+    #: extends to ``arrivals + speculations ==
+    #: completed + shed + failed + cancelled_speculative`` (every
+    #: speculative launch is retired exactly once; with speculation off
+    #: this reduces to the plain ``arrivals == completed + shed + failed``).
+    cancelled_speculative: int = 0
+    #: Queued attempts pulled to an idle replica by work-stealing.
+    steals: int = 0
 
     @property
     def in_flight(self) -> int:
@@ -310,6 +380,10 @@ class EventLoopStats:
                 "exec_errors": self.exec_errors,
                 "predict_errors": self.predict_errors,
                 "cancelled_busy_s": self.cancelled_busy_s,
+                "speculations": self.speculations,
+                "spec_wins": self.spec_wins,
+                "cancelled_speculative": self.cancelled_speculative,
+                "steals": self.steals,
             },
         }
 
@@ -326,6 +400,9 @@ class _Pending:
     #: Retries consumed (bounded by ``max_retries``).
     retries: int = 0
     hedged: bool = False
+    #: Speculative re-executions launched for this request; retired
+    #: into ``cancelled_speculative`` exactly once, at resolution.
+    speculated: int = 0
     done: bool = False
     #: Attempts currently queued or running on some replica.
     live: list = field(default_factory=list)
@@ -338,11 +415,16 @@ class _Attempt:
     pending: _Pending
     replica: int
     is_hedge: bool = False
+    #: A speculative re-execution (cluster straggler escape); accounted
+    #: apart from hedges so wins/cancels stay attributable.
+    is_spec: bool = False
     running: bool = False
     cancelled: bool = False
     start_s: float = 0.0
     finish_s: float = 0.0
     service_s: float = 0.0
+    #: Weighted-fair virtual finish tag (0 under FIFO).
+    vtag: float = 0.0
 
 
 @dataclass
@@ -417,6 +499,43 @@ class _FleetBackend:
         self.router.tick(now_s)
 
 
+class _ClusterBackend:
+    """A :class:`ClusterRouter` behind the loop: pools, tenants, network.
+
+    Replica indices are the cluster's *flat* indices (pool 0's replicas
+    first); the response's ``measured_s`` already carries the
+    interconnect handoff when the cluster served a request outside its
+    tenant's home pool, so network time accrues into latency with no
+    special-casing in the loop.  Beyond ``place``/``serve``/``tick``
+    the backend exports the two cluster-scope straggler hooks the loop
+    probes for: :meth:`speculative_index` (escape the pools already
+    running a copy) and :meth:`steal_candidates` (cross-pool victims).
+    """
+
+    def __init__(self, cluster: "ClusterRouter"):
+        self.cluster = cluster
+        self.services = cluster.services
+
+    def place(self, request: "ServingRequest | GraphServingRequest") -> int:
+        return self.cluster.place(request)
+
+    def serve(
+        self, index: int, request: "ServingRequest | GraphServingRequest"
+    ) -> AnyResponse:
+        return self.cluster.serve_on(index, request)
+
+    def tick(self, now_s: float) -> None:
+        self.cluster.tick(now_s)
+
+    def speculative_index(
+        self, request: "ServingRequest | GraphServingRequest", exclude: set[int]
+    ) -> int | None:
+        return self.cluster.speculative_index(request, exclude)
+
+    def steal_candidates(self, thief: int) -> tuple[int, ...]:
+        return self.cluster.steal_candidates(thief)
+
+
 class EventLoop:
     """Single-use simulated-time serving loop over one backend.
 
@@ -464,6 +583,9 @@ class EventLoop:
         #: admission control counts them as in-flight duplicates.
         self._retry_limbo = 0
         self._retry_tokens = 0.0
+        #: Weighted-fair queueing: each tenant's virtual finish time,
+        #: advanced by est_service/weight per enqueued attempt.
+        self._tenant_vtime: dict[str, float] = {}
 
     @classmethod
     def for_service(
@@ -476,6 +598,12 @@ class EventLoop:
         cls, router: "FleetRouter", config: EventLoopConfig = EventLoopConfig()
     ) -> "EventLoop":
         return cls(_FleetBackend(router), config)
+
+    @classmethod
+    def for_cluster(
+        cls, cluster: "ClusterRouter", config: EventLoopConfig = EventLoopConfig()
+    ) -> "EventLoop":
+        return cls(_ClusterBackend(cluster), config)
 
     # -- the loop ----------------------------------------------------------
 
@@ -554,6 +682,8 @@ class EventLoop:
             self._on_retry(at_s, payload)
         elif kind == "hedge":
             self._on_hedge(at_s, payload)
+        elif kind == "speculate":
+            self._on_speculate(at_s, payload)
         elif kind == "timeout":
             self._on_timeout(at_s, payload)
         elif kind == "crash":
@@ -606,6 +736,7 @@ class EventLoop:
         self._enqueue(pending, replica, is_hedge=False)
         self._schedule_timeout(pending)
         self._schedule_hedge(pending)
+        self._schedule_speculation(pending)
 
     def _schedule_timeout(self, pending: _Pending) -> None:
         if self.config.timeout_factor is None:
@@ -629,12 +760,43 @@ class EventLoop:
             return
         self._push(pending.arrival_s + trigger, "hedge", pending)
 
+    def _schedule_speculation(self, pending: _Pending) -> None:
+        if self.config.speculate_at is None:
+            return
+        if self.stats.completed < self.config.speculate_min_completions:
+            return
+        trigger = self.stats.latency.quantile(self.config.speculate_at)
+        if trigger <= 0.0:
+            return
+        self._push(pending.arrival_s + trigger, "speculate", pending)
+
     # -- queueing and service ----------------------------------------------
 
     def _enqueue(
-        self, pending: _Pending, replica: _ReplicaState, is_hedge: bool
+        self,
+        pending: _Pending,
+        replica: _ReplicaState,
+        is_hedge: bool,
+        is_spec: bool = False,
     ) -> None:
-        attempt = _Attempt(pending=pending, replica=replica.index, is_hedge=is_hedge)
+        attempt = _Attempt(
+            pending=pending,
+            replica=replica.index,
+            is_hedge=is_hedge,
+            is_spec=is_spec,
+        )
+        if self.config.queue_discipline == "weighted-fair":
+            # Start-time fair queueing: the attempt's virtual finish tag
+            # is the tenant's virtual clock (never behind the real one)
+            # plus the replica's estimated service span scaled down by
+            # the tenant's weight — a weight-2 tenant's tags advance
+            # half as fast, so it wins twice the dequeues under
+            # contention.
+            tenant = pending.request.tenant
+            weight = 1.0 + max(0, self.config.slo.priority_for(tenant))
+            vtime = max(self._tenant_vtime.get(tenant, 0.0), self._clock)
+            attempt.vtag = vtime + replica.est_service_s / weight
+            self._tenant_vtime[tenant] = attempt.vtag
         pending.live.append(attempt)
         replica.queue.append(attempt)
         replica.queued_live += 1
@@ -642,6 +804,21 @@ class EventLoop:
             self._start_next(replica, self._clock)
 
     def _start_next(self, replica: _ReplicaState, now: float) -> None:
+        if self.config.queue_discipline == "weighted-fair":
+            best = None
+            for attempt in replica.queue:
+                if attempt.cancelled:
+                    continue
+                if best is None or attempt.vtag < best.vtag:
+                    best = attempt
+            if best is None:
+                # Only lazily-cancelled entries left; drop them all.
+                replica.queue.clear()
+                return
+            replica.queue.remove(best)
+            replica.queued_live -= 1
+            self._begin(replica, best, now)
+            return
         while replica.queue:
             attempt = replica.queue.popleft()
             if attempt.cancelled:
@@ -741,11 +918,18 @@ class EventLoop:
         pending.done = True
         del self._live[pending.seq]
         # First completion wins: every other in-flight copy is cancelled
-        # and, if running, its remaining busy span reclaimed.
+        # and, if running, its remaining busy span reclaimed.  Losses in
+        # a race a speculative copy is part of are retired through the
+        # speculation meter below, not the hedge one.
         for other in list(pending.live):
             self._cancel(other, now)
-            self.stats.hedge_cancels += 1
+            if not other.is_spec and not attempt.is_spec:
+                self.stats.hedge_cancels += 1
         pending.live.clear()
+        # Every speculative launch retires exactly once, win or lose:
+        # arrivals + speculations == completed + shed + failed +
+        # cancelled_speculative stays an identity.
+        self.stats.cancelled_speculative += pending.speculated
         latency_s = now - pending.arrival_s
         queue_s = attempt.start_s - pending.arrival_s
         self.stats.completed += 1
@@ -755,6 +939,8 @@ class EventLoop:
         self.stats.service.record(attempt.service_s)
         if attempt.is_hedge:
             self.stats.hedge_wins += 1
+        if attempt.is_spec:
+            self.stats.spec_wins += 1
         violated = self.stats.slo.record_completion(pending.request.tenant, latency_s)
         if on_complete is not None:
             on_complete(
@@ -769,10 +955,14 @@ class EventLoop:
                     violated=violated,
                     attempts=pending.attempts,
                     hedged=pending.hedged,
+                    speculated=pending.speculated,
                 )
             )
-        if not replica.crashed and replica.queue:
-            self._start_next(replica, now)
+        if not replica.crashed:
+            if replica.queue:
+                self._start_next(replica, now)
+            if self.config.work_steal and not replica.busy:
+                self._try_steal(replica, now)
 
     def _on_attempt_failed(self, now: float, attempt: _Attempt) -> None:
         if attempt.cancelled:
@@ -781,8 +971,11 @@ class EventLoop:
         replica = self._replicas[attempt.replica]
         self._release(replica, attempt, now)
         pending.live.remove(attempt)
-        if not replica.crashed and replica.queue:
-            self._start_next(replica, now)
+        if not replica.crashed:
+            if replica.queue:
+                self._start_next(replica, now)
+            if self.config.work_steal and not replica.busy:
+                self._try_steal(replica, now)
         if pending.done or pending.live:
             # A sibling copy is still racing; let it decide the outcome.
             return
@@ -816,6 +1009,56 @@ class EventLoop:
         self.stats.hedges += 1
         self._enqueue(pending, replica, is_hedge=True)
 
+    def _on_speculate(self, now: float, pending: _Pending) -> None:
+        if pending.done or pending.speculated or not pending.live:
+            # Resolved, already speculating, or in retry backoff limbo.
+            return
+        exclude = {a.replica for a in pending.live}
+        replica = None
+        escape = getattr(self.backend, "speculative_index", None)
+        if escape is not None:
+            # Cluster-aware escape: a pool not already running a copy,
+            # so a pool-local straggler window cannot slow both copies.
+            index = escape(pending.request, exclude)
+            if index is not None and not self._replicas[index].crashed:
+                replica = self._replicas[index]
+        if replica is None:
+            replica = self._healthy_replica(exclude=exclude)
+        if replica is None:
+            return
+        pending.speculated += 1
+        self.stats.speculations += 1
+        self._enqueue(pending, replica, is_hedge=False, is_spec=True)
+
+    def _try_steal(self, thief: _ReplicaState, now: float) -> None:
+        """Pull the tail-most queued attempt of the most backlogged victim.
+
+        The backend names the eligible victims (cross-pool on a
+        cluster); without the hook any other replica qualifies.  The
+        steal takes from the *tail* — the work that would have waited
+        longest — and lazily-cancelled entries encountered there are
+        simply discarded (their live accounting was settled at cancel
+        time).
+        """
+        victims = getattr(self.backend, "steal_candidates", None)
+        if victims is not None:
+            candidates = [self._replicas[i] for i in victims(thief.index)]
+        else:
+            candidates = [r for r in self._replicas if r.index != thief.index]
+        candidates = [r for r in candidates if r.queued_live > 0]
+        if not candidates:
+            return
+        victim = max(candidates, key=lambda r: (r.queued_live, -r.index))
+        while victim.queue:
+            attempt = victim.queue.pop()
+            if attempt.cancelled:
+                continue
+            victim.queued_live -= 1
+            attempt.replica = thief.index
+            self.stats.steals += 1
+            self._begin(thief, attempt, now)
+            return
+
     def _on_timeout(self, now: float, pending: _Pending) -> None:
         if pending.done:
             return
@@ -841,6 +1084,7 @@ class EventLoop:
                         pending,
                         self._fallback_replica(exclude={index}),
                         is_hedge=current.is_hedge,
+                        is_spec=current.is_spec,
                     )
                 else:
                     self._fail(pending, now)
@@ -860,6 +1104,7 @@ class EventLoop:
                     attempt.pending,
                     self._fallback_replica(exclude={index}),
                     is_hedge=attempt.is_hedge,
+                    is_spec=attempt.is_spec,
                 )
 
     def _on_recover(self, now: float, index: int) -> None:
@@ -876,6 +1121,9 @@ class EventLoop:
         for attempt in list(pending.live):
             self._cancel(attempt, now)
         pending.live.clear()
+        # Speculative launches of a lost request retire here (the other
+        # side of the extended conservation identity).
+        self.stats.cancelled_speculative += pending.speculated
         del self._live[pending.seq]
         self.stats.failed += 1
         self.stats.slo.record_failed(pending.request.tenant)

@@ -439,10 +439,22 @@ class PartitioningService:
         return self.system.predictor.predict_features(features)
 
     # -- the serving loop -------------------------------------------------
+    #
+    # The public entrypoints below are thin shims over the unified
+    # ``serve_trace`` facade (:mod:`repro.serving.options`); the serving
+    # cores are the private ``_submit`` / ``_submit_many`` /
+    # ``_submit_graph`` the facade dispatches back into.  Shim and
+    # direct call produce bit-identical responses (golden-pinned in the
+    # test suite).
 
     def submit(self, request: ServingRequest) -> ServedResponse:
         """Serve one launch request end-to-end."""
-        return self._submit(request, None)
+        from .options import ServeOptions, serve_trace
+
+        result = serve_trace(
+            self, [request], ServeOptions(batch_predict=False)
+        )
+        return result.responses[0]
 
     def _submit(
         self, request: ServingRequest, prefetched: Partitioning | None
@@ -570,6 +582,12 @@ class PartitioningService:
         refit changes the model; the remaining cold keys are then
         re-predicted in one fresh pass.
         """
+        from .options import ServeOptions, serve_trace
+
+        return list(serve_trace(self, trace, ServeOptions()).responses)
+
+    def _submit_many(self, trace: Sequence[ServingRequest]) -> list[ServedResponse]:
+        """The batched-inference serving core behind :meth:`submit_many`."""
         requests = list(trace)
         responses: list[ServedResponse] = []
         prefetched: dict[CacheKey, Partitioning] = {}
@@ -680,6 +698,15 @@ class PartitioningService:
         lands in the training database under its own (program, size)
         key, so graph traffic keeps teaching the single-kernel model.
         """
+        from .options import ServeOptions, serve_trace
+
+        result = serve_trace(
+            self, [request], ServeOptions(batch_predict=False)
+        )
+        return result.responses[0]
+
+    def _submit_graph(self, request: GraphServingRequest) -> GraphServedResponse:
+        """The graph serving core behind :meth:`submit_graph`."""
         graph = request.graph
         key = self._graph_key(graph)
         self.stats.requests += 1

@@ -374,7 +374,7 @@ class TestFleetDriftRepair:
         # clock then runs out and the third rejoins it (least-loaded
         # prefers the idle machine).
         assert placements == [1, 1, 0]
-        assert router._health[0].draining == 0
+        assert router.replica_health(0).draining_steps == 0
 
     def test_all_draining_falls_back_to_whole_fleet(self, tmp_path):
         router, _platforms = self._fleet(tmp_path)

@@ -252,18 +252,19 @@ class TestRateEWMA:
             cost=1e-3,
         )
         router._observe_health(replica, response)
-        state = router._health[0]
+        view = router.replica_health(0)
         # The poisoned sample was skipped entirely: no observation, no
         # change to the (still unseeded) EWMA.
-        assert state.rate_observations == 0
-        assert state.rate_ewma == 0.0
+        assert view.rate_observations == 0
+        assert view.rate_ewma == 0.0
         assert math.isfinite(router.stats().replicas[0].rate_ewma)
         # Once the span is real, finite samples seed the EWMA normally.
         replica.scheduler.dispatch(Partitioning((0, 100, 0)), 2.0)
         router._observe_health(replica, response)
-        assert state.rate_observations == 1
-        assert math.isfinite(state.rate_ewma)
-        assert state.rate_ewma == pytest.approx(
+        view = router.replica_health(0)
+        assert view.rate_observations == 1
+        assert math.isfinite(view.rate_ewma)
+        assert view.rate_ewma == pytest.approx(
             replica.scheduler.throughput_rps()
         )
 
