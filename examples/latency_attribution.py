@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Where does the tail go?  Trace a flash crowd, attribute the p90+.
+
+Serves a flash-crowd trace — stationary load punctuated by bursts that
+arrive 4x faster while traffic piles onto one key — on a small
+two-pool cluster with ``telemetry="trace"``.  Every request becomes a
+span tree over the simulated clock (queue wait, predict, execute,
+cross-pool network hops), and the critical-path analyzer turns the
+slowest decile into a latency-attribution table.
+
+The point the numbers make: execution owns the typical request, but
+the tail belongs to ``queue`` — bursts push past pool capacity and
+the slow requests are the ones that sat in line.  That is the
+observability loop this example exists to show: trace, attribute,
+*then* tune (shedding, hedging, more replicas) against the span that
+actually owns the tail.
+"""
+
+from dataclasses import replace
+
+from repro.benchsuite import get_benchmark
+from repro.cluster import ClusterRouter, with_tenants
+from repro.core import TrainingConfig
+from repro.serving import SLOConfig, ServeOptions, key_universe, serve_trace
+from repro.workloads import WorkloadSpec, make_workload
+
+BENCHMARKS = tuple(get_benchmark(n) for n in ("vec_add", "mat_mul"))
+TENANTS = ("gold", "silver")
+
+
+def main() -> None:
+    cluster = ClusterRouter.build(
+        2,
+        1,
+        benchmarks=BENCHMARKS,
+        model_kind="knn",
+        training=TrainingConfig(repetitions=1, max_sizes=2),
+    )
+    spec = WorkloadSpec(
+        family="flash-crowd",
+        num_requests=400,
+        skew=1.3,
+        seed=7,
+        arrival="poisson",
+        rate_rps=12_000.0,
+        burst_rate=4.0,
+    )
+    keys = key_universe(list(BENCHMARKS), max_sizes=2)
+    workload = make_workload(spec, keys)
+    workload = replace(
+        workload, requests=with_tenants(workload.requests, TENANTS)
+    )
+
+    result = serve_trace(
+        cluster,
+        workload.timed_items(),
+        ServeOptions(
+            telemetry="trace",
+            slo=SLOConfig(target_s=0.0005),
+            work_steal=True,
+        ),
+    )
+    stats = result.stats
+    print(
+        f"flash-crowd on a {len(cluster.pools)}-pool cluster: "
+        f"{stats.completed} completed over {stats.clock_s * 1e3:.1f} ms "
+        f"simulated ({spec.rate_rps:.0f} req/s, bursts at "
+        f"{spec.rate_rps * spec.burst_rate:.0f})"
+    )
+    print(
+        f"latency p50 {stats.latency.quantile(0.50) * 1e3:.3f} ms, "
+        f"p99 {stats.latency.quantile(0.99) * 1e3:.3f} ms, "
+        f"SLO violations {stats.violation_rate:.1%}"
+    )
+
+    analyzer = result.telemetry.analyzer()
+    everyone = analyzer.completed_ids()
+    slow = analyzer.slowest(0.10)
+    print()
+    print(analyzer.table(everyone, title="Critical path, all requests"))
+    print()
+    print(
+        analyzer.table(
+            slow, title=f"Critical path, slowest decile ({len(slow)} requests)"
+        )
+    )
+
+    # The delta the tables encode: how much of the tail is queueing.
+    all_queue = analyzer.attribution(everyone)["kinds"]["queue"]["share"]
+    tail_queue = analyzer.attribution(slow)["kinds"]["queue"]["share"]
+    print()
+    print(
+        f"queueing share of the critical path: {all_queue:.1%} overall "
+        f"-> {tail_queue:.1%} in the slowest decile"
+    )
+
+    worst = slow[0]
+    print(f"worst request (trace {worst}):")
+    for kind, seconds in sorted(analyzer.breakdown(worst).items()):
+        if seconds > 0:
+            print(f"  {kind:<8} {seconds * 1e3:8.3f} ms")
+    print(f"  {'total':<8} {analyzer.latency_s(worst) * 1e3:8.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,10 @@ Commands:
                                 workloads, optional platform drift)
     serve                     — serve "program size" requests from a
                                 file or stdin
+    trace-export              — serve a synthetic trace with tracing on
+                                and export the span/event JSONL
+    metrics-report            — serve a synthetic trace and print the
+                                unified metrics registry
     fleet-train               — train + persist one model per fleet
                                 machine into a model registry
     fleet-serve               — route one trace across a fleet of
@@ -301,6 +305,7 @@ def _workload_from_args(args: argparse.Namespace, keys):
         raise SystemExit(
             "--faults needs the event-driven path; pick an --arrival process"
         )
+    _telemetry_mode(args)  # fail fast: tracing needs the event path
     spec = WorkloadSpec(
         family=args.workload,
         num_requests=args.requests,
@@ -355,6 +360,7 @@ def _serve_options_from_args(args: argparse.Namespace):
     try:
         return ServeOptions(
             arrival=args.arrival or "sequential",
+            telemetry=_telemetry_mode(args),
             rate_rps=args.arrival_rate,
             seed=args.seed,
             slo=SLOConfig(target_s=target_s, tenant_priorities=priorities),
@@ -374,10 +380,101 @@ def _serve_options_from_args(args: argparse.Namespace):
         raise SystemExit(str(error)) from error
 
 
-def _event_config_from_args(args: argparse.Namespace):
+def _event_config_from_args(args: argparse.Namespace, telemetry=None):
     """The event-loop config behind ``--arrival/--slo-ms/--shed-policy``
     and the fault-handling knobs (docs/FAULTS.md)."""
-    return _serve_options_from_args(args).event_config()
+    from dataclasses import replace
+
+    config = _serve_options_from_args(args).event_config()
+    if telemetry is not None:
+        config = replace(config, telemetry=telemetry)
+    return config
+
+
+def _telemetry_mode(args: argparse.Namespace) -> str:
+    """The effective ``--telemetry`` mode (``--trace-out`` implies trace)."""
+    mode = getattr(args, "telemetry", "off")
+    if getattr(args, "trace_out", None) and mode != "trace":
+        mode = "trace"
+    if mode == "trace" and not getattr(args, "arrival", None):
+        raise SystemExit(
+            "--telemetry trace / --trace-out need the simulated clock of "
+            "the event-driven path; pick an --arrival process"
+        )
+    return mode
+
+
+def _telemetry_from_args(args: argparse.Namespace):
+    """The run's Telemetry context (or None), for the direct-loop paths."""
+    from .telemetry import Telemetry
+
+    return Telemetry.from_mode(_telemetry_mode(args))
+
+
+def _finish_telemetry(args, telemetry, backend=None, stats=None) -> None:
+    """Collect, report and export whatever telemetry the run produced.
+
+    Collection is idempotent (published series are gauges), so commands
+    that already collected through :func:`serve_trace` can funnel their
+    result's context through here unchanged.
+    """
+    if telemetry is None:
+        return
+    telemetry.collect(backend, stats=stats)
+    if telemetry.tracing:
+        analyzer = telemetry.analyzer()
+        slowest = analyzer.slowest(0.1)
+        if slowest:
+            print(
+                analyzer.table(
+                    slowest,
+                    title=f"Critical path, slowest decile "
+                    f"({len(slowest)} requests)",
+                )
+            )
+        if getattr(args, "trace_out", None):
+            telemetry.tracer.export(args.trace_out)
+            print(
+                f"trace: {len(telemetry.tracer.spans)} spans over "
+                f"{len(analyzer.trace_ids())} requests -> {args.trace_out}"
+            )
+    else:
+        print(
+            f"metrics: {len(telemetry.registry)} series collected "
+            "(metrics-report prints a full registry)"
+        )
+
+
+def _print_metrics_report(registry, as_json: bool = False) -> None:
+    """The whole registry, one series per row (or raw JSON)."""
+    import json
+
+    snapshot = registry.snapshot()
+    if as_json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return
+    rows = []
+    for name, value in snapshot.items():
+        if isinstance(value, dict):
+            rows.append(
+                (
+                    name,
+                    f"n={value['count']} mean={value['mean_s'] * 1e3:.3f}ms "
+                    f"p50={value['p50_s'] * 1e3:.3f}ms "
+                    f"p99={value['p99_s'] * 1e3:.3f}ms",
+                )
+            )
+        elif isinstance(value, float):
+            rows.append((name, f"{value:.6g}"))
+        else:
+            rows.append((name, f"{value}"))
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"Metrics registry ({len(rows)} series)",
+        )
+    )
 
 
 def _objective_quantity(service, value: float) -> str:
@@ -602,6 +699,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             responses.extend(service.submit_many(batch))
     wall_s = time.perf_counter() - t0
     _print_service_summary(service, sum(r.measured_s for r in responses), wall_s)
+    _finish_telemetry(args, _telemetry_from_args(args), backend=service)
     return 0
 
 
@@ -609,7 +707,10 @@ def _replay_event_driven(args: argparse.Namespace, service, workload) -> int:
     """The open-loop replay: arrivals on a simulated clock, queueing, SLOs."""
     from .serving import EventLoop
 
-    loop = EventLoop.for_service(service, _event_config_from_args(args))
+    telemetry = _telemetry_from_args(args)
+    loop = EventLoop.for_service(
+        service, _event_config_from_args(args, telemetry)
+    )
 
     def on_drift(event) -> None:
         if event.machine is not None and event.machine != args.machine:
@@ -643,6 +744,7 @@ def _replay_event_driven(args: argparse.Namespace, service, workload) -> int:
     wall_s = time.perf_counter() - t0
     _print_service_summary(service, stats.execute_time_s, wall_s)
     _print_latency_summary(stats)
+    _finish_telemetry(args, telemetry, backend=service, stats=stats)
     return 0
 
 
@@ -653,6 +755,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--faults needs the event-driven path; pick an --arrival process"
         )
+    _telemetry_mode(args)  # fail fast: tracing needs the event path
     benchmarks, _train_benchmarks, service = _build_service(args)
     known = {b.name for b in benchmarks}
     stream = Path(args.trace).open() if args.trace else sys.stdin
@@ -701,6 +804,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         _print_service_summary(
             service, sum(r.measured_s for r in responses), wall_s
         )
+    _finish_telemetry(args, _telemetry_from_args(args), backend=service)
     return 0
 
 
@@ -724,11 +828,15 @@ def _serve_event_driven(args: argparse.Namespace, service, requests, t0) -> int:
         + (f", hedge at p{args.hedge_at * 100:g}" if args.hedge_at else "")
         + ")"
     )
-    loop = EventLoop.for_service(service, _event_config_from_args(args))
+    telemetry = _telemetry_from_args(args)
+    loop = EventLoop.for_service(
+        service, _event_config_from_args(args, telemetry)
+    )
     stats = loop.run(zip(arrival_times(spec), requests))
     wall_s = time.perf_counter() - t0
     _print_service_summary(service, stats.execute_time_s, wall_s)
     _print_latency_summary(stats)
+    _finish_telemetry(args, telemetry, backend=service, stats=stats)
     return 0
 
 
@@ -863,6 +971,7 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         served += len(batch)
     wall_s = time.perf_counter() - t0
     _print_fleet_summary(router, sources, wall_s)
+    _finish_telemetry(args, _telemetry_from_args(args), backend=router)
     return 0
 
 
@@ -870,7 +979,8 @@ def _fleet_serve_event_driven(args, router, sources, workload) -> int:
     """Event-mode fleet serving: place at arrival, queue per replica."""
     from .serving import EventLoop
 
-    loop = EventLoop.for_fleet(router, _event_config_from_args(args))
+    telemetry = _telemetry_from_args(args)
+    loop = EventLoop.for_fleet(router, _event_config_from_args(args, telemetry))
 
     def on_drift(event) -> None:
         try:
@@ -899,6 +1009,7 @@ def _fleet_serve_event_driven(args, router, sources, workload) -> int:
     wall_s = time.perf_counter() - t0
     _print_fleet_summary(router, sources, wall_s)
     _print_latency_summary(stats)
+    _finish_telemetry(args, telemetry, backend=router, stats=stats)
     return 0
 
 
@@ -1100,13 +1211,19 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         wall_s = time.perf_counter() - t0
         _print_cluster_summary(cluster, wall_s)
         _print_latency_summary(result.stats)
+        _finish_telemetry(
+            args, result.telemetry, backend=cluster, stats=result.stats
+        )
     else:
+        result = None
         for events, batch in workload.segments():
             for event in events:
                 on_drift(event)
-            serve_trace(cluster, batch, options)
+            result = serve_trace(cluster, batch, options)
         wall_s = time.perf_counter() - t0
         _print_cluster_summary(cluster, wall_s)
+        if result is not None:
+            _finish_telemetry(args, result.telemetry, backend=cluster)
     return 0
 
 
@@ -1400,6 +1517,7 @@ def _serving_parent() -> argparse.ArgumentParser:
 def _event_parent() -> argparse.ArgumentParser:
     """Flags of the event-driven serving path (docs/SERVING.md)."""
     from .serving import SHED_POLICIES
+    from .telemetry import TELEMETRY_MODES
 
     p = argparse.ArgumentParser(add_help=False)
     p.add_argument(
@@ -1486,6 +1604,21 @@ def _event_parent() -> argparse.ArgumentParser:
         "--no-failover",
         action="store_true",
         help="do not route around crashed replicas (availability baseline)",
+    )
+    p.add_argument(
+        "--telemetry",
+        default="off",
+        choices=TELEMETRY_MODES,
+        help="metrics: publish every layer into one registry; trace: also "
+        "record per-request spans and the JSONL event log "
+        "(docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the span/event JSONL trace here (implies --telemetry "
+        "trace; event-driven path only)",
     )
     return p
 
@@ -1655,6 +1788,85 @@ def _cmd_graph_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_drift_handler(args: argparse.Namespace, service):
+    """Drift hook for the single-service telemetry commands."""
+
+    def on_drift(event) -> None:
+        if event.machine is not None and event.machine != args.machine:
+            print(f"!! drift event targets {event.machine!r}, not {args.machine}")
+            return
+        try:
+            service.system.runner.apply_drift(
+                event.scale, device_index=event.device_index
+            )
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+
+    return on_drift
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    """Serve a synthetic workload with tracing on; write the JSONL spans."""
+    from .serving import key_universe, serve_trace
+
+    if not args.trace_out:
+        raise SystemExit("trace-export needs --trace-out PATH")
+    args.telemetry = "trace"
+    if not args.arrival:
+        args.arrival = "poisson"
+    benchmarks, _train_benchmarks, service = _build_service(args)
+    keys = key_universe(benchmarks, max_sizes=args.max_sizes)
+    workload = _workload_from_args(args, keys)
+    options = _serve_options_from_args(args)
+    print(
+        f"tracing {len(workload)} requests over {len(keys)} keys "
+        f"({args.workload} workload, {args.arrival} arrivals at "
+        f"{args.arrival_rate:g} req/s, seed {args.seed})"
+    )
+    result = serve_trace(
+        service,
+        workload.timed_items(),
+        options,
+        drift_handler=_service_drift_handler(args, service),
+    )
+    _print_latency_summary(result.stats)
+    _finish_telemetry(
+        args, result.telemetry, backend=service, stats=result.stats
+    )
+    return 0
+
+
+def _cmd_metrics_report(args: argparse.Namespace) -> int:
+    """Serve a synthetic workload; print the unified metrics registry."""
+    from .serving import key_universe, serve_trace
+
+    if _telemetry_mode(args) == "off":
+        args.telemetry = "metrics"
+    benchmarks, _train_benchmarks, service = _build_service(args)
+    keys = key_universe(benchmarks, max_sizes=args.max_sizes)
+    workload = _workload_from_args(args, keys)
+    options = _serve_options_from_args(args)
+    print(
+        f"serving {len(workload)} requests over {len(keys)} keys "
+        f"({args.workload} workload, seed {args.seed}) "
+        f"with telemetry={options.telemetry}"
+    )
+    if args.arrival:
+        result = serve_trace(
+            service,
+            workload.timed_items(),
+            options,
+            drift_handler=_service_drift_handler(args, service),
+        )
+    else:
+        result = serve_trace(service, list(workload.requests), options)
+    _print_metrics_report(result.telemetry.registry, as_json=args.json)
+    if result.telemetry.tracing and args.trace_out:
+        result.telemetry.tracer.export(args.trace_out)
+        print(f"trace -> {args.trace_out}")
+    return 0
+
+
 def _cmd_graph_serve(args: argparse.Namespace) -> int:
     from .serving import key_universe
     from .workloads import WorkloadSpec, make_workload
@@ -1681,10 +1893,13 @@ def _cmd_graph_serve(args: argparse.Namespace) -> int:
         f"distinct pipelines (skew {args.skew}, seed {args.seed})"
     )
     t0 = time.perf_counter()
+    telemetry = _telemetry_from_args(args)
     if args.arrival:
         from .serving import EventLoop
 
-        loop = EventLoop.for_service(service, _event_config_from_args(args))
+        loop = EventLoop.for_service(
+            service, _event_config_from_args(args, telemetry)
+        )
         print(
             f"event-driven: {args.arrival} arrivals at {args.arrival_rate:g} req/s"
         )
@@ -1738,6 +1953,7 @@ def _cmd_graph_serve(args: argparse.Namespace) -> int:
     print(format_table(["metric", "value"], rows, title="Graph serving summary"))
     if loop_stats is not None:
         _print_latency_summary(loop_stats)
+    _finish_telemetry(args, telemetry, backend=service, stats=loop_stats)
     return 0
 
 
@@ -1862,6 +2078,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, help="request file (default: read stdin)"
     )
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_texport = sub.add_parser(
+        "trace-export",
+        help="serve a synthetic trace with tracing on and export the "
+        "span/event JSONL (docs/OBSERVABILITY.md)",
+        parents=[trace, serving, workload, event],
+    )
+    p_texport.set_defaults(fn=_cmd_trace_export)
+
+    p_mreport = sub.add_parser(
+        "metrics-report",
+        help="serve a synthetic trace and print the unified metrics registry",
+        parents=[trace, serving, workload, event],
+    )
+    p_mreport.add_argument(
+        "--json", action="store_true", help="raw JSON instead of a table"
+    )
+    p_mreport.set_defaults(fn=_cmd_metrics_report)
 
     fleet = _fleet_parent()
 

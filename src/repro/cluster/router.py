@@ -567,3 +567,28 @@ class ClusterRouter:
     def tenant_meters(self) -> Mapping[str, int]:
         """Completed counts per tenant (cheap debugging/test hook)."""
         return {t: m.completed for t, m in sorted(self._meters.items())}
+
+    def publish_metrics(self, registry, prefix: str = "cluster") -> None:
+        """Publish cluster aggregates, per-tenant isolation, and pools.
+
+        ``cluster.*`` carries the routing/network toll,
+        ``cluster.tenant.<t>.*`` the isolation meters, and each pool
+        republishes its whole fleet view under ``cluster.pool.<i>.*``.
+        """
+        stats = self.stats()
+        registry.gauge(f"{prefix}.served").set(stats.served)
+        registry.gauge(f"{prefix}.local").set(stats.local)
+        registry.gauge(f"{prefix}.cross_pool").set(stats.cross_pool)
+        registry.gauge(f"{prefix}.network_s").set(stats.network_s)
+        registry.gauge(f"{prefix}.network_j").set(stats.network_j)
+        registry.gauge(f"{prefix}.fairness_gap").set(stats.fairness_gap)
+        for tenant in stats.tenants:
+            base = f"{prefix}.tenant.{tenant.tenant}"
+            registry.gauge(f"{base}.completed").set(tenant.completed)
+            registry.gauge(f"{base}.busy_s").set(tenant.busy_s)
+            registry.gauge(f"{base}.share").set(tenant.share)
+            registry.gauge(f"{base}.fair_share").set(tenant.fair_share)
+            registry.gauge(f"{base}.p50_s").set(tenant.p50_s)
+            registry.gauge(f"{base}.p99_s").set(tenant.p99_s)
+        for index, pool in enumerate(self.pools):
+            pool.publish_metrics(registry, prefix=f"{prefix}.pool.{index}")

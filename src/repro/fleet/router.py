@@ -754,3 +754,33 @@ class FleetRouter:
             # run side by side, so joules sum but seconds do not).
             avg_power_w=energy / makespan if makespan > 0 else 0.0,
         )
+
+    def publish_metrics(self, registry, prefix: str = "fleet") -> None:
+        """Publish fleet aggregates and per-replica slices as gauges.
+
+        ``fleet.*`` carries the cross-fleet numbers;
+        ``fleet.replica.<name>.*`` the per-replica routing/health view;
+        each member service publishes its own counters under
+        ``fleet.replica.<name>.service.*``.
+        """
+        stats = self.stats()
+        registry.gauge(f"{prefix}.requests").set(stats.requests)
+        registry.gauge(f"{prefix}.makespan_s").set(stats.makespan_s)
+        registry.gauge(f"{prefix}.throughput_rps").set(stats.throughput_rps)
+        registry.gauge(f"{prefix}.adaptations").set(stats.adaptations)
+        registry.gauge(f"{prefix}.refits").set(stats.refits)
+        registry.gauge(f"{prefix}.drift_flags").set(stats.drift_flags)
+        registry.gauge(f"{prefix}.rewarms").set(stats.rewarms)
+        registry.gauge(f"{prefix}.zero_span_replicas").set(
+            stats.zero_span_replicas
+        )
+        registry.gauge(f"{prefix}.energy_j").set(stats.energy_j)
+        registry.gauge(f"{prefix}.avg_power_w").set(stats.avg_power_w)
+        for snap, replica in zip(stats.replicas, self.replicas):
+            base = f"{prefix}.replica.{snap.name}"
+            registry.gauge(f"{base}.routed").set(snap.routed)
+            registry.gauge(f"{base}.cache_hit_rate").set(snap.cache_hit_rate)
+            registry.gauge(f"{base}.health").set(snap.health)
+            registry.gauge(f"{base}.draining").set(int(snap.draining))
+            registry.gauge(f"{base}.rate_ewma").set(snap.rate_ewma)
+            replica.service.publish_metrics(registry, prefix=f"{base}.service")

@@ -123,6 +123,12 @@ class DriftDetector:
         """Flags among the last ``window`` observations (any key)."""
         return sum(self._window)
 
+    def publish_metrics(self, registry, prefix: str = "drift") -> None:
+        """Publish detector state as ``drift.*`` gauges (idempotent)."""
+        registry.gauge(f"{prefix}.flags").set(self.flags)
+        registry.gauge(f"{prefix}.flags_in_window").set(self.flags_in_window())
+        registry.gauge(f"{prefix}.tracked_keys").set(len(self._keys))
+
     def ratio_of(self, key: object) -> float | None:
         """Current smoothed ratio for a key (telemetry), if tracked."""
         state = self._keys.get(key)

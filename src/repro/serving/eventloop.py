@@ -80,6 +80,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from ..energy.meter import EnergyMeter
 from ..faults import FaultInjector, FaultSchedule
+from ..telemetry import MetricsRegistry, Telemetry
 from .histogram import LatencyHistogram
 from .slo import SHED_POLICIES, SLOConfig, SLOTracker, shed_decision
 from .trace import GraphServingRequest, ServingRequest
@@ -174,6 +175,11 @@ class EventLoopConfig:
             ``est_service / weight``, and the replica serves the
             smallest tag first, so a high-priority tenant's queue
             share tracks its weight instead of its arrival rate).
+        telemetry: the run's :class:`~repro.telemetry.Telemetry`
+            context, or ``None`` (the default) for no tracing and a
+            loop-private metrics registry.  With a context the loop's
+            stats publish into its shared registry, and in ``trace``
+            mode every request is traced span by span.
     """
 
     predict_hit_s: float = 2e-6
@@ -195,6 +201,7 @@ class EventLoopConfig:
     speculate_min_completions: int = 32
     work_steal: bool = False
     queue_discipline: str = "fifo"
+    telemetry: Telemetry | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.predict_hit_s < 0 or self.predict_miss_s < 0:
@@ -271,59 +278,92 @@ class CompletedRequest:
         return self.finish_s - self.arrival_s
 
 
-@dataclass
-class EventLoopStats:
-    """Everything one event-loop run reports, in bounded memory."""
+#: Scalar stats attribute → stable dotted registry name.  ``clock_s``
+#: is a gauge (last value of the monotone clock); the rest are counters
+#: whose integer cells stay integers, so JSON baselines compare exactly.
+_STAT_SCALARS = {
+    "arrivals": "loop.arrivals",
+    "admitted": "loop.admitted",
+    "completed": "loop.completed",
+    "shed": "loop.shed",
+    "failed": "loop.failed",
+    "clock_s": "loop.clock_s",
+    "service_time_s": "loop.service_time_s",
+    "execute_time_s": "loop.execute_time_s",
+    "idle_energy_j": "loop.idle_energy_j",
+    "timeouts": "loop.faults.timeouts",
+    "retries": "loop.faults.retries",
+    "hedges": "loop.faults.hedges",
+    "hedge_wins": "loop.faults.hedge_wins",
+    "hedge_cancels": "loop.faults.hedge_cancels",
+    "failovers": "loop.faults.failovers",
+    "requeued": "loop.faults.requeued",
+    "crashes": "loop.faults.crashes",
+    "recoveries": "loop.faults.recoveries",
+    "exec_errors": "loop.faults.exec_errors",
+    "predict_errors": "loop.faults.predict_errors",
+    "cancelled_busy_s": "loop.faults.cancelled_busy_s",
+    "speculations": "loop.faults.speculations",
+    "spec_wins": "loop.faults.spec_wins",
+    "cancelled_speculative": "loop.faults.cancelled_speculative",
+    "steals": "loop.faults.steals",
+}
 
-    arrivals: int = 0
-    admitted: int = 0
-    completed: int = 0
-    shed: int = 0
-    #: Admitted requests lost to faults: timed out, out of retries, or
-    #: stranded by a crash with failover off.
-    failed: int = 0
-    #: Final value of the monotone simulated clock.
-    clock_s: float = 0.0
-    #: Sum of every dispatched attempt's predict + execute span.
-    service_time_s: float = 0.0
-    #: Sum of every dispatched attempt's execute span alone.
-    execute_time_s: float = 0.0
-    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
-    queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
-    service: LatencyHistogram = field(default_factory=LatencyHistogram)
-    slo: SLOTracker = field(default_factory=SLOTracker)
-    replica_completed: list[int] = field(default_factory=list)
-    replica_busy_s: list[float] = field(default_factory=list)
-    #: Joules of inter-request device idle, priced on the loop clock.
-    idle_energy_j: float = 0.0
-    # -- fault/handling meters ---------------------------------------------
-    timeouts: int = 0
-    retries: int = 0
-    hedges: int = 0
-    hedge_wins: int = 0
-    hedge_cancels: int = 0
-    failovers: int = 0
-    requeued: int = 0
-    crashes: int = 0
-    recoveries: int = 0
-    exec_errors: int = 0
-    predict_errors: int = 0
-    #: Busy seconds reclaimed by cancelling losing/lost attempts early.
-    cancelled_busy_s: float = 0.0
-    # -- cluster-scope straggler handling ------------------------------------
-    #: Speculative re-executions launched (quantile-triggered).
-    speculations: int = 0
-    #: Requests whose *speculative* copy finished first.
-    spec_wins: int = 0
-    #: Speculative copies retired at resolution — cancelled by a win
-    #: of any copy, or torn down when the request failed.  Conservation
-    #: extends to ``arrivals + speculations ==
-    #: completed + shed + failed + cancelled_speculative`` (every
-    #: speculative launch is retired exactly once; with speculation off
-    #: this reduces to the plain ``arrivals == completed + shed + failed``).
-    cancelled_speculative: int = 0
-    #: Queued attempts pulled to an idle replica by work-stealing.
-    steals: int = 0
+
+class EventLoopStats:
+    """Everything one event-loop run reports, in bounded memory.
+
+    Since the telemetry layer landed this is a *thin view* over a
+    :class:`~repro.telemetry.MetricsRegistry`: every scalar lives in
+    the registry under its :data:`_STAT_SCALARS` dotted name and the
+    three histograms are registry-owned (``loop.latency`` /
+    ``loop.queue_wait`` / ``loop.service``).  The attribute API is
+    unchanged — ``stats.completed``, ``stats.retries += 1`` and
+    ``to_dict()`` read and write the registry cells through properties
+    — so pre-registry callers and committed baselines see identical
+    numbers, while ``metrics-report`` reads the same cells by name.
+
+    Scalar semantics (see also :meth:`to_dict`):
+
+    * ``failed`` — admitted requests lost to faults: timed out, out of
+      retries, or stranded by a crash with failover off.
+    * ``clock_s`` — final value of the monotone simulated clock.
+    * ``service_time_s`` / ``execute_time_s`` — sums of every
+      dispatched attempt's predict + execute span / execute span alone.
+    * ``idle_energy_j`` — joules of inter-request device idle.
+    * ``cancelled_busy_s`` — busy seconds reclaimed by cancelling
+      losing/lost attempts early.
+    * ``speculations`` / ``spec_wins`` / ``cancelled_speculative`` —
+      cluster-scope speculative re-execution accounting; every launch
+      retires exactly once, extending conservation to ``arrivals +
+      speculations == completed + shed + failed +
+      cancelled_speculative`` (the plain ``arrivals == completed +
+      shed + failed`` whenever speculation is off).
+    * ``steals`` — queued attempts pulled to an idle replica.
+    """
+
+    def __init__(
+        self,
+        slo: SLOTracker | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.slo = slo if slo is not None else SLOTracker()
+        self.latency: LatencyHistogram = self.registry.histogram("loop.latency")
+        self.queue_wait: LatencyHistogram = self.registry.histogram(
+            "loop.queue_wait"
+        )
+        self.service: LatencyHistogram = self.registry.histogram("loop.service")
+        self.replica_completed: list[int] = []
+        self.replica_busy_s: list[float] = []
+        self._cells = {
+            attr: (
+                self.registry.gauge(name)
+                if attr == "clock_s"
+                else self.registry.counter(name)
+            )
+            for attr, name in _STAT_SCALARS.items()
+        }
 
     @property
     def in_flight(self) -> int:
@@ -388,6 +428,23 @@ class EventLoopStats:
         }
 
 
+def _stat_cell_property(attr: str) -> property:
+    """A read/write property over one registry cell of the stats view."""
+
+    def fget(self):
+        return self._cells[attr].value
+
+    def fset(self, value):
+        self._cells[attr].value = value
+
+    return property(fget, fset)
+
+
+for _attr in _STAT_SCALARS:
+    setattr(EventLoopStats, _attr, _stat_cell_property(_attr))
+del _attr
+
+
 @dataclass
 class _Pending:
     """One admitted request, alive until it completes or fails."""
@@ -425,6 +482,8 @@ class _Attempt:
     service_s: float = 0.0
     #: Weighted-fair virtual finish tag (0 under FIFO).
     vtag: float = 0.0
+    #: Tracer marker id (0 when tracing is off).
+    tid: int = 0
 
 
 @dataclass
@@ -555,7 +614,19 @@ class EventLoop:
     def __init__(self, backend, config: EventLoopConfig = EventLoopConfig()):
         self.backend = backend
         self.config = config
-        self.stats = EventLoopStats(slo=SLOTracker(config.slo))
+        #: Span tracer of the run's telemetry context (None = tracing
+        #: off; the disabled path costs one ``is None`` test per hook).
+        self._tracer = (
+            config.telemetry.tracer if config.telemetry is not None else None
+        )
+        self.stats = EventLoopStats(
+            slo=SLOTracker(config.slo),
+            registry=(
+                config.telemetry.registry
+                if config.telemetry is not None
+                else None
+            ),
+        )
         self._replicas = [
             _ReplicaState(
                 index=i,
@@ -656,7 +727,7 @@ class EventLoop:
             self._dispatch(on_complete)
         self._events.clear()
         for seq in sorted(self._live):  # pragma: no cover - safety net
-            self._fail(self._live[seq], self._clock)
+            self._fail(self._live[seq], self._clock, reason="stranded")
         self.stats.clock_s = self._clock
         if self.config.meter_idle:
             self._meter_trailing_idle()
@@ -712,6 +783,13 @@ class EventLoop:
             if fallback is not None:
                 replica = fallback
                 self.stats.failovers += 1
+                if self._tracer is not None:
+                    self._tracer.event(
+                        self._clock,
+                        "failover",
+                        request_id=request.request_id,
+                        replica=replica.index,
+                    )
         decision = shed_decision(
             self.config.shed_policy,
             self.config.slo,
@@ -727,12 +805,21 @@ class EventLoop:
         if decision.shed:
             self.stats.shed += 1
             self.stats.slo.record_shed(request.tenant)
+            if self._tracer is not None:
+                self._tracer.event(
+                    self._clock,
+                    "shed",
+                    request_id=request.request_id,
+                    tenant=request.tenant,
+                )
             return
         self.stats.admitted += 1
         self._retry_tokens += self.config.retry_budget
         self._seq += 1
         pending = _Pending(seq=self._seq, request=request, arrival_s=self._clock)
         self._live[pending.seq] = pending
+        if self._tracer is not None:
+            self._tracer.begin(pending.seq, self._clock, request)
         self._enqueue(pending, replica, is_hedge=False)
         self._schedule_timeout(pending)
         self._schedule_hedge(pending)
@@ -785,6 +872,10 @@ class EventLoop:
             is_hedge=is_hedge,
             is_spec=is_spec,
         )
+        if self._tracer is not None:
+            attempt.tid = self._tracer.enqueue(
+                pending.seq, self._clock, replica.index, is_hedge, is_spec
+            )
         if self.config.queue_discipline == "weighted-fair":
             # Start-time fair queueing: the attempt's virtual finish tag
             # is the tenant's virtual clock (never behind the real one)
@@ -849,6 +940,15 @@ class EventLoop:
             attempt.service_s = self.config.predict_miss_s
             attempt.finish_s = now + attempt.service_s
             replica.free_at = attempt.finish_s
+            if self._tracer is not None:
+                self._tracer.start(
+                    attempt.tid,
+                    now,
+                    predict_end_s=attempt.finish_s,
+                    net_start_s=attempt.finish_s,
+                    finish_s=attempt.finish_s,
+                    outcome="predict-error",
+                )
             self._push(attempt.finish_s, "attempt-failed", attempt)
             return
         response = self.backend.serve(replica.index, request)
@@ -858,8 +958,10 @@ class EventLoop:
             else self.config.predict_miss_s
         )
         service_s = predict_s + response.measured_s
+        scale = 1.0
         if self._injector is not None:
-            service_s *= self._injector.slowdown(replica.index, now)
+            scale = self._injector.slowdown(replica.index, now)
+            service_s *= scale
         attempt.service_s = service_s
         attempt.finish_s = now + service_s
         replica.free_at = attempt.finish_s
@@ -869,9 +971,24 @@ class EventLoop:
         )
         self.stats.service_time_s += service_s
         self.stats.execute_time_s += response.measured_s
-        if self._injector is not None and self._injector.exec_error(
+        failing = self._injector is not None and self._injector.exec_error(
             replica.index, request.request_id, attempt_no, now
-        ):
+        )
+        if self._tracer is not None:
+            # The span split of the attempt's service window: predict
+            # ends after the (straggler-scaled) cache/model cost, the
+            # cross-pool network hop (a cluster response's network_s,
+            # zero elsewhere) occupies the tail, execute fills between.
+            self._tracer.start(
+                attempt.tid,
+                now,
+                predict_end_s=now + predict_s * scale,
+                net_start_s=attempt.finish_s
+                - getattr(response, "network_s", 0.0) * scale,
+                finish_s=attempt.finish_s,
+                outcome="error" if failing else "ok",
+            )
+        if failing:
             self.stats.exec_errors += 1
             self._push(attempt.finish_s, "attempt-failed", attempt)
         else:
@@ -896,6 +1013,8 @@ class EventLoop:
         if attempt.cancelled:
             return
         attempt.cancelled = True
+        if self._tracer is not None:
+            self._tracer.cancel_attempt(attempt.tid, now)
         replica = self._replicas[attempt.replica]
         if attempt.running:
             if replica.current is attempt:
@@ -930,6 +1049,8 @@ class EventLoop:
         # arrivals + speculations == completed + shed + failed +
         # cancelled_speculative stays an identity.
         self.stats.cancelled_speculative += pending.speculated
+        if self._tracer is not None:
+            self._tracer.complete(pending.seq, now, attempt.tid)
         latency_s = now - pending.arrival_s
         queue_s = attempt.start_s - pending.arrival_s
         self.stats.completed += 1
@@ -969,6 +1090,8 @@ class EventLoop:
             return
         pending = attempt.pending
         replica = self._replicas[attempt.replica]
+        if self._tracer is not None:
+            self._tracer.fail_attempt(attempt.tid, now)
         self._release(replica, attempt, now)
         pending.live.remove(attempt)
         if not replica.crashed:
@@ -985,9 +1108,17 @@ class EventLoop:
             self.stats.retries += 1
             delay = self.config.retry_backoff_s * 2.0 ** (pending.retries - 1)
             self._retry_limbo += 1
+            if self._tracer is not None:
+                self._tracer.event(
+                    now,
+                    "retry",
+                    trace_id=pending.seq,
+                    retry=pending.retries,
+                    delay_s=delay,
+                )
             self._push(now + delay, "retry", pending)
         else:
-            self._fail(pending, now)
+            self._fail(pending, now, reason="retries-exhausted")
 
     def _on_retry(self, now: float, pending: _Pending) -> None:
         self._retry_limbo -= 1
@@ -1007,6 +1138,10 @@ class EventLoop:
             return
         pending.hedged = True
         self.stats.hedges += 1
+        if self._tracer is not None:
+            self._tracer.event(
+                now, "hedge", trace_id=pending.seq, replica=replica.index
+            )
         self._enqueue(pending, replica, is_hedge=True)
 
     def _on_speculate(self, now: float, pending: _Pending) -> None:
@@ -1028,6 +1163,10 @@ class EventLoop:
             return
         pending.speculated += 1
         self.stats.speculations += 1
+        if self._tracer is not None:
+            self._tracer.event(
+                now, "speculate", trace_id=pending.seq, replica=replica.index
+            )
         self._enqueue(pending, replica, is_hedge=False, is_spec=True)
 
     def _try_steal(self, thief: _ReplicaState, now: float) -> None:
@@ -1056,6 +1195,8 @@ class EventLoop:
             victim.queued_live -= 1
             attempt.replica = thief.index
             self.stats.steals += 1
+            if self._tracer is not None:
+                self._tracer.steal(attempt.tid, now, thief.index)
             self._begin(thief, attempt, now)
             return
 
@@ -1063,7 +1204,7 @@ class EventLoop:
         if pending.done:
             return
         self.stats.timeouts += 1
-        self._fail(pending, now)
+        self._fail(pending, now, reason="timeout")
 
     def _on_crash(self, now: float, payload: tuple[int, float]) -> None:
         index, recover_at = payload
@@ -1071,6 +1212,10 @@ class EventLoop:
         replica.crashed = True
         replica.recover_at = recover_at
         self.stats.crashes += 1
+        if self._tracer is not None:
+            self._tracer.event(
+                now, "crash", replica=index, recover_at_s=recover_at
+            )
         current = replica.current
         if current is not None:
             # The in-flight attempt dies with the replica.
@@ -1080,14 +1225,22 @@ class EventLoop:
             if not pending.done and not pending.live:
                 if self.config.failover:
                     self.stats.failovers += 1
+                    fallback = self._fallback_replica(exclude={index})
+                    if self._tracer is not None:
+                        self._tracer.event(
+                            now,
+                            "failover",
+                            trace_id=pending.seq,
+                            replica=fallback.index,
+                        )
                     self._enqueue(
                         pending,
-                        self._fallback_replica(exclude={index}),
+                        fallback,
                         is_hedge=current.is_hedge,
                         is_spec=current.is_spec,
                     )
                 else:
-                    self._fail(pending, now)
+                    self._fail(pending, now, reason="crashed")
         if self.config.failover and replica.queued_live:
             # Redistribute the stranded queue; without failover it
             # simply waits out the downtime (and its timeouts).
@@ -1100,9 +1253,17 @@ class EventLoop:
                 self._cancel(attempt, now)
                 attempt.pending.live.remove(attempt)
                 self.stats.requeued += 1
+                fallback = self._fallback_replica(exclude={index})
+                if self._tracer is not None:
+                    self._tracer.event(
+                        now,
+                        "requeue",
+                        trace_id=attempt.pending.seq,
+                        replica=fallback.index,
+                    )
                 self._enqueue(
                     attempt.pending,
-                    self._fallback_replica(exclude={index}),
+                    fallback,
                     is_hedge=attempt.is_hedge,
                     is_spec=attempt.is_spec,
                 )
@@ -1112,10 +1273,12 @@ class EventLoop:
         replica.crashed = False
         replica.recover_at = math.inf
         self.stats.recoveries += 1
+        if self._tracer is not None:
+            self._tracer.event(now, "recover", replica=index)
         if not replica.busy and replica.queue:
             self._start_next(replica, now)
 
-    def _fail(self, pending: _Pending, now: float) -> None:
+    def _fail(self, pending: _Pending, now: float, reason: str = "failed") -> None:
         """Resolve one request as lost; conservation counts it as failed."""
         pending.done = True
         for attempt in list(pending.live):
@@ -1127,6 +1290,8 @@ class EventLoop:
         del self._live[pending.seq]
         self.stats.failed += 1
         self.stats.slo.record_failed(pending.request.tenant)
+        if self._tracer is not None:
+            self._tracer.fail(pending.seq, now, reason)
 
     # -- placement fallbacks -----------------------------------------------
 

@@ -98,17 +98,24 @@ class LatencyHistogram:
         return tuple(self._counts)
 
     def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile (0 < q <= 1) in seconds.
+        """Estimated ``q``-quantile (0 <= q <= 1) in seconds.
 
         Reported as the geometric midpoint of the bucket holding the
         rank-``ceil(q * count)`` observation, clamped into the exact
         observed ``[min_s, max_s]`` — the clamp can only tighten the
-        :data:`QUANTILE_RELATIVE_ERROR` bound, never loosen it.
+        :data:`QUANTILE_RELATIVE_ERROR` bound, never loosen it.  The
+        edges are exact: ``quantile(0.0)`` is the observed minimum,
+        ``quantile(1.0)`` the observed maximum; an empty histogram
+        reports 0.0 for any ``q``.
         """
-        if not 0.0 < q <= 1.0:
-            raise ValueError("q must be in (0, 1]")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return self.min_s
+        if q == 1.0:
+            return self.max_s
         rank = max(1, math.ceil(q * self.count))
         if rank <= self.zeros:
             return 0.0
@@ -147,3 +154,32 @@ class LatencyHistogram:
             "max_s": self.max_s,
             **{k + "_s": v for k, v in self.quantiles().items()},
         }
+
+    def state_dict(self) -> dict:
+        """The full exact state, JSON-safe (``min_s`` is ``None`` when
+        empty — ``inf`` does not survive strict JSON)."""
+        return {
+            "counts": list(self._counts),
+            "zeros": self.zeros,
+            "count": self.count,
+            "sum_s": self.sum_s,
+            "min_s": self.min_s if self.count else None,
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatencyHistogram":
+        """Rebuild a histogram bit-for-bit from :meth:`state_dict`."""
+        counts = state["counts"]
+        if len(counts) != NUM_BUCKETS:
+            raise ValueError(
+                f"state has {len(counts)} buckets, expected {NUM_BUCKETS}"
+            )
+        hist = cls()
+        hist._counts = [int(c) for c in counts]
+        hist.zeros = state["zeros"]
+        hist.count = state["count"]
+        hist.sum_s = state["sum_s"]
+        hist.min_s = math.inf if state["min_s"] is None else state["min_s"]
+        hist.max_s = state["max_s"]
+        return hist

@@ -33,10 +33,11 @@ see nothing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from ..faults import FaultSchedule
+from ..telemetry import TELEMETRY_MODES, Telemetry
 from .eventloop import CompletedRequest, EventLoop, EventLoopConfig, EventLoopStats
 from .slo import SLOConfig
 from .trace import GraphServingRequest, ServingRequest
@@ -78,6 +79,11 @@ class ServeOptions:
             facade cannot change a trained objective at serve time, but
             it can refuse to quietly serve under the wrong one.
         power_cap_w: same assertion for the per-launch power cap.
+        telemetry: ``"off"`` (default), ``"metrics"`` (a shared
+            :class:`~repro.telemetry.MetricsRegistry` every layer
+            publishes into, returned on the result), or ``"trace"``
+            (metrics plus request-scoped spans and the JSONL event
+            log; event path only).
     """
 
     arrival: str = "sequential"
@@ -100,6 +106,7 @@ class ServeOptions:
     queue_discipline: str = "fifo"
     objective: object | None = None
     power_cap_w: float | None = None
+    telemetry: str = "off"
 
     def __post_init__(self) -> None:
         from ..workloads.spec import ARRIVAL_PROCESSES
@@ -111,6 +118,11 @@ class ServeOptions:
             )
         if not self.rate_rps > 0:
             raise ValueError("rate_rps must be positive")
+        if self.telemetry not in TELEMETRY_MODES:
+            raise ValueError(
+                f"unknown telemetry mode {self.telemetry!r}; "
+                f"choose from {TELEMETRY_MODES}"
+            )
         # Everything event-side is validated once, eagerly, by building
         # the loop config — a sequential run with bad event knobs fails
         # just as loudly as an event run would.
@@ -143,12 +155,15 @@ class ServeResult:
     ``responses`` is populated on the sequential path (one response per
     request, in arrival order) and empty on the event path, where
     per-request results stream through ``on_complete`` and ``stats``
-    carries the bounded-memory aggregate instead.
+    carries the bounded-memory aggregate instead.  ``telemetry`` is the
+    run's :class:`~repro.telemetry.Telemetry` context when the options
+    asked for one (``"metrics"`` / ``"trace"``), else ``None``.
     """
 
     backend_kind: str
     responses: tuple = ()
     stats: EventLoopStats | None = None
+    telemetry: Telemetry | None = None
 
 
 def _backend_kind(backend) -> str:
@@ -251,6 +266,7 @@ def serve_trace(
     """
     kind = _backend_kind(backend)
     _check_build_knobs(backend, kind, options)
+    telemetry = Telemetry.from_mode(options.telemetry)
     items = list(trace)
     pretimed = bool(items) and isinstance(items[0], tuple)
     if options.arrival == "sequential" and not pretimed:
@@ -259,9 +275,18 @@ def serve_trace(
                 "on_complete/drift_handler are event-path hooks; "
                 "sequential serving returns responses directly"
             )
+        if telemetry is not None and telemetry.tracing:
+            raise ValueError(
+                "telemetry='trace' needs the simulated clock of the event "
+                "path; sequential serving supports 'off' and 'metrics'"
+            )
+        responses = _sequential(backend, kind, items, options)
+        if telemetry is not None:
+            telemetry.collect(backend)
         return ServeResult(
             backend_kind=kind,
-            responses=_sequential(backend, kind, items, options),
+            responses=responses,
+            telemetry=telemetry,
         )
     if pretimed:
         stream = items
@@ -291,10 +316,15 @@ def serve_trace(
                 cluster_observe(completed)
                 user_observe(completed)
 
+    config = options.event_config()
+    if telemetry is not None:
+        config = replace(config, telemetry=telemetry)
     loop = {
         "service": EventLoop.for_service,
         "fleet": EventLoop.for_fleet,
         "cluster": EventLoop.for_cluster,
-    }[kind](backend, options.event_config())
+    }[kind](backend, config)
     stats = loop.run(stream, on_complete=observer, drift_handler=drift_handler)
-    return ServeResult(backend_kind=kind, stats=stats)
+    if telemetry is not None:
+        telemetry.collect(backend, stats=stats)
+    return ServeResult(backend_kind=kind, stats=stats, telemetry=telemetry)

@@ -993,3 +993,36 @@ class PartitioningService:
         if self.detector is not None:
             self.detector.reset()
         self.stats.rewarms += 1
+
+    def publish_metrics(self, registry, prefix: str = "service") -> None:
+        """Publish the service's counters as ``service.*`` gauges.
+
+        Covers :class:`ServiceStats`, the prediction cache, and — when
+        drift detection is on — the detector, all under one prefix so a
+        fleet/cluster can publish each member service under its own.
+        """
+        stats = self.stats
+        registry.gauge(f"{prefix}.requests").set(stats.requests)
+        registry.gauge(f"{prefix}.graph_requests").set(stats.graph_requests)
+        registry.gauge(f"{prefix}.graph_cosearches").set(stats.graph_cosearches)
+        registry.gauge(f"{prefix}.adaptations").set(stats.adaptations)
+        registry.gauge(f"{prefix}.refits").set(stats.refits)
+        registry.gauge(f"{prefix}.regressions").set(stats.regressions)
+        registry.gauge(f"{prefix}.cold_validations").set(stats.cold_validations)
+        registry.gauge(f"{prefix}.improvement_s").set(stats.improvement_s)
+        registry.gauge(f"{prefix}.drift_flags").set(stats.drift_flags)
+        registry.gauge(f"{prefix}.drift_escalations").set(stats.drift_escalations)
+        registry.gauge(f"{prefix}.rewarms").set(stats.rewarms)
+        registry.gauge(f"{prefix}.energy_j").set(stats.energy_j)
+        registry.gauge(f"{prefix}.power_capped").set(stats.power_capped)
+        registry.gauge(f"{prefix}.power_cap_violations").set(
+            stats.power_cap_violations
+        )
+        cache = self.cache.stats
+        registry.gauge(f"{prefix}.cache.hits").set(cache.hits)
+        registry.gauge(f"{prefix}.cache.misses").set(cache.misses)
+        registry.gauge(f"{prefix}.cache.evictions").set(cache.evictions)
+        registry.gauge(f"{prefix}.cache.invalidations").set(cache.invalidations)
+        registry.gauge(f"{prefix}.cache.hit_rate").set(cache.hit_rate)
+        if self.detector is not None:
+            self.detector.publish_metrics(registry, prefix=f"{prefix}.drift")

@@ -225,3 +225,13 @@ class SLOTracker:
             }
             for tenant, t in sorted(self.tenants.items())
         }
+
+    def publish_metrics(self, registry, prefix: str = "slo") -> None:
+        """Publish per-tenant counters as ``slo.tenant.<t>.*`` gauges.
+
+        Gauges, not counters: publication is a point-in-time snapshot
+        and must stay idempotent under repeated collection.
+        """
+        for tenant, counters in self.snapshot().items():
+            for name, value in counters.items():
+                registry.gauge(f"{prefix}.tenant.{tenant}.{name}").set(value)

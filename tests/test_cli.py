@@ -255,6 +255,108 @@ class TestFleet:
         assert "warm(" in out  # the third was warm-started
 
 
+class TestTelemetryCommands:
+    TINY = ["--train-programs", "2", "--max-sizes", "1", "--model", "knn"]
+
+    def test_serve_trace_out_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "requests.txt"
+        trace.write_text("vec_add 4096\nmat_mul 64\nvec_add 4096\n")
+        out_path = tmp_path / "spans.jsonl"
+        assert main(
+            ["serve", "--trace", str(trace), *self.TINY,
+             "--arrival", "poisson", "--trace-out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Critical path" in out
+        assert "trace:" in out
+        lines = out_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "header" and header["completed"] == 3
+        assert all(json.loads(line) for line in lines[1:])
+
+    def test_fleet_serve_trace_out(self, tmp_path, capsys):
+        out_path = tmp_path / "fleet.jsonl"
+        assert main(
+            ["fleet-serve", "--machines", "2", "--requests", "12",
+             *self.TINY, "--arrival", "poisson",
+             "--trace-out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Critical path" in out
+        header = json.loads(out_path.read_text().splitlines()[0])
+        assert header["completed"] + header["failed"] <= 12
+        assert header["spans"] > 0
+
+    def test_cluster_serve_trace_out(self, tmp_path, capsys):
+        out_path = tmp_path / "cluster.jsonl"
+        assert main(
+            ["cluster-serve", "--pools", "2", "--machines-per-pool", "1",
+             "--requests", "12", *self.TINY, "--arrival", "poisson",
+             "--tenants", "gold,silver", "--trace-out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Critical path" in out
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+        ]
+        assert records[0]["type"] == "header"
+        kinds = {r["kind"] for r in records if r["type"] == "span"}
+        assert "request" in kinds and "execute" in kinds
+
+    def test_trace_out_requires_event_path(self):
+        with pytest.raises(SystemExit, match="event-driven"):
+            main(["replay", "--requests", "5", *self.TINY,
+                  "--trace-out", "/tmp/nope.jsonl"])
+
+    def test_replay_telemetry_metrics_reports_series_count(self, capsys):
+        assert main(
+            ["replay", "--requests", "10", *self.TINY,
+             "--arrival", "poisson", "--telemetry", "metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out and "series collected" in out
+
+    def test_trace_export_command(self, tmp_path, capsys):
+        out_path = tmp_path / "export.jsonl"
+        assert main(
+            ["trace-export", "--requests", "15", *self.TINY,
+             "--trace-out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tracing 15 requests" in out
+        assert "Critical path" in out
+        assert out_path.is_file()
+
+    def test_trace_export_requires_out(self):
+        with pytest.raises(SystemExit, match="--trace-out"):
+            main(["trace-export", "--requests", "5", *self.TINY])
+
+    def test_metrics_report_command(self, capsys):
+        assert main(
+            ["metrics-report", "--requests", "10", *self.TINY]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Metrics registry" in out
+        assert "service.requests" in out
+        assert "service.cache.hit_rate" in out
+
+    def test_metrics_report_json(self, capsys):
+        assert main(
+            ["metrics-report", "--requests", "8", *self.TINY,
+             "--arrival", "poisson", "--json"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["loop.completed"] + payload["loop.failed"] == 8
+        assert payload["service.requests"] >= 1
+        assert payload["loop.latency"]["count"] == payload["loop.completed"]
+
+    def test_telemetry_mode_choices_validated(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "--requests", "1", "--telemetry", "loud"])
+
+
 class TestTrainAndReport:
     def test_train_then_report(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)

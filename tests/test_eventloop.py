@@ -240,6 +240,120 @@ class TestStreamingQuantileAccuracy:
         with pytest.raises(ValueError):
             LatencyHistogram().record(-1e-9)
 
+    def test_quantile_edges_are_exact(self):
+        hist = LatencyHistogram()
+        for v in (3e-4, 1e-3, 7e-3):
+            hist.record(v)
+        # q=0 is the exact observed minimum, q=1 clamps to the exact
+        # observed maximum — neither smears into a bucket midpoint.
+        assert hist.quantile(0.0) == 3e-4
+        assert hist.quantile(1.0) == 7e-3
+
+    def test_empty_histogram_reports_zero_everywhere(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == 0.0
+        assert hist.mean_s == 0.0
+        d = hist.to_dict()
+        assert d["count"] == 0 and d["min_s"] == 0.0 and d["max_s"] == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        hist = LatencyHistogram()
+        hist.record(1e-3)
+        for q in (-0.01, 1.01):
+            with pytest.raises(ValueError, match=r"\[0, 1\]"):
+                hist.quantile(q)
+
+    def test_merge_disjoint_ranges_roundtrips_through_to_dict(self):
+        # Two histograms whose observations occupy disjoint bucket
+        # ranges (sub-millisecond vs multi-second): the merge must
+        # report exactly what one stream over the union would, all the
+        # way through the JSON summary.
+        small = [2e-6 * (1 + i) for i in range(50)]
+        large = [2.0 * (1 + i) for i in range(50)]
+        left, right, whole = (
+            LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        )
+        for v in small:
+            left.record(v)
+            whole.record(v)
+        for v in large:
+            right.record(v)
+            whole.record(v)
+        assert not any(
+            lc and rc for lc, rc in zip(left.counts, right.counts)
+        )
+        left.merge(right)
+        assert left.counts == whole.counts
+        assert left.to_dict() == whole.to_dict()
+        restored = LatencyHistogram.from_state(left.state_dict())
+        assert restored.counts == whole.counts
+        assert restored.to_dict() == whole.to_dict()
+        assert restored.min_s == whole.min_s
+        assert restored.max_s == whole.max_s
+
+    def test_state_dict_roundtrips_empty(self):
+        restored = LatencyHistogram.from_state(
+            LatencyHistogram().state_dict()
+        )
+        assert restored.count == 0
+        assert restored.to_dict() == LatencyHistogram().to_dict()
+        with pytest.raises(ValueError, match="buckets"):
+            LatencyHistogram.from_state({"counts": [0, 1]})
+
+
+class TestStatsDictConservation:
+    def test_to_dict_roundtrip_preserves_conservation(self, system):
+        """Conservation must hold on the serialized dict form too."""
+        import json
+
+        from repro.faults import FaultSchedule, FaultSpec
+
+        services = [
+            PartitioningService(
+                train_system(p, BENCHMARKS, model_kind="knn", config=TRAIN),
+                ServiceConfig(),
+            )
+            for p in fleet_platforms(2)
+        ]
+        router = FleetRouter(services, policy="least-loaded")
+        loop = EventLoop.for_fleet(
+            router,
+            EventLoopConfig(
+                faults=FaultSchedule(
+                    specs=(
+                        FaultSpec(kind="straggler", at_s=0.0, duration_s=0.05,
+                                  magnitude=6.0, replica=0),
+                        FaultSpec(kind="error", at_s=0.0, duration_s=1.0,
+                                  magnitude=0.1),
+                    ),
+                    seed=3,
+                ),
+                max_retries=2,
+                speculate_at=0.9,
+                speculate_min_completions=8,
+                slo=SLOConfig(target_s=0.05),
+                shed_policy="deadline",
+            ),
+        )
+        spec = _spec("flash-crowd", seed=7, rate_rps=20_000.0)
+        stats = loop.run(stream_timed_items(spec, KEYS))
+        # Round-trip the summary through JSON and reconstruct the
+        # accounting table from the dict alone.
+        d = json.loads(json.dumps(stats.to_dict()))
+        faults = d["faults"]
+        assert d["arrivals"] + faults["speculations"] == (
+            d["completed"] + d["shed"] + d["failed"]
+            + faults["cancelled_speculative"]
+        )
+        assert d["arrivals"] == stats.arrivals
+        assert faults["speculations"] == stats.speculations
+        assert d["latency"]["count"] == d["completed"]
+        assert sum(t["completed"] for t in d["tenants"].values()) == (
+            d["completed"]
+        )
+
 
 class TestSheddingPolicies:
     def test_priority_protects_premium_tenant(self, system):

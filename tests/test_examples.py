@@ -1,5 +1,6 @@
 """Smoke tests: the fast examples must run to completion."""
 
+import re
 import runpy
 import sys
 from pathlib import Path
@@ -46,6 +47,21 @@ def test_pipeline_cosearch(capsys):
     assert "greedy makespan:" in out
     assert "co-searched makespan:" in out
     assert "speedup over greedy:" in out
+
+
+def test_latency_attribution(capsys):
+    out = _run("latency_attribution.py", capsys=capsys)
+    assert "flash-crowd on a 2-pool cluster" in out
+    assert "Critical path, all requests" in out
+    assert "Critical path, slowest decile" in out
+    assert "queueing share of the critical path" in out
+    assert "worst request (trace" in out
+    # The tail must actually be queue-bound — the example's whole point.
+    shares = re.search(
+        r"critical path: ([\d.]+)% overall -> ([\d.]+)% in the slowest", out
+    )
+    assert shares is not None
+    assert float(shares.group(2)) > float(shares.group(1))
 
 
 @pytest.mark.slow

@@ -1,0 +1,390 @@
+"""Tests for `repro.telemetry`: registry, tracer, analyzer, wiring.
+
+The acceptance gates live here: a faulted cluster serve with
+``telemetry="trace"`` must export byte-identical JSONL across two runs
+with the same seeds, and the critical-path analyzer's per-request span
+sum must equal the event loop's reported latency for every completed
+request.
+"""
+
+import json
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.cluster import ClusterRouter, with_tenants
+from repro.core import TrainingConfig, train_system
+from repro.faults import FaultSchedule, FaultSpec
+from repro.fleet import FleetRouter
+from repro.machines import fleet_platforms
+from repro.serving import (
+    LatencyHistogram,
+    ServingRequest,
+    PartitioningService,
+    ServeOptions,
+    ServiceConfig,
+    SLOConfig,
+    key_universe,
+    serve_trace,
+    zipf_trace,
+)
+from repro.telemetry import (
+    TELEMETRY_MODES,
+    Counter,
+    CriticalPathAnalyzer,
+    Gauge,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+)
+from repro.telemetry.spans import LEAF_KINDS, SPAN_KINDS
+
+BENCHMARKS = tuple(get_benchmark(n) for n in ("vec_add", "mat_mul"))
+TRAIN = TrainingConfig(repetitions=1, max_sizes=2)
+KEYS = key_universe(list(BENCHMARKS), max_sizes=2)
+
+FAULTS = FaultSchedule(
+    specs=(
+        FaultSpec(kind="straggler", at_s=0.0, duration_s=0.05, magnitude=4.0,
+                  replica=0),
+        FaultSpec(kind="error", at_s=0.0, duration_s=1.0, magnitude=0.10),
+        FaultSpec(kind="crash", at_s=0.01, duration_s=0.005, replica=0),
+    ),
+    seed=7,
+)
+
+TRACED = ServeOptions(
+    arrival="poisson",
+    rate_rps=2000.0,
+    seed=5,
+    telemetry="trace",
+    faults=FAULTS,
+    max_retries=3,
+    hedge_at=0.9,
+    hedge_min_completions=8,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return train_system(
+        fleet_platforms(1)[0], BENCHMARKS, model_kind="knn", config=TRAIN
+    )
+
+
+def _service(system):
+    return PartitioningService(system, ServiceConfig())
+
+
+def _cluster():
+    return ClusterRouter.build(
+        2, 1, benchmarks=BENCHMARKS, model_kind="knn", training=TRAIN
+    )
+
+
+def _trace(n=50, seed=5):
+    return zipf_trace(KEYS, n, skew=1.2, seed=seed)
+
+
+class TestRegistry:
+    def test_counter_and_gauge_basics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b")
+        c.inc()
+        c.inc(2)
+        reg.gauge("a.g").set(1.5)
+        assert reg.value("a.b") == 3
+        assert reg.value("a.g") == 1.5
+        assert isinstance(c, Counter) and isinstance(reg.get("a.g"), Gauge)
+
+    def test_registration_is_idempotent_per_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_shape_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="registered as"):
+            reg.gauge("x")
+
+    def test_counter_int_arithmetic_survives_json(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+        for _ in range(5):
+            c.inc()
+        assert json.dumps(reg.snapshot()) == '{"n": 5}'
+
+    def test_snapshot_sorted_and_histograms_summarized(self):
+        reg = MetricsRegistry()
+        reg.gauge("z").set(1.0)
+        reg.counter("a").inc()
+        h = reg.histogram("m")
+        assert isinstance(h, LatencyHistogram)
+        h.record(1e-3)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "m", "z"]
+        assert snap["m"]["count"] == 1
+        assert "m" in reg and len(reg) == 3 and reg.names() == ("a", "m", "z")
+
+
+class TestTelemetryFacade:
+    def test_modes_constant(self):
+        assert TELEMETRY_MODES == ("off", "metrics", "trace")
+
+    def test_off_mode_means_no_object(self):
+        assert Telemetry.from_mode("off") is None
+        with pytest.raises(ValueError):
+            Telemetry("off")
+        with pytest.raises(ValueError):
+            Telemetry("bogus")
+
+    def test_metrics_mode_has_no_tracer(self):
+        tel = Telemetry.from_mode("metrics")
+        assert not tel.tracing and tel.tracer is None
+        with pytest.raises(ValueError):
+            tel.analyzer()
+
+    def test_unknown_mode_rejected_by_options(self):
+        with pytest.raises(ValueError, match="telemetry"):
+            ServeOptions(telemetry="verbose")
+
+    def test_trace_mode_rejected_on_sequential_path(self, system):
+        with pytest.raises(ValueError, match="event"):
+            serve_trace(_service(system), _trace(4),
+                        ServeOptions(telemetry="trace"))
+
+
+class TestTracedServiceRun:
+    @pytest.fixture(scope="class")
+    def run(self, system):
+        result = serve_trace(_service(system), _trace(), TRACED)
+        return result
+
+    def test_span_sum_equals_latency_for_every_completed_request(self, run):
+        analyzer = run.telemetry.analyzer()
+        completed = analyzer.completed_ids()
+        assert len(completed) == run.stats.completed > 0
+        for tid in completed:
+            analyzer.check(tid)
+
+    def test_latencies_match_completion_records(self, system):
+        latencies = {}
+        result = serve_trace(
+            _service(system), _trace(), TRACED,
+            on_complete=lambda r: latencies.__setitem__(
+                r.request.request_id, r.latency_s
+            ),
+        )
+        analyzer = result.telemetry.analyzer()
+        for tid in analyzer.completed_ids():
+            root = analyzer.root(tid)
+            assert root.duration_s == latencies[root.attrs["request_id"]]
+
+    def test_every_span_kind_is_known(self, run):
+        for span in run.telemetry.tracer.spans:
+            assert span.kind in SPAN_KINDS
+            if span.kind in LEAF_KINDS and span.kind != "backoff":
+                assert span.parent_id is not None
+
+    def test_faulted_run_traces_retries(self, run):
+        names = {s.name for s in run.telemetry.tracer.spans}
+        assert "retry" in names or run.stats.retries == 0
+        assert run.stats.retries > 0
+
+    def test_breakdown_covers_only_leaf_kinds(self, run):
+        analyzer = run.telemetry.analyzer()
+        tid = analyzer.completed_ids()[0]
+        breakdown = analyzer.breakdown(tid)
+        assert set(breakdown) == set(LEAF_KINDS)
+        assert sum(breakdown.values()) == pytest.approx(
+            analyzer.latency_s(tid), rel=1e-9
+        )
+
+    def test_slowest_decile_and_attribution(self, run):
+        analyzer = run.telemetry.analyzer()
+        slowest = analyzer.slowest(0.1)
+        completed = analyzer.completed_ids()
+        assert 1 <= len(slowest) <= len(completed)
+        worst = max(completed, key=lambda t: analyzer.latency_s(t))
+        assert analyzer.latency_s(slowest[0]) == analyzer.latency_s(worst)
+        report = analyzer.attribution(slowest)
+        assert report["requests"] == len(slowest)
+        shares = [k["share"] for k in report["kinds"].values()]
+        assert sum(shares) == pytest.approx(1.0)
+        table = analyzer.table(slowest)
+        assert "queue" in table and "total_ms" in table
+
+    def test_folded_stacks_are_rooted_at_request(self, run):
+        folded = run.telemetry.analyzer().folded()
+        assert folded
+        for path, seconds in folded.items():
+            assert path.startswith("request")
+            assert seconds >= 0.0
+
+    def test_export_roundtrips_through_json(self, run, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        run.telemetry.tracer.export(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "header"
+        assert header["spans"] == len(run.telemetry.tracer.spans)
+        parsed = [json.loads(line) for line in lines[1:]]
+        spans = [p for p in parsed if p["type"] == "span"]
+        events = [p for p in parsed if p["type"] == "event"]
+        assert len(spans) == header["spans"]
+        assert len(events) == header["events"]
+        rebuilt = CriticalPathAnalyzer(
+            run.telemetry.tracer.spans
+        )
+        for tid in rebuilt.completed_ids():
+            rebuilt.check(tid)
+
+    def test_metrics_registry_collected(self, run):
+        reg = run.telemetry.registry
+        assert reg.value("loop.arrivals") == run.stats.arrivals
+        assert reg.value("loop.completed") == run.stats.completed
+        assert reg.value("service.requests") > 0
+        assert any(n.startswith("slo.tenant.") for n in reg.names())
+        assert any(n.startswith("loop.replica.") for n in reg.names())
+
+
+class TestByteIdenticalReplay:
+    def test_faulted_cluster_serve_replays_byte_identical(self):
+        """The acceptance gate: same seeds -> same bytes, twice."""
+        exports = []
+        stats = []
+        for _ in range(2):
+            cluster = _cluster()
+            trace = with_tenants(_trace(40), ("premium", "batch"))
+            options = ServeOptions(
+                arrival="poisson",
+                rate_rps=2000.0,
+                seed=5,
+                telemetry="trace",
+                faults=FAULTS,
+                max_retries=3,
+                slo=SLOConfig(target_s=0.5),
+                speculate_at=0.9,
+                speculate_min_completions=8,
+                work_steal=True,
+            )
+            result = serve_trace(cluster, trace, options)
+            analyzer = result.telemetry.analyzer()
+            for tid in analyzer.completed_ids():
+                analyzer.check(tid)
+            exports.append(result.telemetry.tracer.export_lines())
+            stats.append(result.stats)
+        assert stats[0].completed == stats[1].completed
+        assert exports[0] == exports[1]
+        assert len(exports[0]) > 40
+
+    def test_cluster_network_spans_nest_under_placements(self):
+        cluster = _cluster()
+        result = serve_trace(
+            cluster,
+            with_tenants(_trace(40), ("premium", "batch")),
+            ServeOptions(arrival="poisson", rate_rps=2000.0, seed=5,
+                         telemetry="trace"),
+        )
+        tracer = result.telemetry.tracer
+        by_id = {s.span_id: s for s in tracer.spans}
+        nets = [s for s in tracer.spans if s.kind == "network"]
+        assert any(s.duration_s > 0 for s in nets)
+        for net in nets:
+            assert by_id[net.parent_id].kind == "placement"
+        assert result.stats.completed > 0
+
+
+class TestMetricsMode:
+    def test_event_run_shares_one_registry(self, system):
+        result = serve_trace(
+            _service(system), _trace(30),
+            ServeOptions(arrival="poisson", rate_rps=2000.0, seed=5,
+                         telemetry="metrics"),
+        )
+        tel = result.telemetry
+        assert tel is not None and not tel.tracing
+        assert result.stats.registry is tel.registry
+        assert tel.registry.value("loop.completed") == result.stats.completed
+        assert tel.registry.value("service.requests") > 0
+
+    def test_sequential_metrics_publishes_backend(self, system):
+        result = serve_trace(
+            _service(system), _trace(8), ServeOptions(telemetry="metrics")
+        )
+        assert result.telemetry.registry.value("service.requests") == 8
+        assert "service.cache.hit_rate" in result.telemetry.registry
+
+    def test_fleet_publishes_replicas(self):
+        fleet = FleetRouter(
+            [PartitioningService(
+                train_system(p, BENCHMARKS, model_kind="knn", config=TRAIN),
+                ServiceConfig(),
+            ) for p in fleet_platforms(2)],
+            policy="least-loaded",
+        )
+        result = serve_trace(
+            fleet, _trace(20),
+            ServeOptions(arrival="poisson", rate_rps=2000.0, seed=5,
+                         telemetry="metrics"),
+        )
+        reg = result.telemetry.registry
+        assert reg.value("fleet.requests") == 20
+        assert any(n.startswith("fleet.replica.") for n in reg.names())
+
+    def test_cluster_publishes_tenants_and_pools(self):
+        cluster = _cluster()
+        result = serve_trace(
+            cluster,
+            with_tenants(_trace(20), ("premium", "batch")),
+            ServeOptions(arrival="poisson", rate_rps=2000.0, seed=5,
+                         telemetry="metrics"),
+        )
+        reg = result.telemetry.registry
+        assert reg.value("cluster.served") == result.stats.completed
+        assert "cluster.tenant.premium.share" in reg
+        assert "cluster.pool.0.requests" in reg
+        assert "cluster.pool.1.requests" in reg
+
+    def test_off_mode_returns_no_telemetry(self, system):
+        result = serve_trace(
+            _service(system), _trace(10),
+            ServeOptions(arrival="poisson", rate_rps=2000.0, seed=5),
+        )
+        assert result.telemetry is None
+        assert result.stats.completed > 0
+
+
+class TestTracerUnits:
+    def test_manual_trace_tiles_exactly(self):
+        tracer = Tracer()
+        tracer.begin(0, 1.0, ServingRequest(request_id=0, program="vec_add", size=64))
+        tid = tracer.enqueue(0, 1.0, replica=0)
+        tracer.start(tid, 1.5, predict_end_s=1.6, net_start_s=2.0,
+                     finish_s=2.25, outcome="ok")
+        tracer.complete(0, 2.25, tid)
+        analyzer = CriticalPathAnalyzer(tracer.spans)
+        analyzer.check(0)
+        breakdown = analyzer.breakdown(0)
+        assert breakdown["queue"] == pytest.approx(0.5)
+        assert breakdown["predict"] == pytest.approx(0.1)
+        assert breakdown["execute"] == pytest.approx(0.4)
+        assert breakdown["network"] == pytest.approx(0.25)
+
+    def test_failed_trace_is_excluded_from_completed(self):
+        tracer = Tracer()
+        tracer.begin(3, 0.0, ServingRequest(request_id=3, program="vec_add", size=64))
+        tid = tracer.enqueue(3, 0.0, replica=0)
+        tracer.fail_attempt(tid, 0.5)
+        tracer.fail(3, 0.5, reason="retries-exhausted")
+        analyzer = CriticalPathAnalyzer(tracer.spans)
+        assert analyzer.trace_ids() == (3,)
+        assert analyzer.completed_ids() == ()
+        assert analyzer.root(3).attrs["outcome"] == "retries-exhausted"
+
+    def test_events_are_sequenced(self):
+        tracer = Tracer()
+        tracer.event(0.5, "crash", replica=1)
+        tracer.event(0.5, "recover", replica=1)
+        assert [e["seq"] for e in tracer.events] == [1, 2]
